@@ -1,0 +1,82 @@
+// Ablation: the adaptive TPM pipeline under the linear threshold (LT)
+// model. The paper evaluates IC only but notes that the spread function is
+// monotone submodular under both IC and LT; the library supports both
+// (triggering-set realizations + LT RR sets), so all algorithms run
+// unchanged. This bench compares HATP/ARS/Baseline profit under the two
+// models on the same graph and target set.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util/datasets.h"
+#include "bench_util/table_printer.h"
+#include "core/ars.h"
+#include "core/hatp.h"
+#include "core/target_selection.h"
+
+int main() {
+  atpm::Result<atpm::BenchDataset> dataset =
+      atpm::BuildDataset("HepMini", 1.0, 5);
+  if (!dataset.ok()) return 1;
+  const atpm::Graph& graph = dataset.value().graph;
+
+  atpm::Result<atpm::TargetSelectionResult> selection =
+      atpm::BuildTopKTargetProblem(graph, 20,
+                                   atpm::CostScheme::kDegreeProportional);
+  if (!selection.ok()) {
+    std::fprintf(stderr, "%s\n", selection.status().ToString().c_str());
+    return 1;
+  }
+  const atpm::ProfitProblem& problem = selection.value().problem;
+
+  std::printf("=== Ablation: IC vs LT diffusion (n=%u, k=%u, shared "
+              "targets & costs) ===\n",
+              graph.num_nodes(), problem.k());
+  atpm::TablePrinter table({"model", "HATP profit", "ARS profit",
+                            "Baseline profit", "HATP seeds"});
+
+  for (atpm::DiffusionModel model :
+       {atpm::DiffusionModel::kIndependentCascade,
+        atpm::DiffusionModel::kLinearThreshold}) {
+    double hatp_sum = 0.0;
+    double ars_sum = 0.0;
+    double base_sum = 0.0;
+    double seeds_sum = 0.0;
+    const int worlds = 3;
+    for (int w = 0; w < worlds; ++w) {
+      atpm::Rng world_rng(1000 + w);
+      atpm::Realization world =
+          atpm::Realization::Sample(graph, &world_rng, model);
+
+      atpm::HatpOptions options;
+      options.model = model;
+      options.num_threads = 4;
+      options.max_rr_sets_per_decision = 1ull << 17;
+      atpm::HatpPolicy hatp(options);
+      atpm::AdaptiveEnvironment env{atpm::Realization(world)};
+      atpm::Rng rng(2000 + w);
+      atpm::Result<atpm::AdaptiveRunResult> run =
+          hatp.Run(problem, &env, &rng);
+      if (!run.ok()) return 1;
+      hatp_sum += run.value().realized_profit;
+      seeds_sum += static_cast<double>(run.value().seeds.size());
+
+      atpm::ArsPolicy ars;
+      atpm::AdaptiveEnvironment ars_env{atpm::Realization(world)};
+      atpm::Rng ars_rng(3000 + w);
+      ars_sum += ars.Run(problem, &ars_env, &ars_rng)
+                     .value_or(atpm::AdaptiveRunResult{})
+                     .realized_profit;
+
+      base_sum += atpm::RealizedProfit(problem, world, problem.targets);
+    }
+    table.AddRow({atpm::DiffusionModelName(model),
+                  atpm::FormatDouble(hatp_sum / worlds, 1),
+                  atpm::FormatDouble(ars_sum / worlds, 1),
+                  atpm::FormatDouble(base_sum / worlds, 1),
+                  atpm::FormatDouble(seeds_sum / worlds, 1)});
+  }
+  table.Print(std::cout);
+  std::printf("\n(The target set and costs are calibrated under IC; the LT "
+              "row shows the same instance replayed under LT dynamics.)\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 2 of the paper: profit vs number of seeds k under the
+// degree-proportional cost setting, on all four datasets, for HATP,
+// ADDATP, HNTP, NSG, NDG, ARS and the Baseline (profit of the whole
+// target set T). "OOM" marks budget-infeasible ADDATP cells, mirroring
+// the paper's filled-triangle out-of-memory marker.
+#include <cstdio>
+
+#include "bench_util/datasets.h"
+#include "bench_util/grid.h"
+
+int main() {
+  atpm::GridConfig config = atpm::GridConfig::FromEnv();
+  config.scheme = atpm::CostScheme::kDegreeProportional;
+  std::printf("=== Fig. 2: profit, degree-proportional cost "
+              "(scale=%.2f, %u realizations) ===\n",
+              config.scale, config.realizations);
+
+  atpm::Result<std::vector<atpm::GridCell>> cells =
+      atpm::RunOrLoadProfitGrid(config, "grid_degree");
+  if (!cells.ok()) {
+    std::fprintf(stderr, "grid failed: %s\n",
+                 cells.status().ToString().c_str());
+    return 1;
+  }
+  const char* panel = "abcd";
+  int i = 0;
+  for (const std::string& name : atpm::StandardDatasetNames()) {
+    std::printf("\n--- Fig. 2(%c): %s (profit) ---\n", panel[i++],
+                name.c_str());
+    atpm::PrintGridTable(cells.value(), name, "profit");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 4 of the paper (both panels, Epinions):
+//   (a) profit under the *random* cost setting, and
+//   (b) sensitivity of HATP's profit to the relative-error threshold ε
+//       (ε in {0.05, 0.1, 0.15, 0.2, 0.25} at the largest k) — the paper
+//       finds the profit nearly flat in ε.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util/datasets.h"
+#include "bench_util/experiment.h"
+#include "bench_util/grid.h"
+#include "bench_util/table_printer.h"
+#include "core/hatp.h"
+#include "core/target_selection.h"
+
+int main() {
+  atpm::GridConfig config = atpm::GridConfig::FromEnv();
+  config.scheme = atpm::CostScheme::kRandom;
+  config.only_dataset = "Epinions";
+  std::printf("=== Fig. 4(a): profit, random cost, Epinions "
+              "(scale=%.2f, %u realizations) ===\n",
+              config.scale, config.realizations);
+
+  atpm::Result<std::vector<atpm::GridCell>> cells =
+      atpm::RunOrLoadProfitGrid(config, "grid_random_epinions");
+  if (!cells.ok()) {
+    std::fprintf(stderr, "grid failed: %s\n",
+                 cells.status().ToString().c_str());
+    return 1;
+  }
+  atpm::PrintGridTable(cells.value(), "Epinions", "profit");
+
+  // --- Panel (b): ε sensitivity at the largest k of the grid. ---
+  atpm::Result<atpm::BenchDataset> dataset =
+      atpm::BuildDataset("Epinions", config.scale, config.seed);
+  if (!dataset.ok()) return 1;
+  const atpm::Graph& graph = dataset.value().graph;
+  const uint32_t k = atpm::BenchSeedGrid(graph.num_nodes() / 4).back();
+
+  atpm::TargetSelectionOptions sel_options;
+  sel_options.seed = config.seed + k;
+  atpm::Result<atpm::TargetSelectionResult> selection =
+      atpm::BuildTopKTargetProblem(
+          graph, k, atpm::CostScheme::kDegreeProportional, sel_options);
+  if (!selection.ok()) {
+    std::fprintf(stderr, "target selection failed: %s\n",
+                 selection.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n=== Fig. 4(b): HATP sensitivity to epsilon "
+              "(Epinions, degree cost, k=%u) ===\n",
+              k);
+  atpm::ExperimentRunner runner(selection.value().problem,
+                                config.realizations, config.seed);
+  atpm::TablePrinter table({"epsilon", "profit", "seconds"});
+  for (double eps : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    atpm::HatpOptions options;
+    options.relative_error_threshold = eps;
+    options.max_rr_sets_per_decision = config.hatp_rr_cap;
+    options.num_threads = config.threads;
+    atpm::HatpPolicy policy(options);
+    atpm::Result<atpm::AlgoStats> stats = runner.RunAdaptive(&policy);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "HATP failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({atpm::FormatDouble(eps, 2),
+                  atpm::FormatDouble(stats.value().mean_profit, 1),
+                  atpm::FormatSeconds(stats.value().mean_seconds)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 5 of the paper: running time vs number of seeds k under the
+// degree-proportional cost setting. Reuses the cached runs of
+// fig2_profit_degree when available (adaptive times are per-world wall
+// clock; nonadaptive times are one-shot selection cost; ARS is omitted in
+// the paper as negligible but printed here for completeness).
+#include <cstdio>
+
+#include "bench_util/datasets.h"
+#include "bench_util/grid.h"
+
+int main() {
+  atpm::GridConfig config = atpm::GridConfig::FromEnv();
+  config.scheme = atpm::CostScheme::kDegreeProportional;
+  std::printf("=== Fig. 5: running time (s), degree-proportional cost "
+              "(scale=%.2f) ===\n",
+              config.scale);
+
+  atpm::Result<std::vector<atpm::GridCell>> cells =
+      atpm::RunOrLoadProfitGrid(config, "grid_degree");
+  if (!cells.ok()) {
+    std::fprintf(stderr, "grid failed: %s\n",
+                 cells.status().ToString().c_str());
+    return 1;
+  }
+  const char* panel = "abcd";
+  int i = 0;
+  for (const std::string& name : atpm::StandardDatasetNames()) {
+    std::printf("\n--- Fig. 5(%c): %s (seconds) ---\n", panel[i++],
+                name.c_str());
+    atpm::PrintGridTable(cells.value(), name, "seconds");
+  }
+  return 0;
+}

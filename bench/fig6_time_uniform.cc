@@ -1,0 +1,31 @@
+// Fig. 6 of the paper: running time vs number of seeds k under the uniform
+// cost setting. Shares the cache of fig3_profit_uniform. The paper's
+// observation: uniform-cost runs are faster than degree-proportional ones
+// because profitable nodes separate from the bar with fewer samples.
+#include <cstdio>
+
+#include "bench_util/datasets.h"
+#include "bench_util/grid.h"
+
+int main() {
+  atpm::GridConfig config = atpm::GridConfig::FromEnv();
+  config.scheme = atpm::CostScheme::kUniform;
+  std::printf("=== Fig. 6: running time (s), uniform cost (scale=%.2f) ===\n",
+              config.scale);
+
+  atpm::Result<std::vector<atpm::GridCell>> cells =
+      atpm::RunOrLoadProfitGrid(config, "grid_uniform");
+  if (!cells.ok()) {
+    std::fprintf(stderr, "grid failed: %s\n",
+                 cells.status().ToString().c_str());
+    return 1;
+  }
+  const char* panel = "abcd";
+  int i = 0;
+  for (const std::string& name : atpm::StandardDatasetNames()) {
+    std::printf("\n--- Fig. 6(%c): %s (seconds) ---\n", panel[i++],
+                name.c_str());
+    atpm::PrintGridTable(cells.value(), name, "seconds");
+  }
+  return 0;
+}

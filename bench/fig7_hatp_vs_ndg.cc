@@ -1,0 +1,11 @@
+// Fig. 7 of the paper: profits of HATP and NDG on LiveJournal under
+// predefined per-node costs (c(V) = λn), with the target set T derived by
+// NDG. Panels: (a) degree-proportional cost, (b) uniform cost. The paper's
+// shape: HATP wins by ~10% (degree) / ~15% (uniform), and the advantage
+// grows as λ shrinks (larger T).
+#include "predefined_common.h"
+
+int main() {
+  return atpm_bench::RunPredefinedFigure(atpm::TargetMethod::kNdg, "Fig. 7",
+                                         "NDG");
+}

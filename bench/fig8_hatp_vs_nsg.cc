@@ -1,0 +1,10 @@
+// Fig. 8 of the paper: profits of HATP and NSG on LiveJournal under
+// predefined per-node costs, with T derived by NSG. The paper's shape:
+// HATP's improvement over NSG (~5%) is smaller than over NDG (Fig. 7),
+// and again grows with the target set size.
+#include "predefined_common.h"
+
+int main() {
+  return atpm_bench::RunPredefinedFigure(atpm::TargetMethod::kNsg, "Fig. 8",
+                                         "NSG");
+}

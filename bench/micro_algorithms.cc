@@ -1,0 +1,164 @@
+// google-benchmark microbenchmarks for the algorithm kernels: one HATP
+// seed decision, full adaptive runs on a small instance, the fixed-pool
+// greedy passes (NSG/NDG engines), greedy max coverage, and IMM.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/addatp.h"
+#include "core/ars.h"
+#include "core/hatp.h"
+#include "core/nonadaptive_greedy.h"
+#include "core/target_selection.h"
+#include "graph/generators.h"
+#include "graph/weighting.h"
+#include "im/greedy_coverage.h"
+#include "im/imm.h"
+#include "rris/rr_collection.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+namespace {
+
+struct BenchInstance {
+  Graph graph;
+  ProfitProblem problem;
+};
+
+// One shared small social-graph TPM instance.
+const BenchInstance& Instance() {
+  static BenchInstance* instance = [] {
+    auto* inst = new BenchInstance();
+    Rng rng(7);
+    BarabasiAlbertOptions options;
+    options.num_nodes = 4000;
+    options.edges_per_node = 3;
+    inst->graph = GenerateBarabasiAlbert(options, &rng).value();
+    ApplyWeightedCascade(&inst->graph);
+
+    TargetSelectionOptions sel;
+    sel.seed = 3;
+    Result<TargetSelectionResult> selection = BuildTopKTargetProblem(
+        inst->graph, 20, CostScheme::kDegreeProportional, sel);
+    ATPM_CHECK(selection.ok());
+    inst->problem = selection.value().problem;
+    inst->problem.graph = &inst->graph;
+    return inst;
+  }();
+  return *instance;
+}
+
+void BM_HatpFullRun(benchmark::State& state) {
+  const BenchInstance& inst = Instance();
+  HatpOptions options;
+  options.max_rr_sets_per_decision = 1ull << 16;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  HatpPolicy policy(options);
+  uint64_t world_seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng world_rng(++world_seed);
+    AdaptiveEnvironment env(Realization::Sample(inst.graph, &world_rng));
+    Rng rng(world_seed * 3 + 1);
+    state.ResumeTiming();
+    Result<AdaptiveRunResult> run = policy.Run(inst.problem, &env, &rng);
+    ATPM_CHECK(run.ok());
+    benchmark::DoNotOptimize(run.value().realized_profit);
+  }
+}
+BENCHMARK(BM_HatpFullRun)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_AddAtpFullRunCapped(benchmark::State& state) {
+  const BenchInstance& inst = Instance();
+  AddAtpOptions options;
+  options.max_rr_sets_per_decision = 1ull << 16;
+  options.fail_on_budget_exhausted = false;
+  AddAtpPolicy policy(options);
+  uint64_t world_seed = 100;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng world_rng(++world_seed);
+    AdaptiveEnvironment env(Realization::Sample(inst.graph, &world_rng));
+    Rng rng(world_seed * 3 + 1);
+    state.ResumeTiming();
+    Result<AdaptiveRunResult> run = policy.Run(inst.problem, &env, &rng);
+    ATPM_CHECK(run.ok());
+    benchmark::DoNotOptimize(run.value().realized_profit);
+  }
+}
+BENCHMARK(BM_AddAtpFullRunCapped)->Unit(benchmark::kMillisecond);
+
+void BM_ArsFullRun(benchmark::State& state) {
+  const BenchInstance& inst = Instance();
+  ArsPolicy policy;
+  uint64_t world_seed = 200;
+  for (auto _ : state) {
+    Rng world_rng(++world_seed);
+    AdaptiveEnvironment env(Realization::Sample(inst.graph, &world_rng));
+    Rng rng(world_seed);
+    Result<AdaptiveRunResult> run = policy.Run(inst.problem, &env, &rng);
+    ATPM_CHECK(run.ok());
+    benchmark::DoNotOptimize(run.value().realized_profit);
+  }
+}
+BENCHMARK(BM_ArsFullRun)->Unit(benchmark::kMillisecond);
+
+void BM_NsgSelection(benchmark::State& state) {
+  const BenchInstance& inst = Instance();
+  const uint64_t theta = static_cast<uint64_t>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    Result<NonadaptiveResult> result = RunNsg(inst.problem, theta, &rng);
+    ATPM_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().estimated_profit);
+  }
+}
+BENCHMARK(BM_NsgSelection)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NdgSelection(benchmark::State& state) {
+  const BenchInstance& inst = Instance();
+  const uint64_t theta = static_cast<uint64_t>(state.range(0));
+  Rng rng(13);
+  for (auto _ : state) {
+    Result<NonadaptiveResult> result = RunNdg(inst.problem, theta, &rng);
+    ATPM_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().estimated_profit);
+  }
+}
+BENCHMARK(BM_NdgSelection)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyMaxCoverage(benchmark::State& state) {
+  const BenchInstance& inst = Instance();
+  RRSetGenerator generator(inst.graph);
+  RRCollection pool(inst.graph.num_nodes());
+  Rng rng(17);
+  pool.Generate(&generator, nullptr, inst.graph.num_nodes(), 1 << 14, &rng);
+  for (auto _ : state) {
+    RRCollection copy = pool;  // greedy mutates the index lazily
+    GreedyCoverageResult result = GreedyMaxCoverage(&copy, 20);
+    benchmark::DoNotOptimize(result.covered);
+  }
+}
+BENCHMARK(BM_GreedyMaxCoverage)->Unit(benchmark::kMillisecond);
+
+void BM_ImmTargetSelection(benchmark::State& state) {
+  const BenchInstance& inst = Instance();
+  ImmOptions options;
+  options.seed = 5;
+  for (auto _ : state) {
+    Result<ImmResult> result = RunImm(inst.graph, 10, options);
+    ATPM_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().estimated_spread);
+  }
+}
+BENCHMARK(BM_ImmTargetSelection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace atpm
+

@@ -1,0 +1,165 @@
+// google-benchmark microbenchmarks for the substrate layers: graph
+// construction, generators, IC simulation, realization sampling, RR-set
+// generation, and coverage queries. These are the kernels whose cost the
+// paper's complexity analysis (Theorems 3, 5) is expressed in.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "diffusion/ic_model.h"
+#include "diffusion/realization.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/weighting.h"
+#include "rris/rr_collection.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+namespace {
+
+Graph BenchGraph(NodeId n) {
+  Rng rng(7);
+  BarabasiAlbertOptions options;
+  options.num_nodes = n;
+  options.edges_per_node = 3;
+  Graph g = GenerateBarabasiAlbert(options, &rng).value();
+  ApplyWeightedCascade(&g);
+  return g;
+}
+
+void BM_GraphBuildCsr(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  std::vector<WeightedEdge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (int j = 0; j < 6; ++j) {
+      edges.push_back(WeightedEdge{
+          u, static_cast<NodeId>(rng.UniformInt(n)), 0.1f});
+    }
+  }
+  for (auto _ : state) {
+    GraphBuilder builder;
+    for (const WeightedEdge& e : edges) builder.AddEdge(e.src, e.dst, e.prob);
+    Graph g = builder.Build().value();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuildCsr)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  Rng rng(5);
+  BarabasiAlbertOptions options;
+  options.num_nodes = static_cast<NodeId>(state.range(0));
+  options.edges_per_node = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateBarabasiAlbert(options, &rng).value().num_edges());
+  }
+}
+BENCHMARK(BM_GenerateBarabasiAlbert)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GenerateRMat(benchmark::State& state) {
+  Rng rng(6);
+  RMatOptions options;
+  options.scale = static_cast<uint32_t>(state.range(0));
+  options.num_edges = (1ull << options.scale) * 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateRMat(options, &rng).value().num_edges());
+  }
+}
+BENCHMARK(BM_GenerateRMat)->Arg(12)->Arg(14);
+
+void BM_ForwardIcSimulation(benchmark::State& state) {
+  const Graph g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  Rng rng(11);
+  std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateIC(g, seeds, &rng));
+  }
+}
+BENCHMARK(BM_ForwardIcSimulation)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_RealizationSample(benchmark::State& state) {
+  const Graph g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  Rng rng(13);
+  for (auto _ : state) {
+    Realization world = Realization::Sample(g, &rng);
+    benchmark::DoNotOptimize(world.NumLiveEdges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_RealizationSample)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_RrSetGeneration(benchmark::State& state) {
+  const Graph g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  RRSetGenerator generator(g);
+  Rng rng(17);
+  std::vector<NodeId> rr;
+  for (auto _ : state) {
+    generator.Generate(nullptr, g.num_nodes(), &rng, &rr);
+    benchmark::DoNotOptimize(rr.size());
+  }
+}
+BENCHMARK(BM_RrSetGeneration)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_RrCountCovering(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  RRSetGenerator generator(g);
+  Rng rng(19);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 100; v < 200; ++v) base.Set(v);
+  const uint64_t theta = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.CountCovering(
+        nullptr, g.num_nodes(), theta, 0, &base, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(theta));
+}
+BENCHMARK(BM_RrCountCovering)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_ParallelCountCovering(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 100; v < 200; ++v) base.Set(v);
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  uint64_t salt = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelCountCovering(
+        g, nullptr, g.num_nodes(), 1 << 15, 0, &base, ++salt, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 15));
+}
+BENCHMARK(BM_ParallelCountCovering)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_CoverageQueries(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 13);
+  RRSetGenerator generator(g);
+  RRCollection pool(g.num_nodes());
+  Rng rng(23);
+  pool.Generate(&generator, nullptr, g.num_nodes(),
+                static_cast<uint64_t>(state.range(0)), &rng);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 50; v < 120; ++v) base.Set(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.ConditionalCoverage(0, base));
+  }
+}
+BENCHMARK(BM_CoverageQueries)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_RealizationSpreadQuery(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  Rng rng(29);
+  Realization world = Realization::Sample(g, &rng);
+  std::vector<NodeId> seeds = {0, 1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.Spread(seeds));
+  }
+}
+BENCHMARK(BM_RealizationSpreadQuery);
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,38 @@
+#ifndef ATPM_BENCH_UTIL_TABLE_PRINTER_H_
+#define ATPM_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace atpm {
+
+/// Column-aligned console tables for the experiment harness — each bench
+/// binary prints the same rows/series its paper figure reports.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; missing trailing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with a header rule and aligned columns.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal ("12.34").
+std::string FormatDouble(double value, int precision = 2);
+
+/// Compact scientific-ish formatting for running times ("0.031", "12.5",
+/// "1834").
+std::string FormatSeconds(double seconds);
+
+}  // namespace atpm
+
+#endif  // ATPM_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,45 @@
+#ifndef ATPM_COMMON_LOGGING_H_
+#define ATPM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant check that is always on (release and debug). Prints the failed
+/// condition with its location and aborts. Use for programmer errors; use
+/// Status for user/input errors.
+#define ATPM_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ATPM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+/// Invariant check compiled out in release builds (NDEBUG).
+#ifdef NDEBUG
+#define ATPM_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define ATPM_DCHECK(cond) ATPM_CHECK(cond)
+#endif
+
+/// Binary comparison checks with both operands in the failure message.
+#define ATPM_CHECK_OP(op, a, b)                                             \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      std::fprintf(stderr, "ATPM_CHECK failed at %s:%d: %s %s %s\n",        \
+                   __FILE__, __LINE__, #a, #op, #b);                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define ATPM_CHECK_EQ(a, b) ATPM_CHECK_OP(==, a, b)
+#define ATPM_CHECK_NE(a, b) ATPM_CHECK_OP(!=, a, b)
+#define ATPM_CHECK_LT(a, b) ATPM_CHECK_OP(<, a, b)
+#define ATPM_CHECK_LE(a, b) ATPM_CHECK_OP(<=, a, b)
+#define ATPM_CHECK_GT(a, b) ATPM_CHECK_OP(>, a, b)
+#define ATPM_CHECK_GE(a, b) ATPM_CHECK_OP(>=, a, b)
+
+#endif  // ATPM_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+namespace atpm {
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  if (k == 0 || k >= n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double Clamp(double x, double lo, double hi) {
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+double SafeMean(double sum, uint64_t count) {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double SampleStddev(double sum, double sum_sq, uint64_t count) {
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  double var = (sum_sq - sum * sum / n) / (n - 1.0);
+  if (var < 0.0) var = 0.0;
+  return std::sqrt(var);
+}
+
+}  // namespace atpm

@@ -1,0 +1,28 @@
+#ifndef ATPM_COMMON_MATH_UTIL_H_
+#define ATPM_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace atpm {
+
+/// Natural log of the binomial coefficient C(n, k), computed via lgamma.
+/// Returns 0 for k <= 0 or k >= n. Used by IMM's sample-size bounds.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// ceil(a / b) for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Clamps `x` into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Mean of a sample given its sum and count; 0 for empty samples.
+double SafeMean(double sum, uint64_t count);
+
+/// Sample standard deviation from raw moments (sum, sum of squares, count);
+/// 0 for fewer than two observations. Numerically guarded against tiny
+/// negative variances from cancellation.
+double SampleStddev(double sum, double sum_sq, uint64_t count);
+
+}  // namespace atpm
+
+#endif  // ATPM_COMMON_MATH_UTIL_H_

@@ -1,0 +1,32 @@
+#ifndef ATPM_COMMON_TIMER_H_
+#define ATPM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace atpm {
+
+/// Monotonic wall-clock stopwatch used by the experiment harness to report
+/// per-algorithm running times (Figs. 5, 6, 9a).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace atpm
+
+#endif  // ATPM_COMMON_TIMER_H_

@@ -1,0 +1,149 @@
+#include "core/addatp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/bit_vector.h"
+#include "common/math_util.h"
+#include "core/concentration.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+
+Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
+                                            AdaptiveEnvironment* env,
+                                            Rng* rng) {
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  if (&env->graph() != problem.graph) {
+    return Status::InvalidArgument("ADDATP: environment graph mismatch");
+  }
+  if (env->num_activated() != 0) {
+    return Status::InvalidArgument("ADDATP: environment must be fresh");
+  }
+
+  const Graph& graph = *problem.graph;
+  const NodeId n = graph.num_nodes();
+  const uint32_t k = problem.k();
+  if (k == 0) return AdaptiveRunResult{};
+
+  AdaptiveRunResult result;
+  result.steps.reserve(k);
+
+  // Selected seeds (all activated, so never present in residual RR sets —
+  // kept as a bitmap to evaluate Cov(u | S_{i-1}) by the paper's formula).
+  BitVector seed_bitmap(n);
+  // Undecided candidates (neither abandoned, activated, nor selected).
+  BitVector candidates(n);
+  for (NodeId t : problem.targets) candidates.Set(t);
+
+  // Dynamic C2-threshold state (Discussion after Theorem 2): eta_sum
+  // accumulates the bars η̃_j of iterations that stopped via C2.
+  double eta_sum = 0.0;
+
+  for (NodeId u : problem.targets) {
+    AdaptiveStepRecord step;
+    step.node = u;
+    candidates.Clear(u);  // u is under examination; rear base is T \ {u}
+
+    if (env->IsActivated(u)) {
+      step.decision = SeedDecision::kSkippedActivated;
+      result.steps.push_back(step);
+      continue;
+    }
+
+    const uint32_t ni = env->num_remaining();
+    const double nd = static_cast<double>(ni);
+    const double cost = problem.CostOf(u);
+    const BitVector& removed = env->activated();
+
+    double zeta =
+        Clamp(options_.initial_spread_error / nd, 1.0 / nd, 0.5);
+    double delta = 1.0 / (static_cast<double>(k) * static_cast<double>(n));
+
+    // C2 stopping bar: fixed at 1 in Algorithm 3; raised adaptively in the
+    // dynamic variant while 2 * (eta_sum + eta) + 2 <= ε * profit-so-far.
+    double eta = 1.0;
+    if (options_.dynamic_threshold) {
+      const double profit_so_far =
+          static_cast<double>(env->num_activated()) -
+          problem.CostOfSet(result.seeds);
+      const double slack =
+          options_.dynamic_epsilon * profit_so_far - 2.0 * eta_sum - 2.0;
+      eta = std::max(1.0, slack / 2.0);
+    }
+
+    double rho_f = 0.0;
+    double rho_r = 0.0;
+    uint64_t used_this_iter = 0;
+    bool decided = false;
+    bool stopped_via_c2 = false;
+
+    while (!decided) {
+      const uint64_t theta = AddAtpSampleSize(zeta, delta);
+      if (used_this_iter + 2 * theta > options_.max_rr_sets_per_decision) {
+        if (options_.fail_on_budget_exhausted) {
+          return Status::OutOfBudget(
+              "ADDATP: deciding node " + std::to_string(u) + " needs " +
+              std::to_string(2 * theta) + " more RR sets (budget " +
+              std::to_string(options_.max_rr_sets_per_decision) + ")");
+        }
+        decided = true;  // force the decision with current estimates
+        break;
+      }
+
+      used_this_iter += 2 * theta;
+      ++step.rounds;
+
+      // Two independent pools R1, R2, counted on the fly (no storage).
+      const double scale = nd / static_cast<double>(theta);
+      rho_f = static_cast<double>(ParallelCountCovering(
+                  graph, &removed, ni, theta, u, &seed_bitmap, rng->Next(),
+                  options_.num_threads, options_.model)) *
+                  scale -
+              cost;
+      rho_r = -static_cast<double>(ParallelCountCovering(
+                  graph, &removed, ni, theta, u, &candidates, rng->Next(),
+                  options_.num_threads, options_.model)) *
+                  scale +
+              cost;
+
+      const double additive = nd * zeta;  // n_i ζ_i, in spread units
+      const bool c1 = std::abs(rho_f - rho_r) >= 2.0 * additive ||
+                      rho_f <= -additive || rho_r <= -additive;
+      const bool c2 = additive <= eta;
+      if (c1 || c2) {
+        decided = true;
+        stopped_via_c2 = !c1 && c2;
+      } else {
+        zeta /= std::sqrt(2.0);
+        delta /= 2.0;
+      }
+    }
+    if (stopped_via_c2) eta_sum += eta;  // η̃_i = η_i iff C2 fired
+
+    step.rr_sets_used = used_this_iter;
+    result.total_rr_sets += used_this_iter;
+    result.max_rr_sets_per_iteration =
+        std::max(result.max_rr_sets_per_iteration, used_this_iter);
+
+    if (rho_f >= rho_r) {
+      const std::vector<NodeId>& activated = env->SeedAndObserve(u);
+      step.decision = SeedDecision::kSelected;
+      step.newly_activated = static_cast<uint32_t>(activated.size());
+      result.seeds.push_back(u);
+      seed_bitmap.Set(u);
+      for (NodeId v : activated) {
+        if (candidates.Test(v)) candidates.Clear(v);
+      }
+    } else {
+      step.decision = SeedDecision::kAbandoned;
+    }
+    result.steps.push_back(step);
+  }
+
+  FinalizeAdaptiveResult(problem, *env, &result);
+  return result;
+}
+
+}  // namespace atpm

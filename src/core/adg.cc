@@ -1,0 +1,88 @@
+#include "core/adg.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_vector.h"
+
+namespace atpm {
+
+Result<AdaptiveRunResult> AdgPolicy::Run(const ProfitProblem& problem,
+                                         AdaptiveEnvironment* env, Rng* rng) {
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  if (randomized_ && rng == nullptr) {
+    return Status::InvalidArgument("randomized ADG needs an Rng");
+  }
+  if (&oracle_->graph() != problem.graph ||
+      &env->graph() != problem.graph) {
+    return Status::InvalidArgument("ADG: oracle/environment graph mismatch");
+  }
+  if (env->num_activated() != 0) {
+    return Status::InvalidArgument("ADG: environment must be fresh");
+  }
+
+  const NodeId n = problem.graph->num_nodes();
+  AdaptiveRunResult result;
+  result.steps.reserve(problem.k());
+
+  // Candidate set T_{i-1}: targets not yet abandoned/activated.
+  BitVector candidates(n);
+  for (NodeId t : problem.targets) candidates.Set(t);
+
+  for (NodeId u : problem.targets) {
+    AdaptiveStepRecord step;
+    step.node = u;
+
+    if (env->IsActivated(u)) {
+      candidates.Clear(u);
+      step.decision = SeedDecision::kSkippedActivated;
+      result.steps.push_back(step);
+      continue;
+    }
+
+    const BitVector& removed = env->activated();
+
+    // Front: all previously selected seeds are activated (hence removed
+    // from G_i), so E[I_{G_i}(u | S_{i-1})] = E[I_{G_i}({u})].
+    const double rho_f =
+        oracle_->ExpectedSpread({&u, 1}, &removed) - problem.CostOf(u);
+
+    // Rear: marginal spread of u on top of the other surviving candidates.
+    std::vector<NodeId> rest;
+    rest.reserve(problem.k());
+    for (NodeId t : problem.targets) {
+      if (t != u && candidates.Test(t)) rest.push_back(t);
+    }
+    const double rho_r =
+        problem.CostOf(u) -
+        oracle_->ExpectedMarginalSpread(u, rest, &removed);
+
+    bool keep;
+    if (!randomized_) {
+      keep = rho_f >= rho_r;
+    } else {
+      const double a = std::max(rho_f, 0.0);
+      const double b = std::max(rho_r, 0.0);
+      keep = (a + b <= 0.0) ? true : rng->UniformDouble() < a / (a + b);
+    }
+
+    if (keep) {
+      const std::vector<NodeId>& activated = env->SeedAndObserve(u);
+      step.decision = SeedDecision::kSelected;
+      step.newly_activated = static_cast<uint32_t>(activated.size());
+      result.seeds.push_back(u);
+      // The paper removes realized activations from the candidate set
+      // immediately (Section II-B); u itself is in A(u).
+      for (NodeId v : activated) candidates.Clear(v);
+    } else {
+      candidates.Clear(u);
+      step.decision = SeedDecision::kAbandoned;
+    }
+    result.steps.push_back(step);
+  }
+
+  FinalizeAdaptiveResult(problem, *env, &result);
+  return result;
+}
+
+}  // namespace atpm

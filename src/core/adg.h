@@ -1,0 +1,48 @@
+#ifndef ATPM_CORE_ADG_H_
+#define ATPM_CORE_ADG_H_
+
+#include "core/policy.h"
+#include "diffusion/spread_oracle.h"
+
+namespace atpm {
+
+/// ADG — Adaptive Double Greedy under the oracle model (Algorithm 2).
+///
+/// Examines the targets u_1..u_k in order on the evolving residual graph
+/// G_i. For each still-inactive u_i it compares
+///
+///   front profit  ρf = E[I_{G_i}(u_i | S_{i-1})] − c(u_i)
+///   rear  profit  ρr = c(u_i) − E[I_{G_i}(u_i | T_{i-1} \ {u_i})]
+///
+/// and selects u_i iff ρf >= ρr; selected seeds are deployed immediately and
+/// their realized activations are removed from G_i (the adaptive feedback).
+/// Theorem 1: the policy's expected profit is at least Λ(π_opt) / 3.
+///
+/// The spread oracle answers expected-spread queries on residual graphs;
+/// use ExactSpreadOracle on enumerable graphs (the strict oracle model) or
+/// MonteCarloSpreadOracle as a high-accuracy surrogate.
+class AdgPolicy final : public AdaptivePolicy {
+ public:
+  /// Creates the policy; `oracle` must outlive it and be bound to the same
+  /// graph the run's environment uses. With `randomized` set, each
+  /// comparison keeps u_i with probability z+/(z+ + z−) (positive parts) —
+  /// the adaptive analogue of Buchbinder et al.'s randomized double greedy,
+  /// whose nonadaptive form achieves a 1/2-approximation in expectation.
+  explicit AdgPolicy(SpreadOracle* oracle, bool randomized = false)
+      : oracle_(oracle), randomized_(randomized) {}
+
+  std::string_view name() const override {
+    return randomized_ ? "ADG-R" : "ADG";
+  }
+
+  Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
+                                AdaptiveEnvironment* env, Rng* rng) override;
+
+ private:
+  SpreadOracle* oracle_;
+  bool randomized_;
+};
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_ADG_H_

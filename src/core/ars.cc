@@ -1,0 +1,45 @@
+#include "core/ars.h"
+
+namespace atpm {
+
+Result<AdaptiveRunResult> ArsPolicy::Run(const ProfitProblem& problem,
+                                         AdaptiveEnvironment* env, Rng* rng) {
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  if (&env->graph() != problem.graph) {
+    return Status::InvalidArgument("ARS: environment graph mismatch");
+  }
+  if (env->num_activated() != 0) {
+    return Status::InvalidArgument("ARS: environment must be fresh");
+  }
+
+  AdaptiveRunResult result;
+  result.steps.reserve(problem.k());
+  for (NodeId u : problem.targets) {
+    AdaptiveStepRecord step;
+    step.node = u;
+    if (env->IsActivated(u)) {
+      // Activated candidates are "not examined and selected by ARS".
+      step.decision = SeedDecision::kSkippedActivated;
+    } else if (rng->Bernoulli(0.5)) {
+      const std::vector<NodeId>& activated = env->SeedAndObserve(u);
+      step.decision = SeedDecision::kSelected;
+      step.newly_activated = static_cast<uint32_t>(activated.size());
+      result.seeds.push_back(u);
+    } else {
+      step.decision = SeedDecision::kAbandoned;
+    }
+    result.steps.push_back(step);
+  }
+  FinalizeAdaptiveResult(problem, *env, &result);
+  return result;
+}
+
+std::vector<NodeId> RunRandomSet(const ProfitProblem& problem, Rng* rng) {
+  std::vector<NodeId> seeds;
+  for (NodeId u : problem.targets) {
+    if (rng->Bernoulli(0.5)) seeds.push_back(u);
+  }
+  return seeds;
+}
+
+}  // namespace atpm

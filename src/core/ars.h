@@ -1,0 +1,32 @@
+#ifndef ATPM_CORE_ARS_H_
+#define ATPM_CORE_ARS_H_
+
+#include <vector>
+
+#include "core/policy.h"
+
+namespace atpm {
+
+/// ARS — Adaptive Random Set (the paper's adaptive extension of Feige et
+/// al.'s RS algorithm). Examines targets in order; every still-inactive
+/// candidate is seeded with probability 1/2 regardless of quality, and its
+/// realized activations are observed and removed from the residual graph.
+/// RS achieves 1/4 of the optimum for nonnegative nonsymmetric USM; ARS is
+/// the quality floor in the paper's profit plots.
+class ArsPolicy final : public AdaptivePolicy {
+ public:
+  ArsPolicy() = default;
+
+  std::string_view name() const override { return "ARS"; }
+
+  Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
+                                AdaptiveEnvironment* env, Rng* rng) override;
+};
+
+/// RS — nonadaptive random set: keeps each target independently with
+/// probability 1/2.
+std::vector<NodeId> RunRandomSet(const ProfitProblem& problem, Rng* rng);
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_ARS_H_

@@ -1,0 +1,39 @@
+#ifndef ATPM_CORE_CONCENTRATION_H_
+#define ATPM_CORE_CONCENTRATION_H_
+
+#include <cstdint>
+
+namespace atpm {
+
+/// Concentration machinery behind ADDATP and HATP. All quantities are in
+/// *normalized* units: an RR-coverage estimator averages indicators
+/// X_j in [0, 1], so a fractional error ζ corresponds to an absolute spread
+/// error of n_i * ζ on a residual graph with n_i alive nodes.
+
+/// Two-sided Hoeffding tail (Lemma 4): Pr[|X̄ - μ| >= ζ] <= 2 exp(-2 θ ζ²).
+double HoeffdingTwoSidedTail(uint64_t theta, double zeta);
+
+/// Samples needed so the two-sided Hoeffding tail is <= delta:
+/// θ = ln(2/δ) / (2 ζ²). ADDATP (Alg 3, Line 8) uses θ = ln(8/δ)/(2ζ²),
+/// which buys a union bound over the four one-sided events of one round;
+/// that exact form is AddAtpSampleSize.
+uint64_t HoeffdingSampleSize(double zeta, double delta);
+
+/// θ = ceil( ln(8/δ) / (2 ζ²) ) — ADDATP's per-round pool size.
+uint64_t AddAtpSampleSize(double zeta, double delta);
+
+/// Upper tail of the Relative+Additive bound (Lemma 7, Eq. 10):
+/// Pr[X̄ >= (1+ε)μ + ζ] <= exp( -2 θ ε ζ / (1+ε/3)² ).
+double RelAddUpperTail(uint64_t theta, double eps, double zeta);
+
+/// Lower tail of the Relative+Additive bound (Lemma 7, Eq. 11):
+/// Pr[X̄ <= (1-ε)μ - ζ] <= exp( -2 θ ε ζ ).
+double RelAddLowerTail(uint64_t theta, double eps, double zeta);
+
+/// θ = ceil( (1+ε/3)² / (2 ε ζ) * ln(4/δ) ) — HATP's per-round pool size
+/// (Alg 4, Line 8): both tails are <= δ/4 at this θ.
+uint64_t HatpSampleSize(double eps, double zeta, double delta);
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_CONCENTRATION_H_

@@ -1,0 +1,97 @@
+#include "core/cost_model.h"
+
+namespace atpm {
+
+const char* CostSchemeName(CostScheme scheme) {
+  switch (scheme) {
+    case CostScheme::kDegreeProportional:
+      return "degree";
+    case CostScheme::kUniform:
+      return "uniform";
+    case CostScheme::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Weights per target under the scheme; normalized by the caller.
+Result<std::vector<double>> SchemeWeights(const Graph& graph,
+                                          std::span<const NodeId> targets,
+                                          CostScheme scheme, Rng* rng) {
+  std::vector<double> weights(targets.size(), 0.0);
+  switch (scheme) {
+    case CostScheme::kDegreeProportional: {
+      double total = 0.0;
+      for (size_t i = 0; i < targets.size(); ++i) {
+        // "+1" keeps zero-out-degree nodes payable; the paper leaves this
+        // degenerate case unspecified.
+        weights[i] = static_cast<double>(graph.OutDegree(targets[i])) + 1.0;
+        total += weights[i];
+      }
+      if (total <= 0.0) {
+        return Status::InvalidArgument("degree-proportional: zero weight");
+      }
+      break;
+    }
+    case CostScheme::kUniform:
+      std::fill(weights.begin(), weights.end(), 1.0);
+      break;
+    case CostScheme::kRandom:
+      for (double& w : weights) w = rng->UniformDouble() + 1e-9;
+      break;
+  }
+  return weights;
+}
+
+Result<std::vector<double>> DistributeBudget(const Graph& graph,
+                                             std::span<const NodeId> targets,
+                                             CostScheme scheme, double budget,
+                                             Rng* rng) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("cost model: empty target set");
+  }
+  if (budget <= 0.0) {
+    return Status::InvalidArgument("cost model: budget must be positive");
+  }
+  Result<std::vector<double>> weights_result =
+      SchemeWeights(graph, targets, scheme, rng);
+  if (!weights_result.ok()) return weights_result.status();
+  const std::vector<double>& weights = weights_result.value();
+
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+
+  std::vector<double> costs(graph.num_nodes(), 0.0);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    costs[targets[i]] = budget * weights[i] / weight_sum;
+  }
+  return costs;
+}
+
+}  // namespace
+
+Result<std::vector<double>> BuildCalibratedCosts(
+    const Graph& graph, std::span<const NodeId> targets, CostScheme scheme,
+    double target_budget, Rng* rng) {
+  return DistributeBudget(graph, targets, scheme, target_budget, rng);
+}
+
+Result<std::vector<double>> BuildPredefinedCosts(const Graph& graph,
+                                                 CostScheme scheme,
+                                                 double lambda, Rng* rng) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cost model: empty graph");
+  }
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("cost model: lambda must be positive");
+  }
+  std::vector<NodeId> all(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) all[u] = u;
+  return DistributeBudget(graph, all, scheme,
+                          lambda * static_cast<double>(graph.num_nodes()),
+                          rng);
+}
+
+}  // namespace atpm

@@ -1,0 +1,48 @@
+#ifndef ATPM_CORE_COST_MODEL_H_
+#define ATPM_CORE_COST_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace atpm {
+
+/// How seeding costs are distributed across nodes (Section VI-A).
+enum class CostScheme {
+  /// c(u) proportional to out-degree (cost correlates with influence).
+  kDegreeProportional,
+  /// Every node has the same cost.
+  kUniform,
+  /// Costs drawn uniformly at random.
+  kRandom,
+};
+
+/// Human-readable name for a scheme ("degree", "uniform", "random").
+const char* CostSchemeName(CostScheme scheme);
+
+/// Builds the paper's *calibrated* cost vector for the first experimental
+/// setting: costs are zero outside `targets` and distributed over `targets`
+/// according to `scheme`, normalized so that c(T) equals `target_budget`
+/// (the paper sets target_budget = E_l[I(T)], a high-probability lower
+/// bound on the target set's expected spread).
+///
+/// Fails with InvalidArgument on an empty target set, non-positive budget,
+/// or (for the degree scheme) a target set whose total out-degree is zero.
+Result<std::vector<double>> BuildCalibratedCosts(
+    const Graph& graph, std::span<const NodeId> targets, CostScheme scheme,
+    double target_budget, Rng* rng);
+
+/// Builds the *predefined* cost vector for the second experimental setting
+/// (Section VI-D): every node of V gets a cost, distributed by `scheme` and
+/// normalized so that c(V) = lambda * n (lambda is the paper's "ratio of
+/// cost to node number").
+Result<std::vector<double>> BuildPredefinedCosts(const Graph& graph,
+                                                 CostScheme scheme,
+                                                 double lambda, Rng* rng);
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_COST_MODEL_H_

@@ -1,0 +1,56 @@
+#include "core/double_greedy.h"
+
+#include <algorithm>
+
+namespace atpm {
+
+Result<DoubleGreedyResult> RunDoubleGreedy(const ProfitProblem& problem,
+                                           SpreadOracle* oracle,
+                                           const DoubleGreedyOptions& options,
+                                           Rng* rng) {
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  if (options.randomized && rng == nullptr) {
+    return Status::InvalidArgument("randomized double greedy needs an Rng");
+  }
+
+  std::vector<NodeId> selected;                 // S, grows
+  std::vector<NodeId> remaining = problem.targets;  // T, shrinks
+
+  for (NodeId u : problem.targets) {
+    // z+ = ρ(S ∪ {u}) − ρ(S) = E[I(u | S)] − c(u).
+    const double z_plus =
+        oracle->ExpectedMarginalSpread(u, selected, nullptr) -
+        problem.CostOf(u);
+
+    // z− = ρ(T \ {u}) − ρ(T) = c(u) − E[I(u | T \ {u})].
+    std::vector<NodeId> rest;
+    rest.reserve(remaining.size() - 1);
+    for (NodeId v : remaining) {
+      if (v != u) rest.push_back(v);
+    }
+    const double z_minus =
+        problem.CostOf(u) - oracle->ExpectedMarginalSpread(u, rest, nullptr);
+
+    bool keep;
+    if (!options.randomized) {
+      keep = z_plus >= z_minus;
+    } else {
+      const double a = std::max(z_plus, 0.0);
+      const double b = std::max(z_minus, 0.0);
+      keep = (a + b <= 0.0) ? true : rng->UniformDouble() < a / (a + b);
+    }
+
+    if (keep) {
+      selected.push_back(u);
+    } else {
+      remaining = std::move(rest);
+    }
+  }
+
+  DoubleGreedyResult result;
+  result.expected_profit = OracleProfit(problem, oracle, selected);
+  result.seeds = std::move(selected);
+  return result;
+}
+
+}  // namespace atpm

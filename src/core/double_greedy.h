@@ -1,0 +1,40 @@
+#ifndef ATPM_CORE_DOUBLE_GREEDY_H_
+#define ATPM_CORE_DOUBLE_GREEDY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/profit.h"
+#include "diffusion/spread_oracle.h"
+
+namespace atpm {
+
+/// Options for RunDoubleGreedy.
+struct DoubleGreedyOptions {
+  /// false: deterministic variant (1/3-approximation for nonnegative USM);
+  /// true: randomized variant (1/2-approximation in expectation).
+  bool randomized = false;
+};
+
+/// Output of RunDoubleGreedy.
+struct DoubleGreedyResult {
+  /// Selected seed set, in target order.
+  std::vector<NodeId> seeds;
+  /// Oracle expected profit ρ(seeds) of the returned set.
+  double expected_profit = 0.0;
+};
+
+/// Double greedy of Buchbinder et al. (Alg 1 of the paper) for the
+/// *nonadaptive* TPM problem under an exact/Monte-Carlo spread oracle.
+/// Examines each target u once: keeps it if the marginal profit of adding
+/// it to the growing set S at least matches the marginal profit of deleting
+/// it from the shrinking set T. This is the conceptual ancestor of ADG and
+/// the reference implementation for approximation tests.
+Result<DoubleGreedyResult> RunDoubleGreedy(
+    const ProfitProblem& problem, SpreadOracle* oracle,
+    const DoubleGreedyOptions& options = {}, Rng* rng = nullptr);
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_DOUBLE_GREEDY_H_

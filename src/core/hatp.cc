@@ -1,0 +1,157 @@
+#include "core/hatp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/bit_vector.h"
+#include "common/math_util.h"
+#include "core/concentration.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+
+Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
+                                          AdaptiveEnvironment* env,
+                                          Rng* rng) {
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  if (&env->graph() != problem.graph) {
+    return Status::InvalidArgument("HATP: environment graph mismatch");
+  }
+  if (env->num_activated() != 0) {
+    return Status::InvalidArgument("HATP: environment must be fresh");
+  }
+  const double eps_thr = options_.relative_error_threshold;
+  if (eps_thr <= 0.0 || eps_thr >= 1.0 ||
+      options_.initial_relative_error < eps_thr ||
+      options_.initial_relative_error >= 1.0) {
+    return Status::InvalidArgument(
+        "HATP: need 0 < threshold <= initial_relative_error < 1");
+  }
+
+  const Graph& graph = *problem.graph;
+  const NodeId n = graph.num_nodes();
+  const uint32_t k = problem.k();
+  if (k == 0) return AdaptiveRunResult{};
+
+  AdaptiveRunResult result;
+  result.steps.reserve(k);
+
+  BitVector seed_bitmap(n);
+  BitVector candidates(n);
+  for (NodeId t : problem.targets) candidates.Set(t);
+
+  for (NodeId u : problem.targets) {
+    AdaptiveStepRecord step;
+    step.node = u;
+    candidates.Clear(u);
+
+    if (env->IsActivated(u)) {
+      step.decision = SeedDecision::kSkippedActivated;
+      result.steps.push_back(step);
+      continue;
+    }
+
+    const uint32_t ni = env->num_remaining();
+    const double nd = static_cast<double>(ni);
+    const double cost = problem.CostOf(u);
+    const BitVector& removed = env->activated();
+
+    double eps = options_.initial_relative_error;
+    double zeta = Clamp(options_.initial_spread_error / nd, 1.0 / nd, 0.5);
+    double delta = 1.0 / (static_cast<double>(k) * static_cast<double>(n));
+
+    double fest = 0.0;
+    double rest = 0.0;
+    uint64_t used_this_iter = 0;
+    bool decided = false;
+
+    while (!decided) {
+      const uint64_t theta = HatpSampleSize(eps, zeta, delta);
+      if (used_this_iter + 2 * theta > options_.max_rr_sets_per_decision) {
+        if (options_.fail_on_budget_exhausted) {
+          return Status::OutOfBudget(
+              "HATP: deciding node " + std::to_string(u) + " needs " +
+              std::to_string(2 * theta) + " more RR sets (budget " +
+              std::to_string(options_.max_rr_sets_per_decision) + ")");
+        }
+        decided = true;
+        break;
+      }
+
+      used_this_iter += 2 * theta;
+      ++step.rounds;
+
+      // Two independent pools R1, R2, counted on the fly (no storage).
+      const double scale = nd / static_cast<double>(theta);
+      fest = static_cast<double>(ParallelCountCovering(
+                 graph, &removed, ni, theta, u, &seed_bitmap, rng->Next(),
+                 options_.num_threads, options_.model)) *
+             scale;
+      rest = static_cast<double>(ParallelCountCovering(
+                 graph, &removed, ni, theta, u, &candidates, rng->Next(),
+                 options_.num_threads, options_.model)) *
+             scale;
+
+      const double az = nd * zeta;  // n_i ζ_i in spread units
+      // C'1: the hybrid confidence interval certifies the comparison
+      // fest + rest vs 2 c(u) (select side on the first two disjuncts,
+      // abandon side on the last two).
+      const bool c1 =
+          (fest + rest - 2.0 * az) / (1.0 + eps) >= 2.0 * cost ||
+          (rest - az) / (1.0 + eps) >= cost ||
+          (fest + rest + 2.0 * az) / (1.0 - eps) <= 2.0 * cost ||
+          (fest + az) / (1.0 - eps) <= cost;
+      const bool c2 = eps <= eps_thr && az <= 1.0;
+      if (c1 || c2) {
+        decided = true;
+        break;
+      }
+
+      // Adaptive error schedule (Alg 4, Lines 19–23): shrink whichever
+      // error dominates the uncertainty around this node's marginal spread.
+      const bool eps_floored = eps <= eps_thr;
+      const bool zeta_floored = az <= 1.0;
+      if (eps_floored && !zeta_floored) {
+        zeta /= 2.0;
+      } else if (!eps_floored && zeta_floored) {
+        eps /= 2.0;
+      } else if (fest >= 10.0 * az) {
+        eps /= 2.0;
+      } else if (fest <= az) {
+        zeta /= 2.0;
+      } else {
+        eps /= std::sqrt(2.0);
+        zeta /= std::sqrt(2.0);
+      }
+      eps = std::max(eps, eps_thr);
+      zeta = std::max(zeta, 1.0 / nd);
+      delta /= 2.0;
+    }
+
+    step.rr_sets_used = used_this_iter;
+    result.total_rr_sets += used_this_iter;
+    result.max_rr_sets_per_iteration =
+        std::max(result.max_rr_sets_per_iteration, used_this_iter);
+
+    // Line 13: select iff fest + rest >= 2 c(u) (equivalently ρ̃f >= ρ̃r).
+    if (fest + rest >= 2.0 * cost) {
+      const std::vector<NodeId>& activated = env->SeedAndObserve(u);
+      step.decision = SeedDecision::kSelected;
+      step.newly_activated = static_cast<uint32_t>(activated.size());
+      result.seeds.push_back(u);
+      seed_bitmap.Set(u);
+      for (NodeId v : activated) {
+        if (candidates.Test(v)) candidates.Clear(v);
+      }
+    } else {
+      step.decision = SeedDecision::kAbandoned;
+    }
+    result.steps.push_back(step);
+  }
+
+  FinalizeAdaptiveResult(problem, *env, &result);
+  return result;
+}
+
+}  // namespace atpm

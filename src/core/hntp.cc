@@ -1,0 +1,121 @@
+#include "core/hntp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/bit_vector.h"
+#include "common/math_util.h"
+#include "core/concentration.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+
+Result<HntpResult> RunHntp(const ProfitProblem& problem,
+                           const HatpOptions& options, Rng* rng) {
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  const double eps_thr = options.relative_error_threshold;
+  if (eps_thr <= 0.0 || eps_thr >= 1.0 ||
+      options.initial_relative_error < eps_thr ||
+      options.initial_relative_error >= 1.0) {
+    return Status::InvalidArgument(
+        "HNTP: need 0 < threshold <= initial_relative_error < 1");
+  }
+
+  const Graph& graph = *problem.graph;
+  const NodeId n = graph.num_nodes();
+  const double nd = static_cast<double>(n);
+  const uint32_t k = problem.k();
+  HntpResult result;
+  if (k == 0) return result;
+
+  // S_{i-1}: selected so far (stays in the graph — nonadaptive).
+  BitVector seed_bitmap(n);
+  // T_{i-1} \ {u_i}: selected seeds + undecided candidates.
+  BitVector t_bitmap(n);
+  for (NodeId t : problem.targets) t_bitmap.Set(t);
+
+  for (NodeId u : problem.targets) {
+    t_bitmap.Clear(u);  // rear base excludes the node under examination
+
+    const double cost = problem.CostOf(u);
+    double eps = options.initial_relative_error;
+    double zeta = Clamp(options.initial_spread_error / nd, 1.0 / nd, 0.5);
+    double delta = 1.0 / (static_cast<double>(k) * nd);
+
+    double fest = 0.0;
+    double rest = 0.0;
+    uint64_t used_this_iter = 0;
+    bool decided = false;
+
+    while (!decided) {
+      const uint64_t theta = HatpSampleSize(eps, zeta, delta);
+      if (used_this_iter + 2 * theta > options.max_rr_sets_per_decision) {
+        if (options.fail_on_budget_exhausted) {
+          return Status::OutOfBudget(
+              "HNTP: deciding node " + std::to_string(u) + " needs " +
+              std::to_string(2 * theta) + " more RR sets (budget " +
+              std::to_string(options.max_rr_sets_per_decision) + ")");
+        }
+        decided = true;
+        break;
+      }
+
+      used_this_iter += 2 * theta;
+
+      // Two independent pools R1, R2, counted on the fly (no storage).
+      const double scale = nd / static_cast<double>(theta);
+      fest = static_cast<double>(ParallelCountCovering(
+                 graph, /*removed=*/nullptr, n, theta, u, &seed_bitmap,
+                 rng->Next(), options.num_threads, options.model)) *
+             scale;
+      rest = static_cast<double>(ParallelCountCovering(
+                 graph, /*removed=*/nullptr, n, theta, u, &t_bitmap,
+                 rng->Next(), options.num_threads, options.model)) *
+             scale;
+
+      const double az = nd * zeta;
+      const bool c1 =
+          (fest + rest - 2.0 * az) / (1.0 + eps) >= 2.0 * cost ||
+          (rest - az) / (1.0 + eps) >= cost ||
+          (fest + rest + 2.0 * az) / (1.0 - eps) <= 2.0 * cost ||
+          (fest + az) / (1.0 - eps) <= cost;
+      const bool c2 = eps <= eps_thr && az <= 1.0;
+      if (c1 || c2) {
+        decided = true;
+        break;
+      }
+
+      const bool eps_floored = eps <= eps_thr;
+      const bool zeta_floored = az <= 1.0;
+      if (eps_floored && !zeta_floored) {
+        zeta /= 2.0;
+      } else if (!eps_floored && zeta_floored) {
+        eps /= 2.0;
+      } else if (fest >= 10.0 * az) {
+        eps /= 2.0;
+      } else if (fest <= az) {
+        zeta /= 2.0;
+      } else {
+        eps /= std::sqrt(2.0);
+        zeta /= std::sqrt(2.0);
+      }
+      eps = std::max(eps, eps_thr);
+      zeta = std::max(zeta, 1.0 / nd);
+      delta /= 2.0;
+    }
+
+    result.total_rr_sets += used_this_iter;
+    result.max_rr_sets_per_iteration =
+        std::max(result.max_rr_sets_per_iteration, used_this_iter);
+
+    if (fest + rest >= 2.0 * cost) {
+      result.seeds.push_back(u);
+      seed_bitmap.Set(u);
+      t_bitmap.Set(u);  // selected nodes remain in T (Alg 1 semantics)
+    }
+  }
+  return result;
+}
+
+}  // namespace atpm

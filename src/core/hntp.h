@@ -1,0 +1,37 @@
+#ifndef ATPM_CORE_HNTP_H_
+#define ATPM_CORE_HNTP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/hatp.h"
+#include "core/profit.h"
+
+namespace atpm {
+
+/// Output of RunHntp.
+struct HntpResult {
+  /// Selected seed batch (nonadaptive: deployed all at once).
+  std::vector<NodeId> seeds;
+  /// Total RR sets generated.
+  uint64_t total_rr_sets = 0;
+  /// Largest RR-set spend on a single candidate decision.
+  uint64_t max_rr_sets_per_iteration = 0;
+};
+
+/// HNTP — the nonadaptive tailoring of HATP (Section VI-A). Identical
+/// estimation machinery (fresh hybrid-error RR pools per candidate, C'1/C'2
+/// stopping, adaptive ε/ζ schedule), but no seeding feedback: the graph is
+/// never updated, previously *selected* seeds stay in the graph, so the
+/// front estimate is the true conditional coverage Cov(u_i | S_{i-1}) and
+/// the rear base T_{i-1} \ {u_i} includes the selected seeds. The whole
+/// batch is returned for one-shot deployment.
+///
+/// Reuses HatpOptions; n_i = n throughout.
+Result<HntpResult> RunHntp(const ProfitProblem& problem,
+                           const HatpOptions& options, Rng* rng);
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_HNTP_H_

@@ -1,0 +1,14 @@
+#include "core/policy.h"
+
+namespace atpm {
+
+void FinalizeAdaptiveResult(const ProfitProblem& problem,
+                            const AdaptiveEnvironment& env,
+                            AdaptiveRunResult* result) {
+  result->realized_spread = env.num_activated();
+  result->seed_cost = problem.CostOfSet(result->seeds);
+  result->realized_profit =
+      static_cast<double>(result->realized_spread) - result->seed_cost;
+}
+
+}  // namespace atpm

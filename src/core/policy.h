@@ -1,0 +1,84 @@
+#ifndef ATPM_CORE_POLICY_H_
+#define ATPM_CORE_POLICY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/profit.h"
+#include "diffusion/adaptive_environment.h"
+
+namespace atpm {
+
+/// What happened to one examined candidate u_i.
+enum class SeedDecision {
+  /// u_i was added to the seed set (front profit won).
+  kSelected,
+  /// u_i was dropped from the candidate set (rear profit won).
+  kAbandoned,
+  /// u_i was already activated by an earlier seed and skipped (Alg 2–4,
+  /// Lines 3–5).
+  kSkippedActivated,
+};
+
+/// Telemetry for one iteration of an adaptive policy.
+struct AdaptiveStepRecord {
+  NodeId node = 0;
+  SeedDecision decision = SeedDecision::kAbandoned;
+  /// |A(u_i)|: nodes newly activated if selected, else 0.
+  uint32_t newly_activated = 0;
+  /// RR sets generated while deciding this node (0 under the oracle model).
+  uint64_t rr_sets_used = 0;
+  /// Error-halving rounds run while deciding this node.
+  uint32_t rounds = 0;
+};
+
+/// Outcome of running an adaptive policy against one environment (i.e., one
+/// ground-truth realization φ).
+struct AdaptiveRunResult {
+  /// Seeds S_φ(π), in selection order.
+  std::vector<NodeId> seeds;
+  /// I_φ(S): total nodes activated.
+  uint32_t realized_spread = 0;
+  /// c(S).
+  double seed_cost = 0.0;
+  /// ρ_φ(S) = I_φ(S) − c(S).
+  double realized_profit = 0.0;
+  /// Total RR sets generated across all iterations.
+  uint64_t total_rr_sets = 0;
+  /// Largest RR-set count spent on a single iteration — the paper sizes the
+  /// NSG/NDG baselines by this quantity (Section VI-A).
+  uint64_t max_rr_sets_per_iteration = 0;
+  /// Per-iteration telemetry (one record per examined candidate).
+  std::vector<AdaptiveStepRecord> steps;
+};
+
+/// Interface of an adaptive seeding policy π: examines the targets of
+/// `problem` in order, interacting with `env` (seed → observe → residual
+/// update). Implementations: AdgPolicy (oracle model), AddAtpPolicy,
+/// HatpPolicy (noise model), ArsPolicy (random baseline).
+class AdaptivePolicy {
+ public:
+  virtual ~AdaptivePolicy() = default;
+
+  /// Short identifier used in experiment tables ("ADG", "HATP", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Runs the policy to completion. `env` must be fresh (no activations)
+  /// and bound to the same graph as `problem`. `rng` drives the policy's
+  /// internal randomness (sampling); the environment's world is fixed.
+  virtual Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
+                                        AdaptiveEnvironment* env,
+                                        Rng* rng) = 0;
+};
+
+/// Fills the realized spread/cost/profit fields of `result` from the final
+/// environment state and the selected seeds.
+void FinalizeAdaptiveResult(const ProfitProblem& problem,
+                            const AdaptiveEnvironment& env,
+                            AdaptiveRunResult* result);
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_POLICY_H_

@@ -1,0 +1,60 @@
+#ifndef ATPM_CORE_PROFIT_H_
+#define ATPM_CORE_PROFIT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "diffusion/realization.h"
+#include "diffusion/spread_oracle.h"
+#include "graph/graph.h"
+
+namespace atpm {
+
+/// A target profit maximization instance: a probabilistic graph G, an
+/// ordered target set T ⊆ V (the order is the examination order of the
+/// double-greedy family), and a per-node cost vector c (size n; nodes
+/// outside T should carry cost 0, they are never charged).
+///
+/// The profit of a seed set S ⊆ T is ρ(S) = E[I(S)] − Σ_{u∈S} c(u).
+struct ProfitProblem {
+  const Graph* graph = nullptr;
+  /// Examination order of the candidates (u_1, ..., u_k of Algs. 2–4).
+  std::vector<NodeId> targets;
+  /// Per-node seeding cost, indexed by NodeId, size graph->num_nodes().
+  std::vector<double> costs;
+
+  /// k = |T|.
+  uint32_t k() const { return static_cast<uint32_t>(targets.size()); }
+  /// Cost of a single node.
+  double CostOf(NodeId u) const { return costs[u]; }
+  /// c(S) for an explicit node list.
+  double CostOfSet(std::span<const NodeId> nodes) const;
+  /// c(T).
+  double TotalTargetCost() const { return CostOfSet(targets); }
+
+  /// Validates the instance: graph present, targets distinct and in range,
+  /// costs sized n and non-negative.
+  Status Validate() const;
+};
+
+/// Realized profit ρ_φ(S) = I_φ(S) − c(S) for one possible world.
+double RealizedProfit(const ProfitProblem& problem, const Realization& world,
+                      std::span<const NodeId> seeds);
+
+/// Oracle-model expected profit ρ(S) = E[I(S)] − c(S) on the residual graph
+/// G \ removed (nullptr for the full graph).
+double OracleProfit(const ProfitProblem& problem, SpreadOracle* oracle,
+                    std::span<const NodeId> seeds,
+                    const BitVector* removed = nullptr);
+
+/// Average realized profit of a *fixed* seed set across worlds — the
+/// evaluation the paper applies to nonadaptive algorithms and to the
+/// "Baseline" curve (profit of the whole target set T).
+double AverageRealizedProfit(const ProfitProblem& problem,
+                             std::span<const Realization> worlds,
+                             std::span<const NodeId> seeds);
+
+}  // namespace atpm
+
+#endif  // ATPM_CORE_PROFIT_H_

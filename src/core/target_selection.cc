@@ -1,0 +1,104 @@
+#include "core/target_selection.h"
+
+#include <utility>
+
+#include "common/bit_vector.h"
+#include "core/nonadaptive_greedy.h"
+#include "im/imm.h"
+#include "im/spread_bound.h"
+#include "rris/rr_collection.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+
+namespace {
+
+// E_l[I(T)]: coverage of T over a fresh pool, pushed through the martingale
+// lower bound.
+double EstimateSpreadLowerBound(const Graph& graph,
+                                std::span<const NodeId> targets,
+                                uint64_t num_rr_sets, double delta,
+                                Rng* rng) {
+  const NodeId n = graph.num_nodes();
+  RRSetGenerator generator(graph);
+  RRCollection pool(n);
+  pool.Generate(&generator, /*removed=*/nullptr, n, num_rr_sets, rng);
+
+  BitVector members(n);
+  for (NodeId t : targets) members.Set(t);
+  const uint64_t cov = pool.CoverageOfSet(members);
+  return SpreadLowerBound(cov, num_rr_sets, n, delta);
+}
+
+}  // namespace
+
+Result<TargetSelectionResult> BuildTopKTargetProblem(
+    const Graph& graph, uint32_t k, CostScheme scheme,
+    const TargetSelectionOptions& options) {
+  ImmOptions imm_options;
+  imm_options.epsilon = options.imm_epsilon;
+  imm_options.ell = options.imm_ell;
+  imm_options.seed = options.seed;
+  Result<ImmResult> imm = RunImm(graph, k, imm_options);
+  if (!imm.ok()) return imm.status();
+
+  Rng rng(options.seed ^ 0x5ca1ab1eULL);
+  const std::vector<NodeId>& targets = imm.value().seeds;
+  const double lower_bound = EstimateSpreadLowerBound(
+      graph, targets, options.bound_rr_sets, options.bound_delta, &rng);
+  if (lower_bound <= 0.0) {
+    return Status::Internal(
+        "top-k target selection: vanishing spread lower bound");
+  }
+
+  Result<std::vector<double>> costs =
+      BuildCalibratedCosts(graph, targets, scheme, lower_bound, &rng);
+  if (!costs.ok()) return costs.status();
+
+  TargetSelectionResult result;
+  result.problem.graph = &graph;
+  result.problem.targets = targets;
+  result.problem.costs = std::move(costs).value();
+  result.spread_lower_bound = lower_bound;
+  ATPM_RETURN_NOT_OK(result.problem.Validate());
+  return result;
+}
+
+Result<TargetSelectionResult> BuildPredefinedCostProblem(
+    const Graph& graph, double lambda, CostScheme scheme, TargetMethod method,
+    const TargetSelectionOptions& options) {
+  Rng rng(options.seed ^ 0xdecafbadULL);
+  Result<std::vector<double>> costs =
+      BuildPredefinedCosts(graph, scheme, lambda, &rng);
+  if (!costs.ok()) return costs.status();
+
+  // Derive T: run the chosen nonadaptive baseline over *all* nodes.
+  ProfitProblem all_nodes;
+  all_nodes.graph = &graph;
+  all_nodes.targets.resize(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) all_nodes.targets[u] = u;
+  all_nodes.costs = costs.value();
+
+  Result<NonadaptiveResult> derived =
+      method == TargetMethod::kNsg
+          ? RunNsg(all_nodes, options.derive_rr_sets, &rng)
+          : RunNdg(all_nodes, options.derive_rr_sets, &rng);
+  if (!derived.ok()) return derived.status();
+  if (derived.value().seeds.empty()) {
+    return Status::InvalidArgument(
+        "predefined-cost target selection: lambda too large, derived T is "
+        "empty");
+  }
+
+  TargetSelectionResult result;
+  result.problem.graph = &graph;
+  result.problem.targets = derived.value().seeds;
+  result.problem.costs = std::move(costs).value();
+  result.spread_lower_bound = EstimateSpreadLowerBound(
+      graph, result.problem.targets, options.bound_rr_sets,
+      options.bound_delta, &rng);
+  ATPM_RETURN_NOT_OK(result.problem.Validate());
+  return result;
+}
+
+}  // namespace atpm

@@ -1,0 +1,32 @@
+#ifndef ATPM_DIFFUSION_DIFFUSION_MODEL_H_
+#define ATPM_DIFFUSION_DIFFUSION_MODEL_H_
+
+namespace atpm {
+
+/// The two classic triggering models of Kempe et al. (2003). Both admit a
+/// live-edge (possible-world) characterization, so every downstream layer
+/// of this library — realizations, the adaptive environment, RR sets, and
+/// all TPM algorithms — works under either model:
+///
+///  * Independent cascade (IC): every edge <u, v> is live independently
+///    with probability p(u, v). The paper's experiments use IC with
+///    weighted-cascade probabilities.
+///  * Linear threshold (LT): every node v selects *at most one* incoming
+///    edge, edge <u, v> with probability p(u, v) (requiring
+///    Σ_u p(u, v) <= 1; weighted cascade gives exactly 1). The spread
+///    function is again monotone and submodular, so the TPM profit
+///    function stays submodular and all approximation arguments carry
+///    over.
+enum class DiffusionModel {
+  kIndependentCascade,
+  kLinearThreshold,
+};
+
+/// Human-readable model name ("IC" / "LT").
+inline const char* DiffusionModelName(DiffusionModel model) {
+  return model == DiffusionModel::kIndependentCascade ? "IC" : "LT";
+}
+
+}  // namespace atpm
+
+#endif  // ATPM_DIFFUSION_DIFFUSION_MODEL_H_

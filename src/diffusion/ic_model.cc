@@ -1,0 +1,144 @@
+#include "diffusion/ic_model.h"
+
+namespace atpm {
+
+uint32_t SimulateIC(const Graph& graph, std::span<const NodeId> seeds,
+                    Rng* rng, const BitVector* removed,
+                    std::vector<NodeId>* activated_out) {
+  thread_local std::vector<NodeId> frontier;
+  thread_local EpochVisitedSet visited;
+  if (visited.size() != graph.num_nodes()) {
+    visited = EpochVisitedSet(graph.num_nodes());
+  }
+  visited.NextEpoch();
+  frontier.clear();
+
+  uint32_t count = 0;
+  for (NodeId s : seeds) {
+    if (removed != nullptr && removed->Test(s)) continue;
+    if (visited.IsMarked(s)) continue;
+    visited.Mark(s);
+    frontier.push_back(s);
+    if (activated_out != nullptr) activated_out->push_back(s);
+    ++count;
+  }
+
+  // BFS order; each edge out of an activated node fires independently.
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
+    const auto neigh = graph.OutNeighbors(u);
+    const auto probs = graph.OutProbs(u);
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      const NodeId v = neigh[j];
+      if (visited.IsMarked(v)) continue;
+      if (removed != nullptr && removed->Test(v)) continue;
+      if (!rng->Bernoulli(probs[j])) continue;
+      visited.Mark(v);
+      frontier.push_back(v);
+      if (activated_out != nullptr) activated_out->push_back(v);
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t SimulateLT(const Graph& graph, std::span<const NodeId> seeds,
+                    Rng* rng, const BitVector* removed,
+                    std::vector<NodeId>* activated_out) {
+  thread_local std::vector<NodeId> frontier;
+  thread_local EpochVisitedSet visited;
+  // Lazily drawn thresholds and accumulated in-neighbor mass, epoch-reset.
+  thread_local std::vector<double> threshold;
+  thread_local std::vector<double> mass;
+  thread_local EpochVisitedSet touched;
+  if (visited.size() != graph.num_nodes()) {
+    visited = EpochVisitedSet(graph.num_nodes());
+    touched = EpochVisitedSet(graph.num_nodes());
+    threshold.assign(graph.num_nodes(), 0.0);
+    mass.assign(graph.num_nodes(), 0.0);
+  }
+  visited.NextEpoch();
+  touched.NextEpoch();
+  frontier.clear();
+
+  uint32_t count = 0;
+  for (NodeId s : seeds) {
+    if (removed != nullptr && removed->Test(s)) continue;
+    if (visited.IsMarked(s)) continue;
+    visited.Mark(s);
+    frontier.push_back(s);
+    if (activated_out != nullptr) activated_out->push_back(s);
+    ++count;
+  }
+
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
+    const auto neigh = graph.OutNeighbors(u);
+    const auto probs = graph.OutProbs(u);
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      const NodeId v = neigh[j];
+      if (visited.IsMarked(v)) continue;
+      if (removed != nullptr && removed->Test(v)) continue;
+      if (!touched.IsMarked(v)) {
+        touched.Mark(v);
+        threshold[v] = rng->UniformDouble();
+        mass[v] = 0.0;
+      }
+      mass[v] += probs[j];
+      if (mass[v] >= threshold[v]) {
+        visited.Mark(v);
+        frontier.push_back(v);
+        if (activated_out != nullptr) activated_out->push_back(v);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+bool EdgeCoin(uint64_t edge_index, uint64_t salt, float prob) {
+  uint64_t x = edge_index ^ (salt + 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return u < static_cast<double>(prob);
+}
+
+uint32_t SpreadInHashedWorld(const Graph& graph,
+                             std::span<const NodeId> seeds, uint64_t salt,
+                             const BitVector* removed) {
+  thread_local std::vector<NodeId> frontier;
+  thread_local EpochVisitedSet visited;
+  if (visited.size() != graph.num_nodes()) {
+    visited = EpochVisitedSet(graph.num_nodes());
+  }
+  visited.NextEpoch();
+  frontier.clear();
+
+  uint32_t count = 0;
+  for (NodeId s : seeds) {
+    if (removed != nullptr && removed->Test(s)) continue;
+    if (visited.IsMarked(s)) continue;
+    visited.Mark(s);
+    frontier.push_back(s);
+    ++count;
+  }
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
+    const auto neigh = graph.OutNeighbors(u);
+    const auto probs = graph.OutProbs(u);
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      const NodeId v = neigh[j];
+      if (visited.IsMarked(v)) continue;
+      if (removed != nullptr && removed->Test(v)) continue;
+      if (!EdgeCoin(graph.OutEdgeIndex(u, j), salt, probs[j])) continue;
+      visited.Mark(v);
+      frontier.push_back(v);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace atpm

@@ -1,0 +1,77 @@
+#include "diffusion/realization.h"
+
+namespace atpm {
+
+Realization Realization::Sample(const Graph& graph, Rng* rng,
+                                DiffusionModel model) {
+  BitVector live(graph.num_edges());
+  if (model == DiffusionModel::kIndependentCascade) {
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      const auto probs = graph.OutProbs(u);
+      for (uint32_t j = 0; j < probs.size(); ++j) {
+        if (rng->Bernoulli(probs[j])) live.Set(graph.OutEdgeIndex(u, j));
+      }
+    }
+  } else {
+    // LT triggering sets: node v keeps in-edge j with probability
+    // InProbs(v)[j]; with probability 1 - Σ it keeps none.
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const auto probs = graph.InProbs(v);
+      double r = rng->UniformDouble();
+      for (uint32_t j = 0; j < probs.size(); ++j) {
+        if (r < probs[j]) {
+          live.Set(graph.InEdgeIndex(v, j));
+          break;
+        }
+        r -= probs[j];
+      }
+    }
+  }
+  return Realization(&graph, std::move(live));
+}
+
+Realization Realization::FromLiveEdges(const Graph& graph,
+                                       BitVector live_edges) {
+  ATPM_CHECK_EQ(live_edges.size(), graph.num_edges());
+  return Realization(&graph, std::move(live_edges));
+}
+
+uint32_t Realization::Spread(std::span<const NodeId> seeds,
+                             const BitVector* removed,
+                             std::vector<NodeId>* reached_out) const {
+  const Graph& g = *graph_;
+  thread_local std::vector<NodeId> frontier;
+  thread_local EpochVisitedSet visited;
+  if (visited.size() != g.num_nodes()) {
+    visited = EpochVisitedSet(g.num_nodes());
+  }
+  visited.NextEpoch();
+  frontier.clear();
+
+  uint32_t count = 0;
+  for (NodeId s : seeds) {
+    if (removed != nullptr && removed->Test(s)) continue;
+    if (visited.IsMarked(s)) continue;
+    visited.Mark(s);
+    frontier.push_back(s);
+    if (reached_out != nullptr) reached_out->push_back(s);
+    ++count;
+  }
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
+    const auto neigh = g.OutNeighbors(u);
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      if (!live_edges_.Test(g.OutEdgeIndex(u, j))) continue;
+      const NodeId v = neigh[j];
+      if (visited.IsMarked(v)) continue;
+      if (removed != nullptr && removed->Test(v)) continue;
+      visited.Mark(v);
+      frontier.push_back(v);
+      if (reached_out != nullptr) reached_out->push_back(v);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace atpm

@@ -1,0 +1,88 @@
+#include "diffusion/spread_oracle.h"
+
+#include <string>
+
+#include "diffusion/ic_model.h"
+#include "diffusion/realization.h"
+
+namespace atpm {
+
+double SpreadOracle::ExpectedMarginalSpread(NodeId u,
+                                            std::span<const NodeId> base,
+                                            const BitVector* removed) {
+  std::vector<NodeId> with(base.begin(), base.end());
+  with.push_back(u);
+  return ExpectedSpread(with, removed) - ExpectedSpread(base, removed);
+}
+
+Result<std::unique_ptr<ExactSpreadOracle>> ExactSpreadOracle::Create(
+    const Graph& graph, uint32_t max_edges) {
+  if (graph.num_edges() > max_edges) {
+    return Status::InvalidArgument(
+        "ExactSpreadOracle: graph has " + std::to_string(graph.num_edges()) +
+        " edges, enumeration cap is " + std::to_string(max_edges));
+  }
+  return std::unique_ptr<ExactSpreadOracle>(new ExactSpreadOracle(&graph));
+}
+
+double ExactSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
+                                         const BitVector* removed) {
+  const Graph& g = *graph_;
+  const uint64_t m = g.num_edges();
+  ATPM_CHECK_LE(m, 62u);
+
+  // Per-edge probabilities in global edge-index order.
+  std::vector<float> probs(m);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto p = g.OutProbs(u);
+    for (uint32_t j = 0; j < p.size(); ++j) {
+      probs[g.OutEdgeIndex(u, j)] = p[j];
+    }
+  }
+
+  double expected = 0.0;
+  BitVector live(m);
+  for (uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    double world_prob = 1.0;
+    live.Reset();
+    for (uint64_t e = 0; e < m; ++e) {
+      if ((mask >> e) & 1ULL) {
+        world_prob *= probs[e];
+        live.Set(e);
+      } else {
+        world_prob *= 1.0 - probs[e];
+      }
+    }
+    if (world_prob == 0.0) continue;
+    const Realization world = Realization::FromLiveEdges(g, BitVector(live));
+    expected += world_prob * world.Spread(seeds, removed);
+  }
+  return expected;
+}
+
+double MonteCarloSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
+                                              const BitVector* removed) {
+  double sum = 0.0;
+  for (uint32_t t = 0; t < options_.num_samples; ++t) {
+    sum += SpreadInHashedWorld(*graph_, seeds, rng_.Next(), removed);
+  }
+  return sum / options_.num_samples;
+}
+
+double MonteCarloSpreadOracle::ExpectedMarginalSpread(
+    NodeId u, std::span<const NodeId> base, const BitVector* removed) {
+  std::vector<NodeId> with(base.begin(), base.end());
+  with.push_back(u);
+  double sum = 0.0;
+  for (uint32_t t = 0; t < options_.num_samples; ++t) {
+    const uint64_t salt = rng_.Next();
+    const uint32_t spread_with =
+        SpreadInHashedWorld(*graph_, with, salt, removed);
+    const uint32_t spread_base =
+        SpreadInHashedWorld(*graph_, base, salt, removed);
+    sum += static_cast<double>(spread_with) - static_cast<double>(spread_base);
+  }
+  return sum / options_.num_samples;
+}
+
+}  // namespace atpm

@@ -1,0 +1,93 @@
+#ifndef ATPM_DIFFUSION_SPREAD_ORACLE_H_
+#define ATPM_DIFFUSION_SPREAD_ORACLE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace atpm {
+
+/// Access to expected spreads E[I_{G_i}(S)] on residual graphs. The paper's
+/// *oracle model* assumes this is available in O(1); in practice computing
+/// it exactly is #P-hard, so we offer
+///   * ExactSpreadOracle      — full possible-world enumeration (2^m worlds;
+///                              only for tiny graphs; the reference oracle
+///                              for tests and the oracle-model experiments),
+///   * MonteCarloSpreadOracle — forward-simulation average with common
+///                              random numbers for low-variance marginals.
+class SpreadOracle {
+ public:
+  virtual ~SpreadOracle() = default;
+
+  /// Expected spread of `seeds` on the residual graph G \ removed (pass
+  /// nullptr for the full graph). Seeds inside `removed` contribute 0.
+  virtual double ExpectedSpread(std::span<const NodeId> seeds,
+                                const BitVector* removed) = 0;
+
+  /// Expected marginal spread E[I(base u {u})] - E[I(base)] on the residual
+  /// graph. The default computes the two terms separately; implementations
+  /// may pair samples for variance reduction.
+  virtual double ExpectedMarginalSpread(NodeId u,
+                                        std::span<const NodeId> base,
+                                        const BitVector* removed);
+
+  /// The graph this oracle is bound to.
+  virtual const Graph& graph() const = 0;
+};
+
+/// Exact expected spread by enumerating every live-edge pattern of the
+/// residual graph. Cost is O(2^m' * (n + m)) where m' is the number of edges
+/// with both endpoints alive; construction fails above `max_edges`.
+class ExactSpreadOracle final : public SpreadOracle {
+ public:
+  /// Creates an exact oracle for `graph`. Fails with InvalidArgument if the
+  /// graph has more than `max_edges` edges (enumeration would be infeasible).
+  static Result<std::unique_ptr<ExactSpreadOracle>> Create(
+      const Graph& graph, uint32_t max_edges = 24);
+
+  double ExpectedSpread(std::span<const NodeId> seeds,
+                        const BitVector* removed) override;
+  const Graph& graph() const override { return *graph_; }
+
+ private:
+  explicit ExactSpreadOracle(const Graph* graph) : graph_(graph) {}
+  const Graph* graph_;
+};
+
+/// Options for MonteCarloSpreadOracle.
+struct MonteCarloOptions {
+  /// Forward simulations per query.
+  uint32_t num_samples = 10000;
+  /// RNG seed; every query draws fresh trial salts from a private stream,
+  /// so oracle results are deterministic given the seed.
+  uint64_t seed = 1;
+};
+
+/// Monte Carlo expected-spread estimator. Marginal queries evaluate
+/// I_φ(base u {u}) − I_φ(base) within the *same* possible world (common
+/// random numbers), which shrinks the marginal's variance dramatically.
+class MonteCarloSpreadOracle final : public SpreadOracle {
+ public:
+  MonteCarloSpreadOracle(const Graph& graph, const MonteCarloOptions& options)
+      : graph_(&graph), options_(options), rng_(options.seed) {}
+
+  double ExpectedSpread(std::span<const NodeId> seeds,
+                        const BitVector* removed) override;
+  double ExpectedMarginalSpread(NodeId u, std::span<const NodeId> base,
+                                const BitVector* removed) override;
+  const Graph& graph() const override { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  MonteCarloOptions options_;
+  Rng rng_;
+};
+
+}  // namespace atpm
+
+#endif  // ATPM_DIFFUSION_SPREAD_ORACLE_H_

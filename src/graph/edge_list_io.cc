@@ -1,0 +1,78 @@
+#include "graph/edge_list_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace atpm {
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+
+  GraphBuilder builder;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blanks and comments.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream ss(line);
+    long long src = -1;
+    long long dst = -1;
+    double prob = options.default_prob;
+    if (!(ss >> src >> dst)) {
+      return Status::InvalidArgument("malformed edge at " + path + ":" +
+                                     std::to_string(line_no) + ": '" + line +
+                                     "'");
+    }
+    ss >> prob;  // optional third column
+    if (src < 0 || dst < 0) {
+      return Status::InvalidArgument("negative node id at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    const double p = prob < 0.0 ? 0.0 : prob;
+    if (p > 1.0) {
+      return Status::InvalidArgument("probability > 1 at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    if (options.directed) {
+      builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst), p);
+    } else {
+      builder.AddUndirectedEdge(static_cast<NodeId>(src),
+                                static_cast<NodeId>(dst), p);
+    }
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path +
+                           "' for writing: " + std::strerror(errno));
+  }
+  out << "# atpm edge list: n=" << graph.num_nodes()
+      << " m=" << graph.num_edges() << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto neigh = graph.OutNeighbors(u);
+    const auto probs = graph.OutProbs(u);
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      out << u << '\t' << neigh[j] << '\t' << probs[j] << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace atpm

@@ -1,0 +1,216 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace atpm {
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options, Rng* rng) {
+  if (options.num_nodes < 2) {
+    return Status::InvalidArgument("ErdosRenyi requires num_nodes >= 2");
+  }
+  const uint64_t max_arcs = static_cast<uint64_t>(options.num_nodes) *
+                            (options.num_nodes - 1);
+  if (options.num_edges > max_arcs) {
+    return Status::InvalidArgument("ErdosRenyi: num_edges exceeds n*(n-1)");
+  }
+  GraphBuilder builder;
+  builder.ReserveNodes(options.num_nodes);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng->UniformInt(options.num_nodes));
+    NodeId v = static_cast<NodeId>(rng->UniformInt(options.num_nodes));
+    while (v == u) v = static_cast<NodeId>(rng->UniformInt(options.num_nodes));
+    if (options.undirected) {
+      builder.AddUndirectedEdge(u, v);
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateBarabasiAlbert(const BarabasiAlbertOptions& options,
+                                     Rng* rng) {
+  const uint32_t m0 = options.edges_per_node;
+  if (m0 == 0) {
+    return Status::InvalidArgument("BarabasiAlbert: edges_per_node == 0");
+  }
+  if (options.num_nodes <= m0) {
+    return Status::InvalidArgument(
+        "BarabasiAlbert: num_nodes must exceed edges_per_node");
+  }
+  GraphBuilder builder;
+  builder.ReserveNodes(options.num_nodes);
+
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // implements degree-proportional attachment in O(1).
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<size_t>(options.num_nodes) * m0 * 2);
+
+  // Seed clique over the first m0 + 1 nodes.
+  for (NodeId u = 0; u <= m0; ++u) {
+    for (NodeId v = u + 1; v <= m0; ++v) {
+      if (options.undirected) {
+        builder.AddUndirectedEdge(u, v);
+      } else {
+        builder.AddEdge(u, v);
+      }
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> picked;
+  picked.reserve(m0);
+  for (NodeId t = m0 + 1; t < options.num_nodes; ++t) {
+    picked.clear();
+    // Sample m0 distinct existing nodes, degree-proportionally.
+    while (picked.size() < m0) {
+      NodeId w = targets[rng->UniformInt(targets.size())];
+      if (std::find(picked.begin(), picked.end(), w) == picked.end()) {
+        picked.push_back(w);
+      }
+    }
+    for (NodeId w : picked) {
+      if (options.undirected) {
+        builder.AddUndirectedEdge(t, w);
+      } else {
+        builder.AddEdge(t, w);
+      }
+      targets.push_back(t);
+      targets.push_back(w);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateRMat(const RMatOptions& options, Rng* rng) {
+  const double sum = options.a + options.b + options.c + options.d;
+  if (sum < 0.999 || sum > 1.001) {
+    return Status::InvalidArgument("RMat: a+b+c+d must sum to 1, got " +
+                                   std::to_string(sum));
+  }
+  if (options.scale == 0 || options.scale > 30) {
+    return Status::InvalidArgument("RMat: scale must be in [1, 30]");
+  }
+  const NodeId n = static_cast<NodeId>(1u << options.scale);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (uint32_t level = 0; level < options.scale; ++level) {
+      const double r = rng->UniformDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < options.a) {
+        // top-left quadrant: no bits set
+      } else if (r < options.a + options.b) {
+        v |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateWattsStrogatz(const WattsStrogatzOptions& options,
+                                    Rng* rng) {
+  if (options.k == 0 || options.k % 2 != 0) {
+    return Status::InvalidArgument("WattsStrogatz: k must be positive even");
+  }
+  if (options.num_nodes <= options.k) {
+    return Status::InvalidArgument("WattsStrogatz: num_nodes must exceed k");
+  }
+  if (options.beta < 0.0 || options.beta > 1.0) {
+    return Status::InvalidArgument("WattsStrogatz: beta outside [0, 1]");
+  }
+  const NodeId n = options.num_nodes;
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= options.k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (rng->Bernoulli(options.beta)) {
+        v = static_cast<NodeId>(rng->UniformInt(n));
+        while (v == u) v = static_cast<NodeId>(rng->UniformInt(n));
+      }
+      builder.AddUndirectedEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+namespace {
+
+Graph BuildOrDie(GraphBuilder* builder) {
+  Result<Graph> result = builder->Build();
+  ATPM_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+Graph MakePathGraph(NodeId n, double prob) {
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1, prob);
+  return BuildOrDie(&builder);
+}
+
+Graph MakeStarGraph(NodeId n, double prob) {
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId v = 1; v < n; ++v) builder.AddEdge(0, v, prob);
+  return BuildOrDie(&builder);
+}
+
+Graph MakeCycleGraph(NodeId n, double prob) {
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    builder.AddEdge(u, static_cast<NodeId>((u + 1) % n), prob);
+  }
+  return BuildOrDie(&builder);
+}
+
+Graph MakeCompleteGraph(NodeId n, double prob) {
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) builder.AddEdge(u, v, prob);
+    }
+  }
+  return BuildOrDie(&builder);
+}
+
+Graph MakePaperFigure1Graph() {
+  // Fig. 1(a) of the paper: 7 nodes v1..v7 (ids 0..6). This edge
+  // assignment reproduces the example's numbers exactly: with T =
+  // {v1, v2, v6} and c(u) = 1.5, E[I_{G1}(T)] = 6.16 (the paper's optimal
+  // nonadaptive profit 6.16 - 4.5 = 1.66), and in the realization of
+  // Fig. 1(b)-(d) the adaptive strategy selects {v2, v6} for profit 3.
+  GraphBuilder builder;
+  builder.ReserveNodes(7);
+  builder.AddEdge(1, 0, 0.4);  // v2 -> v1
+  builder.AddEdge(1, 2, 0.8);  // v2 -> v3
+  builder.AddEdge(1, 3, 0.6);  // v2 -> v4
+  builder.AddEdge(2, 3, 0.7);  // v3 -> v4
+  builder.AddEdge(3, 4, 0.5);  // v4 -> v5
+  builder.AddEdge(5, 4, 0.6);  // v6 -> v5
+  builder.AddEdge(5, 6, 0.7);  // v6 -> v7
+  builder.AddEdge(4, 6, 0.3);  // v5 -> v7
+  builder.AddEdge(0, 5, 0.2);  // v1 -> v6
+  return BuildOrDie(&builder);
+}
+
+}  // namespace atpm

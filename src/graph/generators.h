@@ -1,0 +1,91 @@
+#ifndef ATPM_GRAPH_GENERATORS_H_
+#define ATPM_GRAPH_GENERATORS_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace atpm {
+
+/// Synthetic graph generators. These are the offline stand-ins for the SNAP
+/// datasets used in the paper (see DESIGN.md §4): R-MAT for the directed
+/// social networks (Epinions, LiveJournal) and preferential attachment for
+/// the collaboration networks (NetHEPT, DBLP). All generators emit
+/// *unweighted* graphs (probability 0 on every arc); apply a scheme from
+/// weighting.h afterwards.
+
+/// Options for GenerateErdosRenyi.
+struct ErdosRenyiOptions {
+  NodeId num_nodes = 0;
+  /// Number of directed arcs to sample (G(n, m) model).
+  uint64_t num_edges = 0;
+  /// Emit each sampled pair in both directions.
+  bool undirected = false;
+};
+
+/// Uniform random digraph G(n, m): `num_edges` arcs sampled uniformly
+/// without self loops (duplicates are collapsed, so the realized arc count
+/// can be slightly below the request on dense settings).
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options, Rng* rng);
+
+/// Options for GenerateBarabasiAlbert.
+struct BarabasiAlbertOptions {
+  NodeId num_nodes = 0;
+  /// Edges attached from each arriving node to existing nodes.
+  uint32_t edges_per_node = 2;
+  /// Emit every attachment in both directions (collaboration networks are
+  /// undirected; the IC model bidirects them).
+  bool undirected = true;
+};
+
+/// Barabási–Albert preferential attachment: arriving node t attaches
+/// `edges_per_node` edges to existing nodes chosen proportionally to their
+/// current degree. Produces the heavy-tailed degree distribution of
+/// collaboration networks (NetHEPT / DBLP stand-ins).
+Result<Graph> GenerateBarabasiAlbert(const BarabasiAlbertOptions& options,
+                                     Rng* rng);
+
+/// Options for GenerateRMat.
+struct RMatOptions {
+  /// log2 of the node-id space; the graph has 2^scale node slots.
+  uint32_t scale = 10;
+  /// Number of directed arcs to sample.
+  uint64_t num_edges = 0;
+  /// Kronecker quadrant probabilities; must sum to 1. The defaults are the
+  /// standard "social network" parameterization.
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+};
+
+/// R-MAT / Kronecker sampler: recursively descends the adjacency matrix,
+/// yielding a skewed in/out degree distribution matching directed social
+/// networks (Epinions / LiveJournal stand-ins). Duplicate arcs and self
+/// loops are collapsed.
+Result<Graph> GenerateRMat(const RMatOptions& options, Rng* rng);
+
+/// Options for GenerateWattsStrogatz.
+struct WattsStrogatzOptions {
+  NodeId num_nodes = 0;
+  /// Each node connects to `k` nearest ring neighbors (must be even).
+  uint32_t k = 4;
+  /// Probability of rewiring each ring edge to a uniform random target.
+  double beta = 0.1;
+};
+
+/// Watts–Strogatz small world ring (undirected, emitted bidirected). Used in
+/// tests and ablations as a low-variance-degree contrast to the heavy-tail
+/// generators.
+Result<Graph> GenerateWattsStrogatz(const WattsStrogatzOptions& options,
+                                    Rng* rng);
+
+/// Deterministic families used heavily by unit/property tests. All arcs are
+/// created with probability `prob`.
+Graph MakePathGraph(NodeId n, double prob);        // 0 -> 1 -> ... -> n-1
+Graph MakeStarGraph(NodeId n, double prob);        // 0 -> {1..n-1}
+Graph MakeCycleGraph(NodeId n, double prob);       // ring
+Graph MakeCompleteGraph(NodeId n, double prob);    // all ordered pairs
+/// The 7-node example of Fig. 1 in the paper, with its exact probabilities.
+Graph MakePaperFigure1Graph();
+
+}  // namespace atpm
+
+#endif  // ATPM_GRAPH_GENERATORS_H_

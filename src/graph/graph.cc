@@ -1,0 +1,18 @@
+#include "graph/graph.h"
+
+namespace atpm {
+
+std::vector<WeightedEdge> Graph::CollectEdges() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < n_; ++u) {
+    const auto neigh = OutNeighbors(u);
+    const auto probs = OutProbs(u);
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      edges.push_back(WeightedEdge{u, neigh[j], probs[j]});
+    }
+  }
+  return edges;
+}
+
+}  // namespace atpm

@@ -1,0 +1,142 @@
+#ifndef ATPM_GRAPH_GRAPH_H_
+#define ATPM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace atpm {
+
+/// Node identifier. Graphs are addressed by dense ids in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// A directed edge with an activation probability, as consumed by
+/// GraphBuilder and produced by the generators and loaders.
+struct WeightedEdge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  float prob = 0.0f;
+};
+
+/// Immutable probabilistic digraph in CSR form, with both forward (out) and
+/// reverse (in) adjacency. The reverse view exists because reverse influence
+/// sampling traverses incoming edges; keeping both directions materialized
+/// avoids a transpose in every RR-set batch.
+///
+/// Each arc <u, v> carries an independent-cascade activation probability
+/// p(u, v) in [0, 1]. Probabilities are stored as float (the paper's
+/// weighted-cascade setting has at most `n` distinct values); all spread and
+/// profit arithmetic is done in double.
+///
+/// Construction goes through GraphBuilder; a default-constructed Graph is an
+/// empty graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes `n`.
+  NodeId num_nodes() const { return n_; }
+  /// Number of directed arcs `m`.
+  uint64_t num_edges() const { return static_cast<uint64_t>(out_adj_.size()); }
+
+  /// Out-degree of `u`.
+  uint32_t OutDegree(NodeId u) const {
+    ATPM_DCHECK(u < n_);
+    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+  /// In-degree of `v`.
+  uint32_t InDegree(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Outgoing neighbor ids of `u` (targets of arcs u -> *).
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    ATPM_DCHECK(u < n_);
+    return {out_adj_.data() + out_offsets_[u], OutDegree(u)};
+  }
+  /// Probabilities aligned with OutNeighbors(u).
+  std::span<const float> OutProbs(NodeId u) const {
+    ATPM_DCHECK(u < n_);
+    return {out_prob_.data() + out_offsets_[u], OutDegree(u)};
+  }
+  /// Incoming neighbor ids of `v` (sources of arcs * -> v).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return {in_adj_.data() + in_offsets_[v], InDegree(v)};
+  }
+  /// Probabilities aligned with InNeighbors(v); prob of arc (neighbor -> v).
+  std::span<const float> InProbs(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return {in_prob_.data() + in_offsets_[v], InDegree(v)};
+  }
+
+  /// Global edge index of the j-th outgoing arc of `u`. Edge indices are
+  /// stable identifiers in [0, num_edges) used by Realization live-edge
+  /// bitmaps.
+  uint64_t OutEdgeIndex(NodeId u, uint32_t j) const {
+    ATPM_DCHECK(u < n_);
+    ATPM_DCHECK(j < OutDegree(u));
+    return out_offsets_[u] + j;
+  }
+
+  /// Global (forward) edge index of the j-th *incoming* arc of `v` — the
+  /// same identifier OutEdgeIndex assigns to that arc. Lets reverse
+  /// traversals and the linear-threshold sampler address live-edge bitmaps.
+  uint64_t InEdgeIndex(NodeId v, uint32_t j) const {
+    ATPM_DCHECK(v < n_);
+    ATPM_DCHECK(j < InDegree(v));
+    return in_edge_index_[in_offsets_[v] + j];
+  }
+
+  /// Enumerates all arcs as WeightedEdge records (for IO and tests).
+  std::vector<WeightedEdge> CollectEdges() const;
+
+  /// Average out-degree m / n (0 for the empty graph).
+  double AverageDegree() const {
+    return n_ == 0 ? 0.0
+                   : static_cast<double>(num_edges()) / static_cast<double>(n_);
+  }
+
+  /// Replaces every arc probability using `prob_fn(src, dst)`. Both the
+  /// forward and reverse views are updated consistently. Used by the
+  /// weighting module; see weighting.h for the standard schemes.
+  template <typename ProbFn>
+  void AssignProbabilities(ProbFn prob_fn) {
+    for (NodeId u = 0; u < n_; ++u) {
+      const auto neigh = OutNeighbors(u);
+      for (uint32_t j = 0; j < neigh.size(); ++j) {
+        out_prob_[out_offsets_[u] + j] =
+            static_cast<float>(prob_fn(u, neigh[j]));
+      }
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+      const auto neigh = InNeighbors(v);
+      for (uint32_t j = 0; j < neigh.size(); ++j) {
+        in_prob_[in_offsets_[v] + j] =
+            static_cast<float>(prob_fn(neigh[j], v));
+      }
+    }
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId n_ = 0;
+  // Forward CSR.
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<NodeId> out_adj_;
+  std::vector<float> out_prob_;
+  // Reverse CSR.
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<NodeId> in_adj_;
+  std::vector<float> in_prob_;
+  // Forward edge index of each reverse slot (for InEdgeIndex).
+  std::vector<uint64_t> in_edge_index_;
+};
+
+}  // namespace atpm
+
+#endif  // ATPM_GRAPH_GRAPH_H_

@@ -1,0 +1,87 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace atpm {
+
+Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) {
+  NodeId n = min_nodes_;
+  for (const WeightedEdge& e : edges_) {
+    if (e.prob < 0.0f || e.prob > 1.0f) {
+      return Status::InvalidArgument(
+          "edge probability outside [0, 1]: " + std::to_string(e.prob));
+    }
+    n = std::max(n, static_cast<NodeId>(std::max(e.src, e.dst) + 1));
+  }
+
+  std::vector<WeightedEdge> edges = std::move(edges_);
+  edges_ = {};
+
+  if (options.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const WeightedEdge& e) {
+                                 return e.src == e.dst;
+                               }),
+                edges.end());
+  }
+
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.prob > b.prob;  // keep-max dedup picks the first
+            });
+
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const WeightedEdge& a, const WeightedEdge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  Graph g;
+  g.n_ = n;
+  const uint64_t m = edges.size();
+
+  // Forward CSR (edges already sorted by src).
+  g.out_offsets_.assign(n + 1, 0);
+  for (const WeightedEdge& e : edges) ++g.out_offsets_[e.src + 1];
+  for (NodeId u = 0; u < n; ++u) g.out_offsets_[u + 1] += g.out_offsets_[u];
+  g.out_adj_.resize(m);
+  g.out_prob_.resize(m);
+  {
+    std::vector<uint64_t> cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+    for (const WeightedEdge& e : edges) {
+      const uint64_t pos = cursor[e.src]++;
+      g.out_adj_[pos] = e.dst;
+      g.out_prob_[pos] = e.prob;
+    }
+  }
+
+  // Reverse CSR. Edges are in forward-index order (sorted by src), so the
+  // running position in this loop *is* the forward edge index.
+  g.in_offsets_.assign(n + 1, 0);
+  for (const WeightedEdge& e : edges) ++g.in_offsets_[e.dst + 1];
+  for (NodeId v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+  g.in_adj_.resize(m);
+  g.in_prob_.resize(m);
+  g.in_edge_index_.resize(m);
+  {
+    std::vector<uint64_t> cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+    for (uint64_t forward_index = 0; forward_index < m; ++forward_index) {
+      const WeightedEdge& e = edges[forward_index];
+      const uint64_t pos = cursor[e.dst]++;
+      g.in_adj_[pos] = e.src;
+      g.in_prob_[pos] = e.prob;
+      g.in_edge_index_[pos] = forward_index;
+    }
+  }
+
+  return g;
+}
+
+}  // namespace atpm

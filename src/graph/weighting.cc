@@ -1,0 +1,53 @@
+#include "graph/weighting.h"
+
+#include <vector>
+
+namespace atpm {
+
+void ApplyWeightedCascade(Graph* graph) {
+  graph->AssignProbabilities([graph](NodeId /*src*/, NodeId dst) {
+    return 1.0 / static_cast<double>(graph->InDegree(dst));
+  });
+}
+
+void ApplyConstantProbability(Graph* graph, double p) {
+  graph->AssignProbabilities(
+      [p](NodeId /*src*/, NodeId /*dst*/) { return p; });
+}
+
+namespace {
+
+// Deterministic per-arc randomness: hash (src, dst, salt) so that the
+// forward and reverse CSR views assign the same probability to the same arc
+// even though AssignProbabilities visits each arc twice.
+uint64_t MixArc(NodeId src, NodeId dst, uint64_t salt) {
+  uint64_t x = (static_cast<uint64_t>(src) << 32) | dst;
+  x ^= salt + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double ArcUniform(NodeId src, NodeId dst, uint64_t salt) {
+  return static_cast<double>(MixArc(src, dst, salt) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void ApplyTrivalency(Graph* graph, Rng* rng) {
+  const uint64_t salt = rng->Next();
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  graph->AssignProbabilities([salt](NodeId src, NodeId dst) {
+    return kLevels[MixArc(src, dst, salt) % 3];
+  });
+}
+
+void ApplyUniformRandomProbability(Graph* graph, double lo, double hi,
+                                   Rng* rng) {
+  const uint64_t salt = rng->Next();
+  graph->AssignProbabilities([salt, lo, hi](NodeId src, NodeId dst) {
+    return lo + (hi - lo) * ArcUniform(src, dst, salt);
+  });
+}
+
+}  // namespace atpm

@@ -1,0 +1,30 @@
+#ifndef ATPM_GRAPH_WEIGHTING_H_
+#define ATPM_GRAPH_WEIGHTING_H_
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace atpm {
+
+/// Standard IC edge-probability assignments from the influence-maximization
+/// literature. The paper's experiments use the weighted-cascade scheme
+/// exclusively: p(u, v) = 1 / indeg(v).
+
+/// Weighted cascade: p(u, v) = 1 / indeg(v). Nodes with in-degree 0 have no
+/// incoming arcs, so the formula is total.
+void ApplyWeightedCascade(Graph* graph);
+
+/// Constant probability p on every arc.
+void ApplyConstantProbability(Graph* graph, double p);
+
+/// Trivalency: each arc independently gets one of {0.1, 0.01, 0.001}
+/// uniformly at random (Chen et al.'s TRIVALENCY setting).
+void ApplyTrivalency(Graph* graph, Rng* rng);
+
+/// Uniform random probability in [lo, hi] per arc.
+void ApplyUniformRandomProbability(Graph* graph, double lo, double hi,
+                                   Rng* rng);
+
+}  // namespace atpm
+
+#endif  // ATPM_GRAPH_WEIGHTING_H_

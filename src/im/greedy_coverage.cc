@@ -1,0 +1,57 @@
+#include "im/greedy_coverage.h"
+
+#include <algorithm>
+
+namespace atpm {
+
+GreedyCoverageResult GreedyMaxCoverage(RRCollection* pool, uint32_t k,
+                                       std::span<const NodeId> candidates) {
+  if (!pool->index_built()) pool->BuildIndex();
+  const NodeId n = pool->num_nodes();
+  const uint64_t num_sets = pool->num_sets();
+
+  // Marginal coverage per node, kept exact by decrementing when a set
+  // becomes covered (linear-time greedy; no CELF needed at these sizes).
+  std::vector<uint64_t> gain(n, 0);
+  for (NodeId v = 0; v < n; ++v) gain[v] = pool->CoveringSets(v).size();
+
+  std::vector<bool> eligible;
+  if (!candidates.empty()) {
+    eligible.assign(n, false);
+    for (NodeId v : candidates) eligible[v] = true;
+  }
+  const auto is_eligible = [&](NodeId v) {
+    return eligible.empty() || eligible[v];
+  };
+
+  std::vector<bool> covered(num_sets, false);
+  GreedyCoverageResult result;
+  result.seeds.reserve(k);
+
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best = n;
+    uint64_t best_gain = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (gain[v] > best_gain && is_eligible(v)) {
+        best = v;
+        best_gain = gain[v];
+      }
+    }
+    if (best == n || best_gain == 0) break;  // nothing new coverable
+
+    result.seeds.push_back(best);
+    result.covered += best_gain;
+    for (uint32_t set_id : pool->CoveringSets(best)) {
+      if (covered[set_id]) continue;
+      covered[set_id] = true;
+      for (NodeId w : pool->set(set_id)) {
+        ATPM_DCHECK(gain[w] > 0);
+        --gain[w];
+      }
+    }
+    ATPM_DCHECK(gain[best] == 0);
+  }
+  return result;
+}
+
+}  // namespace atpm

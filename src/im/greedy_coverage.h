@@ -1,0 +1,32 @@
+#ifndef ATPM_IM_GREEDY_COVERAGE_H_
+#define ATPM_IM_GREEDY_COVERAGE_H_
+
+#include <span>
+#include <vector>
+
+#include "rris/rr_collection.h"
+
+namespace atpm {
+
+/// Result of a greedy max-coverage pass.
+struct GreedyCoverageResult {
+  /// Selected nodes, in selection order.
+  std::vector<NodeId> seeds;
+  /// Number of RR sets covered by `seeds`.
+  uint64_t covered = 0;
+};
+
+/// Standard greedy for maximum k-coverage over an RR pool: repeatedly picks
+/// the node covering the most not-yet-covered sets. Achieves (1 - 1/e) of
+/// the optimal coverage; combined with RIS sampling this is the selection
+/// phase of IMM and of the NSG baseline.
+///
+/// If `candidates` is non-empty, selection is restricted to those nodes
+/// (used when targets must come from T). The pool's inverted index is built
+/// if missing. Stops early when no candidate covers a new set.
+GreedyCoverageResult GreedyMaxCoverage(RRCollection* pool, uint32_t k,
+                                       std::span<const NodeId> candidates = {});
+
+}  // namespace atpm
+
+#endif  // ATPM_IM_GREEDY_COVERAGE_H_

@@ -1,0 +1,36 @@
+#include "im/spread_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace atpm {
+
+double SpreadLowerBound(uint64_t cov, uint64_t theta, uint32_t n,
+                        double delta) {
+  ATPM_CHECK_GT(theta, 0u);
+  ATPM_CHECK(delta > 0.0 && delta < 1.0);
+  const double eta = std::log(1.0 / delta);
+  const double c = static_cast<double>(cov);
+  const double root = std::sqrt(c + 2.0 * eta / 9.0) - std::sqrt(eta / 2.0);
+  const double adjusted = root * root - eta / 18.0;
+  const double bound =
+      std::max(0.0, adjusted) * static_cast<double>(n) /
+      static_cast<double>(theta);
+  return bound;
+}
+
+double SpreadUpperBound(uint64_t cov, uint64_t theta, uint32_t n,
+                        double delta) {
+  ATPM_CHECK_GT(theta, 0u);
+  ATPM_CHECK(delta > 0.0 && delta < 1.0);
+  const double eta = std::log(1.0 / delta);
+  const double c = static_cast<double>(cov);
+  const double root = std::sqrt(c + eta / 2.0) + std::sqrt(eta / 2.0);
+  const double bound = root * root * static_cast<double>(n) /
+                       static_cast<double>(theta);
+  return std::min(bound, static_cast<double>(n));
+}
+
+}  // namespace atpm

@@ -1,0 +1,29 @@
+#ifndef ATPM_IM_SPREAD_BOUND_H_
+#define ATPM_IM_SPREAD_BOUND_H_
+
+#include <cstdint>
+
+namespace atpm {
+
+/// Martingale concentration bounds on an expected spread given its coverage
+/// over θ RR sets (Tang et al., SIGMOD'15; used in OPIM's online bounds).
+/// With probability at least 1 - delta,
+///
+///   E[I(S)] >= SpreadLowerBound(cov, theta, n, delta)
+///   E[I(S)] <= SpreadUpperBound(cov, theta, n, delta)
+///
+/// where `cov` is Cov_R(S) over θ independent RR sets on a graph (or
+/// residual graph) with n alive nodes. The paper's experiments calibrate
+/// target costs via c(T) = E_l[I(T)] — this module provides that E_l.
+
+/// High-probability lower bound on E[I(S)].
+double SpreadLowerBound(uint64_t cov, uint64_t theta, uint32_t n,
+                        double delta);
+
+/// High-probability upper bound on E[I(S)].
+double SpreadUpperBound(uint64_t cov, uint64_t theta, uint32_t n,
+                        double delta);
+
+}  // namespace atpm
+
+#endif  // ATPM_IM_SPREAD_BOUND_H_

@@ -1,0 +1,36 @@
+#include "rris/ris_estimator.h"
+
+namespace atpm {
+
+double EstimateSpreadOfNode(const RRCollection& pool, NodeId u,
+                            uint32_t num_alive) {
+  if (pool.num_sets() == 0) return 0.0;
+  return static_cast<double>(num_alive) *
+         static_cast<double>(pool.CoverageOfNode(u)) /
+         static_cast<double>(pool.num_sets());
+}
+
+double EstimateSpreadOfSet(const RRCollection& pool, const BitVector& members,
+                           uint32_t num_alive) {
+  if (pool.num_sets() == 0) return 0.0;
+  return static_cast<double>(num_alive) *
+         static_cast<double>(pool.CoverageOfSet(members)) /
+         static_cast<double>(pool.num_sets());
+}
+
+double EstimateMarginalSpread(const RRCollection& pool, NodeId u,
+                              const BitVector& base, uint32_t num_alive) {
+  if (pool.num_sets() == 0) return 0.0;
+  return static_cast<double>(num_alive) *
+         static_cast<double>(pool.ConditionalCoverage(u, base)) /
+         static_cast<double>(pool.num_sets());
+}
+
+BitVector MakeMembershipBitmap(NodeId num_nodes,
+                               std::span<const NodeId> nodes) {
+  BitVector bitmap(num_nodes);
+  for (NodeId v : nodes) bitmap.Set(v);
+  return bitmap;
+}
+
+}  // namespace atpm

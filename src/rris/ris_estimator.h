@@ -1,0 +1,33 @@
+#ifndef ATPM_RRIS_RIS_ESTIMATOR_H_
+#define ATPM_RRIS_RIS_ESTIMATOR_H_
+
+#include <span>
+
+#include "common/bit_vector.h"
+#include "rris/rr_collection.h"
+
+namespace atpm {
+
+/// Unbiased RIS spread estimators over an RRCollection generated on a
+/// residual graph with `num_alive` nodes:
+///
+///   E[I(S)] ≈ num_alive * Cov_R(S) / θ.
+
+/// Spread estimate of a single node.
+double EstimateSpreadOfNode(const RRCollection& pool, NodeId u,
+                            uint32_t num_alive);
+
+/// Spread estimate of a node set (bitmap form).
+double EstimateSpreadOfSet(const RRCollection& pool, const BitVector& members,
+                           uint32_t num_alive);
+
+/// Marginal spread estimate num_alive * Cov_R(u | base) / θ.
+double EstimateMarginalSpread(const RRCollection& pool, NodeId u,
+                              const BitVector& base, uint32_t num_alive);
+
+/// Converts a node list into the bitmap form used by the estimators.
+BitVector MakeMembershipBitmap(NodeId num_nodes, std::span<const NodeId> nodes);
+
+}  // namespace atpm
+
+#endif  // ATPM_RRIS_RIS_ESTIMATOR_H_

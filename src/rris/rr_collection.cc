@@ -1,0 +1,95 @@
+#include "rris/rr_collection.h"
+
+namespace atpm {
+
+void RRCollection::AddSet(std::span<const NodeId> nodes) {
+  set_nodes_.insert(set_nodes_.end(), nodes.begin(), nodes.end());
+  set_offsets_.push_back(set_nodes_.size());
+  index_built_ = false;
+}
+
+uint64_t RRCollection::Generate(RRSetGenerator* generator,
+                                const BitVector* removed, uint32_t num_alive,
+                                uint64_t count, Rng* rng) {
+  std::vector<NodeId> buffer;
+  uint64_t edges = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    edges += generator->Generate(removed, num_alive, rng, &buffer);
+    AddSet(buffer);
+  }
+  return edges;
+}
+
+void RRCollection::Clear() {
+  set_offsets_.assign(1, 0);
+  set_nodes_.clear();
+  index_built_ = false;
+}
+
+uint64_t RRCollection::CoverageOfNode(NodeId u) const {
+  if (index_built_) {
+    return index_offsets_[u + 1] - index_offsets_[u];
+  }
+  uint64_t cov = 0;
+  for (uint64_t i = 0; i < num_sets(); ++i) {
+    for (NodeId w : set(i)) {
+      if (w == u) {
+        ++cov;
+        break;
+      }
+    }
+  }
+  return cov;
+}
+
+uint64_t RRCollection::CoverageOfSet(const BitVector& members) const {
+  uint64_t cov = 0;
+  for (uint64_t i = 0; i < num_sets(); ++i) {
+    for (NodeId w : set(i)) {
+      if (members.Test(w)) {
+        ++cov;
+        break;
+      }
+    }
+  }
+  return cov;
+}
+
+uint64_t RRCollection::ConditionalCoverage(NodeId u,
+                                           const BitVector& base) const {
+  ATPM_DCHECK(!base.Test(u));
+  uint64_t cov = 0;
+  for (uint64_t i = 0; i < num_sets(); ++i) {
+    bool has_u = false;
+    bool hits_base = false;
+    for (NodeId w : set(i)) {
+      if (w == u) {
+        has_u = true;
+      } else if (base.Test(w)) {
+        hits_base = true;
+        break;
+      }
+    }
+    if (has_u && !hits_base) ++cov;
+  }
+  return cov;
+}
+
+void RRCollection::BuildIndex() {
+  index_offsets_.assign(num_nodes_ + 1, 0);
+  for (NodeId w : set_nodes_) ++index_offsets_[w + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    index_offsets_[v + 1] += index_offsets_[v];
+  }
+  index_sets_.resize(set_nodes_.size());
+  std::vector<uint64_t> cursor(index_offsets_.begin(),
+                               index_offsets_.end() - 1);
+  for (uint64_t i = 0; i < num_sets(); ++i) {
+    for (NodeId w : set(i)) {
+      index_sets_[cursor[w]++] = static_cast<uint32_t>(i);
+    }
+  }
+  index_built_ = true;
+}
+
+}  // namespace atpm

@@ -1,0 +1,179 @@
+#include "rris/rr_set.h"
+
+#include <thread>
+
+namespace atpm {
+
+RRSetGenerator::RRSetGenerator(const Graph& graph, DiffusionModel model)
+    : graph_(&graph), model_(model), visited_(graph.num_nodes()) {}
+
+NodeId RRSetGenerator::SampleAliveRoot(const BitVector* removed,
+                                       uint32_t num_alive, Rng* rng) {
+  const NodeId n = graph_->num_nodes();
+  ATPM_CHECK_GT(num_alive, 0u);
+  if (removed == nullptr) {
+    return static_cast<NodeId>(rng->UniformInt(n));
+  }
+  // Rejection sampling; the alive fraction stays high in practice (adaptive
+  // seeding removes a small part of the graph), so a handful of trials
+  // suffice. Fall back to a linear scan for heavily depleted graphs.
+  const uint32_t kMaxRejections = 64;
+  for (uint32_t t = 0; t < kMaxRejections; ++t) {
+    const NodeId v = static_cast<NodeId>(rng->UniformInt(n));
+    if (!removed->Test(v)) return v;
+  }
+  uint64_t target = rng->UniformInt(num_alive);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!removed->Test(v)) {
+      if (target == 0) return v;
+      --target;
+    }
+  }
+  ATPM_CHECK(false);  // num_alive inconsistent with `removed`
+  return 0;
+}
+
+namespace {
+
+// LT reverse step: node v keeps at most one alive in-neighbor, in-edge j
+// with probability InProbs(v)[j] (edges from removed nodes do not exist,
+// their mass falls into "no pick"). Returns the picked neighbor or
+// n (= none).
+NodeId PickLtInNeighbor(const Graph& g, NodeId v, const BitVector* removed,
+                        Rng* rng) {
+  const auto neigh = g.InNeighbors(v);
+  const auto probs = g.InProbs(v);
+  double r = rng->UniformDouble();
+  for (uint32_t j = 0; j < neigh.size(); ++j) {
+    if (removed != nullptr && removed->Test(neigh[j])) continue;
+    if (r < probs[j]) return neigh[j];
+    r -= probs[j];
+  }
+  return g.num_nodes();
+}
+
+}  // namespace
+
+uint64_t RRSetGenerator::Generate(const BitVector* removed, uint32_t num_alive,
+                                  Rng* rng, std::vector<NodeId>* out) {
+  out->clear();
+  const Graph& g = *graph_;
+  visited_.NextEpoch();
+
+  const NodeId root = SampleAliveRoot(removed, num_alive, rng);
+  visited_.Mark(root);
+  out->push_back(root);
+
+  uint64_t edges_examined = 0;
+  for (size_t head = 0; head < out->size(); ++head) {
+    const NodeId v = (*out)[head];
+    if (model_ == DiffusionModel::kLinearThreshold) {
+      edges_examined += g.InDegree(v);
+      const NodeId u = PickLtInNeighbor(g, v, removed, rng);
+      if (u < g.num_nodes() && !visited_.IsMarked(u)) {
+        visited_.Mark(u);
+        out->push_back(u);
+      }
+      continue;
+    }
+    const auto neigh = g.InNeighbors(v);
+    const auto probs = g.InProbs(v);
+    edges_examined += neigh.size();
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      const NodeId u = neigh[j];
+      if (visited_.IsMarked(u)) continue;
+      if (removed != nullptr && removed->Test(u)) continue;
+      if (!rng->Bernoulli(probs[j])) continue;
+      visited_.Mark(u);
+      out->push_back(u);
+    }
+  }
+  return edges_examined;
+}
+
+uint64_t RRSetGenerator::CountCovering(const BitVector* removed,
+                                       uint32_t num_alive, uint64_t theta,
+                                       NodeId u, const BitVector* base,
+                                       Rng* rng) {
+  const Graph& g = *graph_;
+  uint64_t covered = 0;
+
+  for (uint64_t t = 0; t < theta; ++t) {
+    visited_.NextEpoch();
+    scratch_.clear();
+
+    const NodeId root = SampleAliveRoot(removed, num_alive, rng);
+    if (base != nullptr && base->Test(root)) continue;  // disqualified
+    visited_.Mark(root);
+    scratch_.push_back(root);
+    bool has_u = root == u;
+    bool disqualified = false;
+
+    for (size_t head = 0; head < scratch_.size() && !disqualified; ++head) {
+      const NodeId v = scratch_[head];
+      if (model_ == DiffusionModel::kLinearThreshold) {
+        const NodeId w = PickLtInNeighbor(g, v, removed, rng);
+        if (w >= g.num_nodes() || visited_.IsMarked(w)) continue;
+        if (base != nullptr && base->Test(w)) {
+          disqualified = true;
+          break;
+        }
+        visited_.Mark(w);
+        scratch_.push_back(w);
+        if (w == u) has_u = true;
+        continue;
+      }
+      const auto neigh = g.InNeighbors(v);
+      const auto probs = g.InProbs(v);
+      for (uint32_t j = 0; j < neigh.size(); ++j) {
+        const NodeId w = neigh[j];
+        if (visited_.IsMarked(w)) continue;
+        if (removed != nullptr && removed->Test(w)) continue;
+        if (!rng->Bernoulli(probs[j])) continue;
+        if (base != nullptr && base->Test(w)) {
+          disqualified = true;
+          break;
+        }
+        visited_.Mark(w);
+        scratch_.push_back(w);
+        if (w == u) has_u = true;
+      }
+    }
+    if (has_u && !disqualified) ++covered;
+  }
+  return covered;
+}
+
+uint64_t ParallelCountCovering(const Graph& graph, const BitVector* removed,
+                               uint32_t num_alive, uint64_t theta, NodeId u,
+                               const BitVector* base, uint64_t seed,
+                               uint32_t num_threads, DiffusionModel model) {
+  if (num_threads <= 1 || theta < 4096) {
+    RRSetGenerator generator(graph, model);
+    Rng rng(seed);
+    return generator.CountCovering(removed, num_alive, theta, u, base, &rng);
+  }
+
+  std::vector<uint64_t> counts(num_threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const uint64_t chunk = theta / num_threads;
+  const uint64_t remainder = theta % num_threads;
+
+  for (uint32_t w = 0; w < num_threads; ++w) {
+    const uint64_t quota = chunk + (w < remainder ? 1 : 0);
+    workers.emplace_back([&, w, quota]() {
+      RRSetGenerator generator(graph, model);
+      Rng rng(seed + 0x9e3779b97f4a7c15ULL * (w + 1));
+      counts[w] =
+          generator.CountCovering(removed, num_alive, quota, u, base, &rng);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace atpm

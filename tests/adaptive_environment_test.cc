@@ -1,0 +1,127 @@
+#include "diffusion/adaptive_environment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace atpm {
+namespace {
+
+AdaptiveEnvironment MakeEnv(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  return AdaptiveEnvironment(Realization::Sample(g, &rng));
+}
+
+TEST(AdaptiveEnvironmentTest, FreshEnvironmentHasNoActivations) {
+  const Graph g = MakePathGraph(5, 1.0);
+  AdaptiveEnvironment env = MakeEnv(g, 1);
+  EXPECT_EQ(env.num_activated(), 0u);
+  EXPECT_EQ(env.num_remaining(), 5u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_FALSE(env.IsActivated(u));
+}
+
+TEST(AdaptiveEnvironmentTest, SeedingActivatesReachableSet) {
+  const Graph g = MakePathGraph(5, 1.0);
+  AdaptiveEnvironment env = MakeEnv(g, 1);
+  const std::vector<NodeId>& observed = env.SeedAndObserve(2);
+  // 2 -> 3 -> 4 all live at p = 1.
+  EXPECT_EQ(observed.size(), 3u);
+  EXPECT_EQ(env.num_activated(), 3u);
+  EXPECT_EQ(env.num_remaining(), 2u);
+  EXPECT_TRUE(env.IsActivated(2));
+  EXPECT_TRUE(env.IsActivated(3));
+  EXPECT_TRUE(env.IsActivated(4));
+  EXPECT_FALSE(env.IsActivated(0));
+}
+
+TEST(AdaptiveEnvironmentTest, ResidualSemanticsSecondSeedSeesSmallerWorld) {
+  const Graph g = MakePathGraph(6, 1.0);
+  AdaptiveEnvironment env = MakeEnv(g, 1);
+  env.SeedAndObserve(3);  // activates 3, 4, 5
+  const std::vector<NodeId>& second = env.SeedAndObserve(0);
+  // 0 -> 1 -> 2, then blocked by already-activated 3.
+  EXPECT_EQ(second.size(), 3u);
+  EXPECT_EQ(env.num_activated(), 6u);
+  EXPECT_EQ(env.num_remaining(), 0u);
+}
+
+TEST(AdaptiveEnvironmentTest, ObservationMatchesGroundTruthWorld) {
+  Rng rng(17);
+  ErdosRenyiOptions options;
+  options.num_nodes = 60;
+  options.num_edges = 200;
+  Graph g = GenerateErdosRenyi(options, &rng).value();
+  g.AssignProbabilities([](NodeId, NodeId) { return 0.5; });
+
+  Realization world = Realization::Sample(g, &rng);
+  std::vector<NodeId> expected;
+  std::vector<NodeId> seeds = {7};
+  world.Spread(seeds, nullptr, &expected);
+
+  AdaptiveEnvironment env{Realization(world)};
+  const std::vector<NodeId>& observed = env.SeedAndObserve(7);
+  std::vector<NodeId> got(observed.begin(), observed.end());
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(AdaptiveEnvironmentTest, UnionOfObservationsEqualsJointSpread) {
+  // Seeding u1 then u2 adaptively activates exactly I_phi({u1, u2}).
+  Rng rng(23);
+  ErdosRenyiOptions options;
+  options.num_nodes = 50;
+  options.num_edges = 180;
+  Graph g = GenerateErdosRenyi(options, &rng).value();
+  g.AssignProbabilities([](NodeId, NodeId) { return 0.4; });
+
+  for (int trial = 0; trial < 30; ++trial) {
+    Realization world = Realization::Sample(g, &rng);
+    std::vector<NodeId> both = {4, 9};
+    const uint32_t joint = world.Spread(both);
+
+    AdaptiveEnvironment env{Realization(world)};
+    env.SeedAndObserve(4);
+    if (!env.IsActivated(9)) env.SeedAndObserve(9);
+    EXPECT_EQ(env.num_activated(), joint);
+  }
+}
+
+TEST(AdaptiveEnvironmentTest, ActivatedBitmapMatchesQueries) {
+  const Graph g = MakeStarGraph(6, 1.0);
+  AdaptiveEnvironment env = MakeEnv(g, 3);
+  env.SeedAndObserve(0);
+  const BitVector& bitmap = env.activated();
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(bitmap.Test(u), env.IsActivated(u));
+    EXPECT_TRUE(env.IsActivated(u));  // star at p=1 activates everything
+  }
+}
+
+TEST(AdaptiveEnvironmentTest, IsolatedSeedActivatesOnlyItself) {
+  const Graph g = MakeCompleteGraph(4, 0.0);
+  AdaptiveEnvironment env = MakeEnv(g, 4);
+  const std::vector<NodeId>& observed = env.SeedAndObserve(1);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0], 1u);
+}
+
+TEST(AdaptiveEnvironmentDeathTest, SeedingActivatedNodeChecks) {
+  const Graph g = MakePathGraph(3, 1.0);
+  AdaptiveEnvironment env = MakeEnv(g, 5);
+  env.SeedAndObserve(0);
+  EXPECT_DEATH(env.SeedAndObserve(1), "ATPM_CHECK");
+}
+
+TEST(AdaptiveEnvironmentTest, GraphAccessors) {
+  const Graph g = MakePathGraph(3, 1.0);
+  AdaptiveEnvironment env = MakeEnv(g, 6);
+  EXPECT_EQ(env.graph().num_nodes(), 3u);
+  EXPECT_EQ(&env.realization().graph(), &env.graph());
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,253 @@
+#include "core/adg.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "diffusion/spread_oracle.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace atpm {
+namespace {
+
+ProfitProblem MakeProblem(const Graph& g, std::vector<NodeId> targets,
+                          std::vector<double> target_costs) {
+  ProfitProblem problem;
+  problem.graph = &g;
+  problem.targets = std::move(targets);
+  problem.costs.assign(g.num_nodes(), 0.0);
+  for (size_t i = 0; i < problem.targets.size(); ++i) {
+    problem.costs[problem.targets[i]] = target_costs[i];
+  }
+  return problem;
+}
+
+std::unique_ptr<ExactSpreadOracle> MakeExact(const Graph& g) {
+  auto oracle = ExactSpreadOracle::Create(g);
+  EXPECT_TRUE(oracle.ok());
+  return std::move(oracle).value();
+}
+
+// Enumerates all possible worlds of `g` with their probabilities.
+std::vector<std::pair<Realization, double>> EnumerateWorlds(const Graph& g) {
+  const uint64_t m = g.num_edges();
+  std::vector<float> probs(m);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto p = g.OutProbs(u);
+    for (uint32_t j = 0; j < p.size(); ++j) probs[g.OutEdgeIndex(u, j)] = p[j];
+  }
+  std::vector<std::pair<Realization, double>> worlds;
+  for (uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    double prob = 1.0;
+    BitVector live(m);
+    for (uint64_t e = 0; e < m; ++e) {
+      if ((mask >> e) & 1ULL) {
+        prob *= probs[e];
+        live.Set(e);
+      } else {
+        prob *= 1.0 - probs[e];
+      }
+    }
+    if (prob > 0.0) {
+      worlds.emplace_back(Realization::FromLiveEdges(g, std::move(live)),
+                          prob);
+    }
+  }
+  return worlds;
+}
+
+// Exact expected profit of the ADG policy: runs it on every possible world.
+double ExactPolicyProfit(AdaptivePolicy* policy, const ProfitProblem& problem,
+                         const Graph& g) {
+  double lambda = 0.0;
+  Rng rng(0);
+  for (auto& [world, prob] : EnumerateWorlds(g)) {
+    AdaptiveEnvironment env{Realization(world)};
+    Result<AdaptiveRunResult> run = policy->Run(problem, &env, &rng);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    lambda += prob * run.value().realized_profit;
+  }
+  return lambda;
+}
+
+// Exhaustive nonadaptive optimum (a lower bound on the adaptive optimum).
+double BruteForceOptProfit(const ProfitProblem& problem,
+                           SpreadOracle* oracle) {
+  const uint32_t k = problem.k();
+  double best = 0.0;
+  for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+    std::vector<NodeId> seeds;
+    for (uint32_t i = 0; i < k; ++i) {
+      if (mask & (1u << i)) seeds.push_back(problem.targets[i]);
+    }
+    best = std::max(best, OracleProfit(problem, oracle, seeds));
+  }
+  return best;
+}
+
+TEST(AdgTest, SelectsProfitableHub) {
+  const Graph g = MakeStarGraph(8, 1.0);
+  ProfitProblem problem = MakeProblem(g, {0}, {2.0});
+  auto oracle = MakeExact(g);
+  AdgPolicy policy(oracle.get());
+
+  Rng world_rng(1);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  Rng rng(2);
+  Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().seeds.size(), 1u);
+  EXPECT_EQ(run.value().realized_spread, 8u);
+  EXPECT_DOUBLE_EQ(run.value().realized_profit, 6.0);
+  EXPECT_DOUBLE_EQ(run.value().seed_cost, 2.0);
+}
+
+TEST(AdgTest, AbandonsOverpricedNodes) {
+  const Graph g = MakeCompleteGraph(4, 0.0);
+  ProfitProblem problem = MakeProblem(g, {0, 1}, {3.0, 3.0});
+  auto oracle = MakeExact(g);
+  AdgPolicy policy(oracle.get());
+
+  Rng world_rng(1);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  Rng rng(2);
+  Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().seeds.empty());
+  EXPECT_EQ(run.value().steps.size(), 2u);
+  EXPECT_EQ(run.value().steps[0].decision, SeedDecision::kAbandoned);
+}
+
+TEST(AdgTest, SkipsActivatedCandidates) {
+  // Path 0 -> 1 -> 2 at p=1 with targets {0, 1}: seeding 0 activates 1,
+  // so 1 must be skipped.
+  const Graph g = MakePathGraph(3, 1.0);
+  ProfitProblem problem = MakeProblem(g, {0, 1}, {0.5, 0.5});
+  auto oracle = MakeExact(g);
+  AdgPolicy policy(oracle.get());
+
+  Rng world_rng(1);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  Rng rng(2);
+  Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().seeds.size(), 1u);
+  EXPECT_EQ(run.value().seeds[0], 0u);
+  EXPECT_EQ(run.value().steps[1].decision, SeedDecision::kSkippedActivated);
+  EXPECT_DOUBLE_EQ(run.value().realized_profit, 3.0 - 0.5);
+}
+
+TEST(AdgTest, PaperFigure1AdaptiveWalkthrough) {
+  // Reproduce Section II-B: with the realization of Fig. 1(b)-(d) the
+  // adaptive strategy seeds v2 (activating v3, v4) and v6 (activating
+  // v5, v7), skipping... v1 is examined and abandoned; profit = 6 - 3 = 3.
+  const Graph g = MakePaperFigure1Graph();
+  // Fig 1(b): v2's successful edges are v2->v3 and v2->v4 (v2->v1 fails);
+  // v3->v4 also shown live; v4->v5 fails. Fig 1(d): v6->v5, v6->v7 live.
+  BitVector live(g.num_edges());
+  auto set_live = [&](NodeId u, NodeId v) {
+    const auto neigh = g.OutNeighbors(u);
+    for (uint32_t j = 0; j < neigh.size(); ++j) {
+      if (neigh[j] == v) live.Set(g.OutEdgeIndex(u, j));
+    }
+  };
+  set_live(1, 2);  // v2 -> v3
+  set_live(1, 3);  // v2 -> v4
+  set_live(2, 3);  // v3 -> v4
+  set_live(5, 4);  // v6 -> v5
+  set_live(5, 6);  // v6 -> v7
+
+  ProfitProblem problem = MakeProblem(g, {1, 5, 0}, {1.5, 1.5, 1.5});
+  auto oracle = MakeExact(g);
+  AdgPolicy policy(oracle.get());
+  AdaptiveEnvironment env(Realization::FromLiveEdges(g, std::move(live)));
+  Rng rng(1);
+  Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().seeds.size(), 2u);
+  EXPECT_EQ(run.value().seeds[0], 1u);  // v2
+  EXPECT_EQ(run.value().seeds[1], 5u);  // v6
+  EXPECT_EQ(run.value().realized_spread, 6u);
+  EXPECT_DOUBLE_EQ(run.value().realized_profit, 3.0);
+}
+
+TEST(AdgTest, RejectsMismatchedEnvironment) {
+  const Graph g1 = MakePathGraph(3, 0.5);
+  const Graph g2 = MakePathGraph(3, 0.5);
+  ProfitProblem problem = MakeProblem(g1, {0}, {1.0});
+  auto oracle = MakeExact(g1);
+  AdgPolicy policy(oracle.get());
+  Rng world_rng(1);
+  AdaptiveEnvironment env(Realization::Sample(g2, &world_rng));
+  Rng rng(2);
+  EXPECT_FALSE(policy.Run(problem, &env, &rng).ok());
+}
+
+TEST(AdgTest, RejectsUsedEnvironment) {
+  const Graph g = MakePathGraph(3, 1.0);
+  ProfitProblem problem = MakeProblem(g, {0}, {1.0});
+  auto oracle = MakeExact(g);
+  AdgPolicy policy(oracle.get());
+  Rng world_rng(1);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  env.SeedAndObserve(2);
+  Rng rng(2);
+  EXPECT_FALSE(policy.Run(problem, &env, &rng).ok());
+}
+
+// Theorem 1 necessary condition: Λ(ADG) >= Λ(π_opt)/3 >= max_S ρ(S)/3,
+// verified by exhausting both the world space and the subset space.
+class AdgApproximationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdgApproximationTest, ExpectedProfitAtLeastThirdOfNonadaptiveOpt) {
+  const int seed = GetParam();
+  Rng rng(seed * 7919 + 13);
+  GraphBuilder builder;
+  builder.ReserveNodes(5);
+  for (int e = 0; e < 8; ++e) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(5));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(5));
+    if (u == v) continue;
+    builder.AddEdge(u, v, 0.2 + 0.6 * rng.UniformDouble());
+  }
+  Graph g = builder.Build().value();
+  auto oracle = MakeExact(g);
+
+  std::vector<NodeId> targets = {0, 1, 2};
+  const double spread_t = oracle->ExpectedSpread(targets, nullptr);
+  std::vector<double> costs;
+  double total = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    costs.push_back(0.2 + rng.UniformDouble());
+    total += costs.back();
+  }
+  for (double& c : costs) c *= 0.85 * spread_t / total;  // rho(T) >= 0
+
+  ProfitProblem problem = MakeProblem(g, targets, costs);
+  ASSERT_TRUE(problem.Validate().ok());
+
+  AdgPolicy policy(oracle.get());
+  const double lambda_adg = ExactPolicyProfit(&policy, problem, g);
+  const double opt_nonadaptive = BruteForceOptProfit(problem, oracle.get());
+  EXPECT_GE(lambda_adg, opt_nonadaptive / 3.0 - 1e-9)
+      << "Λ(ADG)=" << lambda_adg << " opt=" << opt_nonadaptive;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, AdgApproximationTest,
+                         ::testing::Range(0, 12));
+
+// Adaptivity gap: on Fig. 1, the adaptive policy's expected profit should
+// be at least the best nonadaptive profit.
+TEST(AdgTest, AdaptiveBeatsNonadaptiveOnPaperExample) {
+  const Graph g = MakePaperFigure1Graph();
+  ProfitProblem problem = MakeProblem(g, {1, 5, 0}, {1.5, 1.5, 1.5});
+  auto oracle = MakeExact(g);
+  AdgPolicy policy(oracle.get());
+  const double lambda_adg = ExactPolicyProfit(&policy, problem, g);
+  EXPECT_GE(lambda_adg, 1.66 - 0.02);
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,135 @@
+#include "core/ars.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace atpm {
+namespace {
+
+ProfitProblem MakeProblem(const Graph& g, std::vector<NodeId> targets,
+                          double uniform_cost) {
+  ProfitProblem problem;
+  problem.graph = &g;
+  problem.targets = std::move(targets);
+  problem.costs.assign(g.num_nodes(), 0.0);
+  for (NodeId t : problem.targets) problem.costs[t] = uniform_cost;
+  return problem;
+}
+
+TEST(ArsTest, SelectsAboutHalfOfIndependentTargets) {
+  const Graph g = MakeCompleteGraph(200, 0.0);  // no propagation
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < 200; ++v) targets.push_back(v);
+  ProfitProblem problem = MakeProblem(g, targets, 0.1);
+  ArsPolicy policy;
+
+  double total_selected = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    Rng world_rng(t);
+    AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+    Rng rng(1000 + t);
+    Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+    ASSERT_TRUE(run.ok());
+    total_selected += static_cast<double>(run.value().seeds.size());
+  }
+  EXPECT_NEAR(total_selected / trials, 100.0, 6.0);
+}
+
+TEST(ArsTest, SkipsActivatedCandidatesWithoutCoinFlip) {
+  // Path at p=1: if 0 is selected, 1 and 2 are activated and must be
+  // skipped (kSkippedActivated), never selected.
+  const Graph g = MakePathGraph(3, 1.0);
+  ProfitProblem problem = MakeProblem(g, {0, 1, 2}, 0.1);
+  ArsPolicy policy;
+  for (int t = 0; t < 40; ++t) {
+    Rng world_rng(t);
+    AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+    Rng rng(t);
+    Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+    ASSERT_TRUE(run.ok());
+    bool zero_selected = false;
+    for (const AdaptiveStepRecord& step : run.value().steps) {
+      if (step.node == 0 && step.decision == SeedDecision::kSelected) {
+        zero_selected = true;
+      }
+      if (zero_selected && step.node != 0) {
+        EXPECT_EQ(step.decision, SeedDecision::kSkippedActivated);
+      }
+    }
+  }
+}
+
+TEST(ArsTest, RealizedProfitAccountsForCosts) {
+  const Graph g = MakeCompleteGraph(10, 0.0);
+  ProfitProblem problem = MakeProblem(g, {0, 1, 2, 3}, 0.25);
+  ArsPolicy policy;
+  Rng world_rng(3);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  Rng rng(4);
+  Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+  ASSERT_TRUE(run.ok());
+  const double expected =
+      static_cast<double>(run.value().seeds.size()) * (1.0 - 0.25);
+  EXPECT_DOUBLE_EQ(run.value().realized_profit, expected);
+}
+
+TEST(ArsTest, DeterministicGivenSeeds) {
+  const Graph g = MakeStarGraph(30, 0.5);
+  std::vector<NodeId> targets = {0, 4, 8, 12};
+  ProfitProblem problem = MakeProblem(g, targets, 0.5);
+  ArsPolicy policy;
+  Rng world_a(9);
+  Rng world_b(9);
+  AdaptiveEnvironment env_a(Realization::Sample(g, &world_a));
+  AdaptiveEnvironment env_b(Realization::Sample(g, &world_b));
+  Rng rng_a(5);
+  Rng rng_b(5);
+  Result<AdaptiveRunResult> a = policy.Run(problem, &env_a, &rng_a);
+  Result<AdaptiveRunResult> b = policy.Run(problem, &env_b, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().seeds, b.value().seeds);
+}
+
+TEST(ArsTest, RejectsUsedEnvironment) {
+  const Graph g = MakePathGraph(3, 1.0);
+  ProfitProblem problem = MakeProblem(g, {0}, 0.1);
+  ArsPolicy policy;
+  Rng world_rng(1);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  env.SeedAndObserve(2);
+  Rng rng(2);
+  EXPECT_FALSE(policy.Run(problem, &env, &rng).ok());
+}
+
+TEST(RandomSetTest, NonadaptiveKeepsAboutHalf) {
+  const Graph g = MakeCompleteGraph(100, 0.0);
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < 100; ++v) targets.push_back(v);
+  ProfitProblem problem = MakeProblem(g, targets, 0.1);
+  Rng rng(6);
+  double total = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(RunRandomSet(problem, &rng).size());
+  }
+  EXPECT_NEAR(total / trials, 50.0, 4.0);
+}
+
+TEST(RandomSetTest, SubsetOfTargets) {
+  const Graph g = MakeStarGraph(20, 0.5);
+  std::vector<NodeId> targets = {1, 3, 5};
+  ProfitProblem problem = MakeProblem(g, targets, 0.1);
+  Rng rng(7);
+  for (int t = 0; t < 20; ++t) {
+    for (NodeId s : RunRandomSet(problem, &rng)) {
+      EXPECT_TRUE(s == 1 || s == 3 || s == 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atpm

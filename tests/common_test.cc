@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace atpm {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("io").IsIOError());
+  EXPECT_TRUE(Status::NotFound("nf").IsNotFound());
+  EXPECT_TRUE(Status::OutOfBudget("ob").IsOutOfBudget());
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("k too big").ToString(),
+            "InvalidArgument: k too big");
+  EXPECT_EQ(Status::OutOfBudget("cap").ToString(), "OutOfBudget: cap");
+}
+
+TEST(StatusTest, NonOkStatusesAreNotOk) {
+  EXPECT_FALSE(Status::IOError("x").ok());
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ------------------------------------------------------------- BitVector --
+
+TEST(BitVectorTest, StartsAllClear) {
+  BitVector b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Any());
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitVectorTest, SetTestClearRoundTrip) {
+  BitVector b(200);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(199));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitVectorTest, ResetClearsEverything) {
+  BitVector b(100);
+  for (size_t i = 0; i < 100; i += 3) b.Set(i);
+  EXPECT_TRUE(b.Any());
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(BitVectorTest, CopyIsIndependent) {
+  BitVector a(64);
+  a.Set(5);
+  BitVector b = a;
+  b.Set(6);
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_FALSE(a.Test(6));
+}
+
+TEST(EpochVisitedSetTest, MarksResetInConstantTime) {
+  EpochVisitedSet visited(50);
+  visited.NextEpoch();
+  visited.Mark(3);
+  visited.Mark(49);
+  EXPECT_TRUE(visited.IsMarked(3));
+  EXPECT_TRUE(visited.IsMarked(49));
+  EXPECT_FALSE(visited.IsMarked(4));
+  visited.NextEpoch();
+  EXPECT_FALSE(visited.IsMarked(3));
+  EXPECT_FALSE(visited.IsMarked(49));
+}
+
+TEST(EpochVisitedSetTest, SurvivesManyEpochs) {
+  EpochVisitedSet visited(8);
+  for (int e = 0; e < 10000; ++e) {
+    visited.NextEpoch();
+    visited.Mark(static_cast<size_t>(e % 8));
+    EXPECT_TRUE(visited.IsMarked(static_cast<size_t>(e % 8)));
+    EXPECT_FALSE(visited.IsMarked(static_cast<size_t>((e + 1) % 8)));
+  }
+}
+
+// -------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(13);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, p, 0.01);
+  }
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng parent(31);
+  Rng child = parent.Split();
+  // Parent and child should not produce equal sequences.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+// -------------------------------------------------------------- MathUtil --
+
+TEST(MathUtilTest, LogBinomialMatchesSmallCases) {
+  // C(5, 2) = 10.
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  // C(10, 5) = 252.
+  EXPECT_NEAR(LogBinomial(10, 5), std::log(252.0), 1e-9);
+}
+
+TEST(MathUtilTest, LogBinomialBoundaries) {
+  EXPECT_DOUBLE_EQ(LogBinomial(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(5, 7), 0.0);
+}
+
+TEST(MathUtilTest, LogBinomialSymmetry) {
+  EXPECT_NEAR(LogBinomial(100, 30), LogBinomial(100, 70), 1e-6);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(1, 100), 1u);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, SafeMean) {
+  EXPECT_DOUBLE_EQ(SafeMean(10.0, 4), 2.5);
+  EXPECT_DOUBLE_EQ(SafeMean(10.0, 0), 0.0);
+}
+
+TEST(MathUtilTest, SampleStddev) {
+  // Sample {1, 2, 3}: mean 2, sample variance 1.
+  EXPECT_NEAR(SampleStddev(6.0, 14.0, 3), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(SampleStddev(5.0, 25.0, 1), 0.0);
+  // Cancellation guard: never NaN.
+  EXPECT_GE(SampleStddev(3.0, 3.0000000001, 3), 0.0);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  const double t1 = timer.ElapsedSeconds();
+  const double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3, 1.0);
+}
+
+TEST(TimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,152 @@
+#include "core/concentration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace atpm {
+namespace {
+
+TEST(HoeffdingTest, TailFormula) {
+  EXPECT_NEAR(HoeffdingTwoSidedTail(100, 0.1),
+              2.0 * std::exp(-2.0 * 100 * 0.01), 1e-12);
+}
+
+TEST(HoeffdingTest, TailDecreasesInThetaAndZeta) {
+  EXPECT_GT(HoeffdingTwoSidedTail(100, 0.1), HoeffdingTwoSidedTail(200, 0.1));
+  EXPECT_GT(HoeffdingTwoSidedTail(100, 0.1), HoeffdingTwoSidedTail(100, 0.2));
+}
+
+TEST(HoeffdingTest, SampleSizeInvertsTail) {
+  const double zeta = 0.05;
+  const double delta = 0.01;
+  const uint64_t theta = HoeffdingSampleSize(zeta, delta);
+  EXPECT_LE(HoeffdingTwoSidedTail(theta, zeta), delta * 1.0001);
+  // One fewer sample should not satisfy the bound (tightness).
+  EXPECT_GT(HoeffdingTwoSidedTail(theta - 1, zeta), delta * 0.999);
+}
+
+TEST(AddAtpSampleSizeTest, MatchesPaperFormula) {
+  const double zeta = 0.02;
+  const double delta = 1e-4;
+  const uint64_t theta = AddAtpSampleSize(zeta, delta);
+  EXPECT_EQ(theta, static_cast<uint64_t>(std::ceil(
+                       std::log(8.0 / delta) / (2.0 * zeta * zeta))));
+}
+
+TEST(AddAtpSampleSizeTest, QuadraticInInverseZeta) {
+  // Halving zeta should ~quadruple theta (the paper's efficiency pain).
+  const uint64_t theta1 = AddAtpSampleSize(0.04, 1e-3);
+  const uint64_t theta2 = AddAtpSampleSize(0.02, 1e-3);
+  EXPECT_NEAR(static_cast<double>(theta2) / static_cast<double>(theta1), 4.0,
+              0.01);
+}
+
+TEST(RelAddTailTest, Formulas) {
+  const uint64_t theta = 500;
+  const double eps = 0.2;
+  const double zeta = 0.05;
+  EXPECT_NEAR(RelAddUpperTail(theta, eps, zeta),
+              std::exp(-2.0 * theta * eps * zeta /
+                       ((1.0 + eps / 3.0) * (1.0 + eps / 3.0))),
+              1e-12);
+  EXPECT_NEAR(RelAddLowerTail(theta, eps, zeta),
+              std::exp(-2.0 * theta * eps * zeta), 1e-12);
+}
+
+TEST(RelAddTailTest, LowerTailIsTighter) {
+  // The lower tail lacks the (1+eps/3)^2 penalty, so it is smaller.
+  EXPECT_LE(RelAddLowerTail(100, 0.3, 0.1), RelAddUpperTail(100, 0.3, 0.1));
+}
+
+TEST(HatpSampleSizeTest, MatchesPaperFormula) {
+  const double eps = 0.1;
+  const double zeta = 0.01;
+  const double delta = 1e-5;
+  const uint64_t theta = HatpSampleSize(eps, zeta, delta);
+  const double expected = (1.0 + eps / 3.0) * (1.0 + eps / 3.0) /
+                          (2.0 * eps * zeta) * std::log(4.0 / delta);
+  EXPECT_EQ(theta, static_cast<uint64_t>(std::ceil(expected)));
+}
+
+TEST(HatpSampleSizeTest, BothTailsBoundedAtTheta) {
+  const double eps = 0.15;
+  const double zeta = 0.02;
+  const double delta = 1e-3;
+  const uint64_t theta = HatpSampleSize(eps, zeta, delta);
+  EXPECT_LE(RelAddUpperTail(theta, eps, zeta), delta / 4.0 * 1.0001);
+  EXPECT_LE(RelAddLowerTail(theta, eps, zeta), delta / 4.0 * 1.0001);
+}
+
+TEST(HatpSampleSizeTest, LinearInInverseZeta) {
+  // Halving zeta doubles theta — the Θ(εn) improvement over ADDATP
+  // (Theorem 5).
+  const uint64_t theta1 = HatpSampleSize(0.1, 0.04, 1e-3);
+  const uint64_t theta2 = HatpSampleSize(0.1, 0.02, 1e-3);
+  EXPECT_NEAR(static_cast<double>(theta2) / static_cast<double>(theta1), 2.0,
+              0.01);
+}
+
+TEST(HatpVsAddAtpTest, HybridNeedsFarFewerSamplesAtSmallZeta) {
+  // At zeta = 1/n (the stopping floor), ADDATP is ~n/eps times costlier.
+  const double zeta = 1.0 / 10000.0;
+  const double delta = 1e-6;
+  const uint64_t additive = AddAtpSampleSize(zeta, delta);
+  const uint64_t hybrid = HatpSampleSize(0.1, zeta, delta);
+  EXPECT_GT(additive / hybrid, 100u);
+}
+
+// Empirical check of the Hoeffding guarantee on Bernoulli means.
+TEST(HoeffdingEmpiricalTest, FailureRateWithinBound) {
+  Rng rng(42);
+  const double p = 0.3;
+  const double zeta = 0.05;
+  const double delta = 0.1;
+  const uint64_t theta = HoeffdingSampleSize(zeta, delta);
+  int failures = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < theta; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    const double mean = static_cast<double>(hits) / theta;
+    if (std::abs(mean - p) >= zeta) ++failures;
+  }
+  EXPECT_LE(failures, static_cast<int>(delta * trials) + 8);
+}
+
+// Empirical check of the Relative+Additive bound (Lemma 7).
+TEST(RelAddEmpiricalTest, FailureRateWithinBound) {
+  Rng rng(43);
+  const double p = 0.2;
+  const double eps = 0.2;
+  const double zeta = 0.02;
+  const uint64_t theta = 2000;
+  const double upper_bound_prob = RelAddUpperTail(theta, eps, zeta);
+  const double lower_bound_prob = RelAddLowerTail(theta, eps, zeta);
+
+  int upper_failures = 0;
+  int lower_failures = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < theta; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    const double mean = static_cast<double>(hits) / theta;
+    if (mean >= (1.0 + eps) * p + zeta) ++upper_failures;
+    if (mean <= (1.0 - eps) * p - zeta) ++lower_failures;
+  }
+  EXPECT_LE(static_cast<double>(upper_failures) / trials,
+            upper_bound_prob + 0.02);
+  EXPECT_LE(static_cast<double>(lower_failures) / trials,
+            lower_bound_prob + 0.02);
+}
+
+TEST(ConcentrationDeathTest, RejectsDegenerateInputs) {
+  EXPECT_DEATH(HoeffdingSampleSize(0.0, 0.1), "ATPM_CHECK");
+  EXPECT_DEATH(AddAtpSampleSize(0.1, 0.0), "ATPM_CHECK");
+  EXPECT_DEATH(HatpSampleSize(1.0, 0.1, 0.1), "ATPM_CHECK");
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,149 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace atpm {
+namespace {
+
+double TotalCost(const std::vector<double>& costs,
+                 const std::vector<NodeId>& targets) {
+  double total = 0.0;
+  for (NodeId t : targets) total += costs[t];
+  return total;
+}
+
+TEST(CostSchemeNameTest, Names) {
+  EXPECT_STREQ(CostSchemeName(CostScheme::kDegreeProportional), "degree");
+  EXPECT_STREQ(CostSchemeName(CostScheme::kUniform), "uniform");
+  EXPECT_STREQ(CostSchemeName(CostScheme::kRandom), "random");
+}
+
+class CalibratedCostTest : public ::testing::TestWithParam<CostScheme> {};
+
+TEST_P(CalibratedCostTest, BudgetIsExactlyDistributed) {
+  const Graph g = MakeStarGraph(20, 0.5);
+  std::vector<NodeId> targets = {0, 3, 7, 11};
+  Rng rng(1);
+  Result<std::vector<double>> costs =
+      BuildCalibratedCosts(g, targets, GetParam(), 123.5, &rng);
+  ASSERT_TRUE(costs.ok()) << costs.status().ToString();
+  EXPECT_NEAR(TotalCost(costs.value(), targets), 123.5, 1e-9);
+  // Non-targets carry zero cost.
+  EXPECT_DOUBLE_EQ(costs.value()[1], 0.0);
+  EXPECT_DOUBLE_EQ(costs.value()[19], 0.0);
+  // All target costs positive.
+  for (NodeId t : targets) EXPECT_GT(costs.value()[t], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CalibratedCostTest,
+                         ::testing::Values(CostScheme::kDegreeProportional,
+                                           CostScheme::kUniform,
+                                           CostScheme::kRandom));
+
+TEST(CalibratedCostTest, UniformGivesEqualShares) {
+  const Graph g = MakePathGraph(10, 0.5);
+  std::vector<NodeId> targets = {1, 4, 8};
+  Rng rng(2);
+  Result<std::vector<double>> costs =
+      BuildCalibratedCosts(g, targets, CostScheme::kUniform, 30.0, &rng);
+  ASSERT_TRUE(costs.ok());
+  for (NodeId t : targets) EXPECT_NEAR(costs.value()[t], 10.0, 1e-9);
+}
+
+TEST(CalibratedCostTest, DegreeProportionalOrdersByOutDegree) {
+  // Star hub (out-degree 19) must cost more than leaves (out-degree 0).
+  const Graph g = MakeStarGraph(20, 0.5);
+  std::vector<NodeId> targets = {0, 5, 6};
+  Rng rng(3);
+  Result<std::vector<double>> costs = BuildCalibratedCosts(
+      g, targets, CostScheme::kDegreeProportional, 100.0, &rng);
+  ASSERT_TRUE(costs.ok());
+  EXPECT_GT(costs.value()[0], costs.value()[5]);
+  EXPECT_NEAR(costs.value()[5], costs.value()[6], 1e-9);
+  // Ratio follows (deg+1): hub 20 vs leaf 1.
+  EXPECT_NEAR(costs.value()[0] / costs.value()[5], 20.0, 1e-6);
+}
+
+TEST(CalibratedCostTest, ZeroDegreeTargetsStillPayable) {
+  // All targets have zero out-degree; the +1 smoothing must keep the
+  // distribution valid.
+  const Graph g = MakeStarGraph(10, 0.5);
+  std::vector<NodeId> targets = {3, 4};
+  Rng rng(4);
+  Result<std::vector<double>> costs = BuildCalibratedCosts(
+      g, targets, CostScheme::kDegreeProportional, 10.0, &rng);
+  ASSERT_TRUE(costs.ok());
+  EXPECT_NEAR(costs.value()[3], 5.0, 1e-9);
+}
+
+TEST(CalibratedCostTest, RandomSchemeIsDeterministicGivenSeed) {
+  const Graph g = MakePathGraph(8, 0.5);
+  std::vector<NodeId> targets = {0, 2, 4};
+  Rng rng_a(7);
+  Rng rng_b(7);
+  auto a = BuildCalibratedCosts(g, targets, CostScheme::kRandom, 9.0, &rng_a);
+  auto b = BuildCalibratedCosts(g, targets, CostScheme::kRandom, 9.0, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (NodeId t : targets) {
+    EXPECT_DOUBLE_EQ(a.value()[t], b.value()[t]);
+  }
+}
+
+TEST(CalibratedCostTest, RejectsEmptyTargets) {
+  const Graph g = MakePathGraph(5, 0.5);
+  Rng rng(5);
+  EXPECT_FALSE(
+      BuildCalibratedCosts(g, {}, CostScheme::kUniform, 10.0, &rng).ok());
+}
+
+TEST(CalibratedCostTest, RejectsNonPositiveBudget) {
+  const Graph g = MakePathGraph(5, 0.5);
+  std::vector<NodeId> targets = {0};
+  Rng rng(6);
+  EXPECT_FALSE(
+      BuildCalibratedCosts(g, targets, CostScheme::kUniform, 0.0, &rng).ok());
+  EXPECT_FALSE(
+      BuildCalibratedCosts(g, targets, CostScheme::kUniform, -5.0, &rng)
+          .ok());
+}
+
+TEST(PredefinedCostTest, TotalIsLambdaTimesN) {
+  const Graph g = MakeCycleGraph(50, 0.5);
+  Rng rng(8);
+  Result<std::vector<double>> costs =
+      BuildPredefinedCosts(g, CostScheme::kUniform, 3.0, &rng);
+  ASSERT_TRUE(costs.ok());
+  const double total =
+      std::accumulate(costs.value().begin(), costs.value().end(), 0.0);
+  EXPECT_NEAR(total, 150.0, 1e-6);
+  // Uniform: every node costs lambda.
+  for (double c : costs.value()) EXPECT_NEAR(c, 3.0, 1e-9);
+}
+
+TEST(PredefinedCostTest, DegreeSchemeChargesHubsMore) {
+  const Graph g = MakeStarGraph(10, 0.5);
+  Rng rng(9);
+  Result<std::vector<double>> costs =
+      BuildPredefinedCosts(g, CostScheme::kDegreeProportional, 2.0, &rng);
+  ASSERT_TRUE(costs.ok());
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_GT(costs.value()[0], costs.value()[v]);
+  }
+}
+
+TEST(PredefinedCostTest, RejectsBadInputs) {
+  const Graph g = MakePathGraph(5, 0.5);
+  Rng rng(10);
+  EXPECT_FALSE(BuildPredefinedCosts(g, CostScheme::kUniform, 0.0, &rng).ok());
+  const Graph empty;
+  EXPECT_FALSE(
+      BuildPredefinedCosts(empty, CostScheme::kUniform, 1.0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,132 @@
+#include "graph/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+
+namespace atpm {
+namespace {
+
+class EdgeListIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/atpm_edge_list_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(EdgeListIoTest, LoadsBasicDirectedEdgeList) {
+  WriteFile("0 1 0.5\n1 2 0.25\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_nodes(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 2u);
+  EXPECT_FLOAT_EQ(g.value().OutProbs(0)[0], 0.5f);
+}
+
+TEST_F(EdgeListIoTest, SkipsCommentsAndBlankLines) {
+  WriteFile("# SNAP header\n\n  \n0\t1\t0.5\n# trailing comment\n2 0 0.1\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST_F(EdgeListIoTest, UndirectedModeAddsBothArcs) {
+  WriteFile("0 1 0.5\n");
+  EdgeListLoadOptions options;
+  options.directed = false;
+  Result<Graph> g = LoadEdgeList(path_, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST_F(EdgeListIoTest, DefaultProbUsedWhenColumnMissing) {
+  WriteFile("0 1\n1 2\n");
+  EdgeListLoadOptions options;
+  options.default_prob = 0.25;
+  Result<Graph> g = LoadEdgeList(path_, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FLOAT_EQ(g.value().OutProbs(0)[0], 0.25f);
+}
+
+TEST_F(EdgeListIoTest, UnweightedWhenNoDefaultProvided) {
+  WriteFile("0 1\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FLOAT_EQ(g.value().OutProbs(0)[0], 0.0f);
+}
+
+TEST_F(EdgeListIoTest, MissingFileIsIOError) {
+  Result<Graph> g = LoadEdgeList("/nonexistent/path/to/graph.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST_F(EdgeListIoTest, MalformedLineIsInvalidArgument) {
+  WriteFile("0 1 0.5\nnot an edge\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+  // The error message pinpoints the offending line.
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(EdgeListIoTest, NegativeNodeIdRejected) {
+  WriteFile("-1 2 0.5\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST_F(EdgeListIoTest, ProbabilityAboveOneRejected) {
+  WriteFile("0 1 1.7\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+}
+
+TEST_F(EdgeListIoTest, SaveLoadRoundTripPreservesGraph) {
+  const Graph original = MakePaperFigure1Graph();
+  ASSERT_TRUE(SaveEdgeList(original, path_).ok());
+  Result<Graph> loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.value().num_edges(), original.num_edges());
+  const auto a = original.CollectEdges();
+  const auto b = loaded.value().CollectEdges();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_NEAR(a[i].prob, b[i].prob, 1e-6);
+  }
+}
+
+TEST_F(EdgeListIoTest, SaveToUnwritablePathIsIOError) {
+  const Graph g = MakePathGraph(3, 0.5);
+  Status s = SaveEdgeList(g, "/nonexistent_dir/out.txt");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST_F(EdgeListIoTest, EmptyFileYieldsEmptyGraph) {
+  WriteFile("");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 0u);
+  EXPECT_EQ(g.value().num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace atpm

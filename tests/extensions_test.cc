@@ -1,0 +1,172 @@
+// Tests for the paper's extension features: the dynamic C2-threshold
+// ADDATP variant (Discussion after Theorem 2) and the randomized adaptive
+// double greedy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/addatp.h"
+#include "core/adg.h"
+#include "diffusion/spread_oracle.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace atpm {
+namespace {
+
+ProfitProblem MakeProblem(const Graph& g, std::vector<NodeId> targets,
+                          std::vector<double> target_costs) {
+  ProfitProblem problem;
+  problem.graph = &g;
+  problem.targets = std::move(targets);
+  problem.costs.assign(g.num_nodes(), 0.0);
+  for (size_t i = 0; i < problem.targets.size(); ++i) {
+    problem.costs[problem.targets[i]] = target_costs[i];
+  }
+  return problem;
+}
+
+AdaptiveEnvironment MakeEnv(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  return AdaptiveEnvironment(Realization::Sample(g, &rng));
+}
+
+TEST(DynamicThresholdTest, CompletesAndSelectsProfitableNodes) {
+  const Graph g = MakeStarGraph(60, 1.0);
+  ProfitProblem problem = MakeProblem(g, {0}, {5.0});
+  AddAtpOptions options;
+  options.dynamic_threshold = true;
+  options.dynamic_epsilon = 0.1;
+  AddAtpPolicy policy(options);
+  AdaptiveEnvironment env = MakeEnv(g, 1);
+  Rng rng(2);
+  Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().seeds.size(), 1u);
+  EXPECT_DOUBLE_EQ(run.value().realized_profit, 55.0);
+}
+
+TEST(DynamicThresholdTest, UsesNoMoreSamplesThanFixedOnBorderlineTail) {
+  // A profitable first node builds slack; the borderline second node can
+  // then stop at a raised bar, spending at most as many samples as the
+  // fixed-threshold run.
+  GraphBuilder builder;
+  for (NodeId v = 2; v < 52; ++v) builder.AddEdge(0, v, 1.0);  // hub
+  builder.AddEdge(1, 52, 0.5);  // borderline node: spread 1.5, cost 1.5
+  Graph g = builder.Build().value();
+
+  ProfitProblem problem = MakeProblem(g, {0, 1}, {5.0, 1.5});
+
+  uint64_t fixed_rr = 0;
+  uint64_t dynamic_rr = 0;
+  {
+    AddAtpOptions options;
+    options.fail_on_budget_exhausted = false;
+    AddAtpPolicy policy(options);
+    AdaptiveEnvironment env = MakeEnv(g, 3);
+    Rng rng(4);
+    fixed_rr = policy.Run(problem, &env, &rng).value().total_rr_sets;
+  }
+  {
+    AddAtpOptions options;
+    options.fail_on_budget_exhausted = false;
+    options.dynamic_threshold = true;
+    options.dynamic_epsilon = 0.2;
+    AddAtpPolicy policy(options);
+    AdaptiveEnvironment env = MakeEnv(g, 3);
+    Rng rng(4);
+    dynamic_rr = policy.Run(problem, &env, &rng).value().total_rr_sets;
+  }
+  EXPECT_LE(dynamic_rr, fixed_rr);
+}
+
+TEST(DynamicThresholdTest, NoSlackFallsBackToFixedBar) {
+  // With zero accumulated profit, the dynamic bar is max(1, negative) = 1,
+  // i.e. the fixed Algorithm-3 behaviour; decisions must match.
+  const Graph g = MakeStarGraph(40, 0.4);
+  ProfitProblem problem = MakeProblem(g, {0}, {2.0});
+  AddAtpOptions fixed;
+  AddAtpOptions dynamic;
+  dynamic.dynamic_threshold = true;
+  AddAtpPolicy fixed_policy(fixed);
+  AddAtpPolicy dynamic_policy(dynamic);
+
+  AdaptiveEnvironment env_a = MakeEnv(g, 5);
+  AdaptiveEnvironment env_b = MakeEnv(g, 5);
+  Rng rng_a(6);
+  Rng rng_b(6);
+  Result<AdaptiveRunResult> a = fixed_policy.Run(problem, &env_a, &rng_a);
+  Result<AdaptiveRunResult> b = dynamic_policy.Run(problem, &env_b, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().seeds, b.value().seeds);
+}
+
+TEST(RandomizedAdgTest, NeedsRng) {
+  const Graph g = MakePathGraph(3, 0.5);
+  ProfitProblem problem = MakeProblem(g, {0}, {1.0});
+  auto oracle = ExactSpreadOracle::Create(g);
+  ASSERT_TRUE(oracle.ok());
+  AdgPolicy policy(oracle.value().get(), /*randomized=*/true);
+  AdaptiveEnvironment env = MakeEnv(g, 1);
+  EXPECT_FALSE(policy.Run(problem, &env, nullptr).ok());
+}
+
+TEST(RandomizedAdgTest, AlwaysKeepsDominantNode) {
+  // rho_r < 0 for a cheap hub, so the keep probability is 1.
+  const Graph g = MakeStarGraph(10, 1.0);
+  ProfitProblem problem = MakeProblem(g, {0}, {0.5});
+  auto oracle = ExactSpreadOracle::Create(g);
+  ASSERT_TRUE(oracle.ok());
+  AdgPolicy policy(oracle.value().get(), /*randomized=*/true);
+  for (int t = 0; t < 10; ++t) {
+    AdaptiveEnvironment env = MakeEnv(g, 100 + t);
+    Rng rng(t);
+    Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.value().seeds.size(), 1u);
+  }
+}
+
+TEST(RandomizedAdgTest, NameReflectsVariant) {
+  const Graph g = MakePathGraph(3, 0.5);
+  auto oracle = ExactSpreadOracle::Create(g);
+  ASSERT_TRUE(oracle.ok());
+  AdgPolicy deterministic(oracle.value().get());
+  AdgPolicy randomized(oracle.value().get(), true);
+  EXPECT_EQ(deterministic.name(), "ADG");
+  EXPECT_EQ(randomized.name(), "ADG-R");
+}
+
+TEST(RandomizedAdgTest, MixedDecisionsOnBorderlineNode) {
+  // Twin hubs over the same 8 leaves at p = 1, cost 4 each. For the first
+  // hub: rho_f = 9 - 4 = 5 and rho_r = 4 - E[I(u | twin)] = 4 - 1 = 3, so
+  // the randomized rule keeps it with probability 5/8; decisions must be
+  // mixed across RNG streams.
+  GraphBuilder builder;
+  for (NodeId v = 2; v < 10; ++v) {
+    builder.AddEdge(0, v, 1.0);
+    builder.AddEdge(1, v, 1.0);
+  }
+  Graph g = builder.Build().value();
+  ProfitProblem problem = MakeProblem(g, {0, 1}, {4.0, 4.0});
+  auto oracle = ExactSpreadOracle::Create(g, 32);
+  ASSERT_TRUE(oracle.ok());
+  AdgPolicy policy(oracle.value().get(), true);
+  int first_kept = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    AdaptiveEnvironment env = MakeEnv(g, 500);  // same world each time
+    Rng rng(t);
+    Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);
+    ASSERT_TRUE(run.ok());
+    first_kept += (!run.value().seeds.empty() && run.value().seeds[0] == 0)
+                      ? 1
+                      : 0;
+  }
+  // Expectation 0.625 * 60 = 37.5; allow wide binomial slack.
+  EXPECT_GT(first_kept, 20);
+  EXPECT_LT(first_kept, 55);
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,265 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace atpm {
+namespace {
+
+TEST(DeterministicFamiliesTest, PathGraph) {
+  Graph g = MakePathGraph(5, 0.5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(4), 0u);
+  EXPECT_EQ(g.OutNeighbors(2)[0], 3u);
+}
+
+TEST(DeterministicFamiliesTest, StarGraph) {
+  Graph g = MakeStarGraph(6, 0.3);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.OutDegree(0), 5u);
+  for (NodeId v = 1; v < 6; ++v) {
+    EXPECT_EQ(g.InDegree(v), 1u);
+    EXPECT_FLOAT_EQ(g.InProbs(v)[0], 0.3f);
+  }
+}
+
+TEST(DeterministicFamiliesTest, CycleGraph) {
+  Graph g = MakeCycleGraph(4, 1.0);
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 1u);
+    EXPECT_EQ(g.InDegree(u), 1u);
+  }
+}
+
+TEST(DeterministicFamiliesTest, CompleteGraph) {
+  Graph g = MakeCompleteGraph(4, 0.2);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(g.OutDegree(u), 3u);
+}
+
+TEST(DeterministicFamiliesTest, PaperFigure1GraphStructure) {
+  Graph g = MakePaperFigure1Graph();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  // v2 (id 1) has three outgoing edges: to v1, v3, v4.
+  EXPECT_EQ(g.OutDegree(1), 3u);
+  // v6 (id 5) points to v5 and v7.
+  EXPECT_EQ(g.OutDegree(5), 2u);
+}
+
+TEST(ErdosRenyiTest, ProducesRequestedShape) {
+  Rng rng(1);
+  ErdosRenyiOptions options;
+  options.num_nodes = 100;
+  options.num_edges = 300;
+  Result<Graph> g = GenerateErdosRenyi(options, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 100u);
+  // Duplicates are collapsed, so realized count can be slightly lower.
+  EXPECT_LE(g.value().num_edges(), 300u);
+  EXPECT_GE(g.value().num_edges(), 250u);
+}
+
+TEST(ErdosRenyiTest, UndirectedDoublesArcs) {
+  Rng rng(2);
+  ErdosRenyiOptions options;
+  options.num_nodes = 50;
+  options.num_edges = 40;
+  options.undirected = true;
+  Result<Graph> g = GenerateErdosRenyi(options, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g.value().num_edges(), 80u);
+  EXPECT_EQ(g.value().num_edges() % 2, 0u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  Rng rng(3);
+  ErdosRenyiOptions options;
+  options.num_nodes = 20;
+  options.num_edges = 100;
+  Result<Graph> g = GenerateErdosRenyi(options, &rng);
+  ASSERT_TRUE(g.ok());
+  for (const WeightedEdge& e : g.value().CollectEdges()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsTooFewNodes) {
+  Rng rng(4);
+  ErdosRenyiOptions options;
+  options.num_nodes = 1;
+  options.num_edges = 1;
+  EXPECT_FALSE(GenerateErdosRenyi(options, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, RejectsTooManyEdges) {
+  Rng rng(5);
+  ErdosRenyiOptions options;
+  options.num_nodes = 3;
+  options.num_edges = 100;
+  EXPECT_FALSE(GenerateErdosRenyi(options, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  ErdosRenyiOptions options;
+  options.num_nodes = 60;
+  options.num_edges = 120;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  Result<Graph> a = GenerateErdosRenyi(options, &rng_a);
+  Result<Graph> b = GenerateErdosRenyi(options, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().num_edges(), b.value().num_edges());
+  const auto ea = a.value().CollectEdges();
+  const auto eb = b.value().CollectEdges();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].src, eb[i].src);
+    EXPECT_EQ(ea[i].dst, eb[i].dst);
+  }
+}
+
+TEST(BarabasiAlbertTest, ExpectedSizeAndHeavyTail) {
+  Rng rng(7);
+  BarabasiAlbertOptions options;
+  options.num_nodes = 2000;
+  options.edges_per_node = 2;
+  options.undirected = true;
+  Result<Graph> g = GenerateBarabasiAlbert(options, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 2000u);
+  // ~2 undirected edges per arriving node -> ~4 arcs per node.
+  EXPECT_NEAR(g.value().AverageDegree(), 4.0, 0.5);
+
+  // Heavy tail: the max degree should far exceed the average (BA yields a
+  // power law; a homogeneous graph would concentrate near the mean).
+  uint32_t max_deg = 0;
+  for (NodeId u = 0; u < g.value().num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.value().OutDegree(u));
+  }
+  EXPECT_GT(max_deg, 40u);
+}
+
+TEST(BarabasiAlbertTest, RejectsDegenerateParameters) {
+  Rng rng(8);
+  BarabasiAlbertOptions options;
+  options.num_nodes = 2;
+  options.edges_per_node = 2;
+  EXPECT_FALSE(GenerateBarabasiAlbert(options, &rng).ok());
+  options.num_nodes = 100;
+  options.edges_per_node = 0;
+  EXPECT_FALSE(GenerateBarabasiAlbert(options, &rng).ok());
+}
+
+TEST(RMatTest, ProducesSkewedDirectedGraph) {
+  Rng rng(9);
+  RMatOptions options;
+  options.scale = 10;  // 1024 node slots
+  options.num_edges = 8192;
+  Result<Graph> g = GenerateRMat(options, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g.value().num_nodes(), 1024u);
+  EXPECT_GT(g.value().num_edges(), 6000u);  // some dedup expected
+
+  // Skew: top-decile out-degree mass should dominate.
+  std::vector<uint32_t> degrees;
+  for (NodeId u = 0; u < g.value().num_nodes(); ++u) {
+    degrees.push_back(g.value().OutDegree(u));
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  uint64_t top = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    total += degrees[i];
+    if (i < degrees.size() / 10) top += degrees[i];
+  }
+  EXPECT_GT(static_cast<double>(top), 0.3 * static_cast<double>(total));
+}
+
+TEST(RMatTest, RejectsBadQuadrantsAndScale) {
+  Rng rng(10);
+  RMatOptions options;
+  options.a = 0.9;  // sums to > 1 with defaults
+  EXPECT_FALSE(GenerateRMat(options, &rng).ok());
+  RMatOptions options2;
+  options2.scale = 0;
+  EXPECT_FALSE(GenerateRMat(options2, &rng).ok());
+  RMatOptions options3;
+  options3.scale = 31;
+  EXPECT_FALSE(GenerateRMat(options3, &rng).ok());
+}
+
+TEST(WattsStrogatzTest, RingStructureAtBetaZero) {
+  Rng rng(11);
+  WattsStrogatzOptions options;
+  options.num_nodes = 30;
+  options.k = 4;
+  options.beta = 0.0;
+  Result<Graph> g = GenerateWattsStrogatz(options, &rng);
+  ASSERT_TRUE(g.ok());
+  // Each node connects to k/2 clockwise neighbors, bidirected: 2k arcs
+  // per node / 2 = k per node on average.
+  EXPECT_EQ(g.value().num_edges(), 30u * 4u);
+  for (NodeId u = 0; u < 30; ++u) {
+    EXPECT_EQ(g.value().OutDegree(u), 4u);
+  }
+}
+
+TEST(WattsStrogatzTest, RewiringChangesStructure) {
+  WattsStrogatzOptions options;
+  options.num_nodes = 100;
+  options.k = 4;
+  options.beta = 1.0;
+  Rng rng(12);
+  Result<Graph> g = GenerateWattsStrogatz(options, &rng);
+  ASSERT_TRUE(g.ok());
+  // Fully rewired: some node should deviate from the ring degree.
+  bool deviates = false;
+  for (NodeId u = 0; u < 100 && !deviates; ++u) {
+    deviates = g.value().OutDegree(u) != 4u;
+  }
+  EXPECT_TRUE(deviates);
+}
+
+TEST(WattsStrogatzTest, RejectsOddK) {
+  Rng rng(13);
+  WattsStrogatzOptions options;
+  options.num_nodes = 30;
+  options.k = 3;
+  EXPECT_FALSE(GenerateWattsStrogatz(options, &rng).ok());
+}
+
+TEST(WattsStrogatzTest, RejectsBadBeta) {
+  Rng rng(14);
+  WattsStrogatzOptions options;
+  options.num_nodes = 30;
+  options.k = 4;
+  options.beta = 1.5;
+  EXPECT_FALSE(GenerateWattsStrogatz(options, &rng).ok());
+}
+
+TEST(GeneratorsTest, AllGeneratorsEmitUnweightedGraphs) {
+  Rng rng(15);
+  ErdosRenyiOptions er;
+  er.num_nodes = 20;
+  er.num_edges = 40;
+  for (const WeightedEdge& e :
+       GenerateErdosRenyi(er, &rng).value().CollectEdges()) {
+    EXPECT_FLOAT_EQ(e.prob, 0.0f);
+  }
+  BarabasiAlbertOptions ba;
+  ba.num_nodes = 20;
+  ba.edges_per_node = 2;
+  for (const WeightedEdge& e :
+       GenerateBarabasiAlbert(ba, &rng).value().CollectEdges()) {
+    EXPECT_FLOAT_EQ(e.prob, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace atpm

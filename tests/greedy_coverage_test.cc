@@ -1,0 +1,123 @@
+#include "im/greedy_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+namespace {
+
+RRCollection MakeHandPool() {
+  // Over 6 nodes:
+  //   node 0 covers sets {0,1,2}
+  //   node 1 covers sets {3,4}
+  //   node 2 covers sets {0,1}   (dominated by node 0)
+  //   node 3 covers set  {5}
+  RRCollection pool(6);
+  pool.AddSet(std::vector<NodeId>{0, 2});  // set 0
+  pool.AddSet(std::vector<NodeId>{0, 2});  // set 1
+  pool.AddSet(std::vector<NodeId>{0});     // set 2
+  pool.AddSet(std::vector<NodeId>{1});     // set 3
+  pool.AddSet(std::vector<NodeId>{1});     // set 4
+  pool.AddSet(std::vector<NodeId>{3});     // set 5
+  return pool;
+}
+
+TEST(GreedyMaxCoverageTest, PicksGreedyOrder) {
+  RRCollection pool = MakeHandPool();
+  GreedyCoverageResult result = GreedyMaxCoverage(&pool, 3);
+  ASSERT_EQ(result.seeds.size(), 3u);
+  EXPECT_EQ(result.seeds[0], 0u);  // gain 3
+  EXPECT_EQ(result.seeds[1], 1u);  // gain 2
+  EXPECT_EQ(result.seeds[2], 3u);  // gain 1
+  EXPECT_EQ(result.covered, 6u);
+}
+
+TEST(GreedyMaxCoverageTest, StopsWhenNothingNewCoverable) {
+  RRCollection pool = MakeHandPool();
+  GreedyCoverageResult result = GreedyMaxCoverage(&pool, 6);
+  // Node 2 adds nothing after node 0; only 3 picks have positive gain.
+  EXPECT_EQ(result.seeds.size(), 3u);
+  EXPECT_EQ(result.covered, 6u);
+}
+
+TEST(GreedyMaxCoverageTest, RespectsCandidateRestriction) {
+  RRCollection pool = MakeHandPool();
+  std::vector<NodeId> candidates = {1, 2};
+  GreedyCoverageResult result = GreedyMaxCoverage(&pool, 2, candidates);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  // Nodes 1 and 2 cover two sets each (tie); both must be selected and
+  // node 0 (the unrestricted optimum) must not appear.
+  EXPECT_TRUE((result.seeds[0] == 1u && result.seeds[1] == 2u) ||
+              (result.seeds[0] == 2u && result.seeds[1] == 1u));
+  EXPECT_EQ(result.covered, 4u);
+}
+
+TEST(GreedyMaxCoverageTest, KOneSelectsBestSingleNode) {
+  RRCollection pool = MakeHandPool();
+  GreedyCoverageResult result = GreedyMaxCoverage(&pool, 1);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_EQ(result.covered, 3u);
+}
+
+TEST(GreedyMaxCoverageTest, EmptyPoolSelectsNothing) {
+  RRCollection pool(5);
+  GreedyCoverageResult result = GreedyMaxCoverage(&pool, 3);
+  EXPECT_TRUE(result.seeds.empty());
+  EXPECT_EQ(result.covered, 0u);
+}
+
+TEST(GreedyMaxCoverageTest, BuildsIndexOnDemand) {
+  RRCollection pool = MakeHandPool();
+  EXPECT_FALSE(pool.index_built());
+  GreedyMaxCoverage(&pool, 1);
+  EXPECT_TRUE(pool.index_built());
+}
+
+TEST(GreedyMaxCoverageTest, CoverageMatchesRecount) {
+  // Property: reported covered == recomputed coverage of returned seeds.
+  const Graph g = MakeStarGraph(30, 0.3);
+  RRSetGenerator generator(g);
+  RRCollection pool(30);
+  Rng rng(3);
+  pool.Generate(&generator, nullptr, 30, 2000, &rng);
+  GreedyCoverageResult result = GreedyMaxCoverage(&pool, 5);
+
+  BitVector members(30);
+  for (NodeId s : result.seeds) members.Set(s);
+  EXPECT_EQ(result.covered, pool.CoverageOfSet(members));
+}
+
+TEST(GreedyMaxCoverageTest, GreedyIsWithinFactorOfExhaustiveOptimum) {
+  // On small instances greedy coverage must be >= (1 - 1/e) * OPT; check
+  // the exact optimum by brute force over all k-subsets.
+  RRCollection pool(6);
+  pool.AddSet(std::vector<NodeId>{0, 1});
+  pool.AddSet(std::vector<NodeId>{0, 2});
+  pool.AddSet(std::vector<NodeId>{1, 3});
+  pool.AddSet(std::vector<NodeId>{2, 4});
+  pool.AddSet(std::vector<NodeId>{3});
+  pool.AddSet(std::vector<NodeId>{4});
+
+  const uint32_t k = 2;
+  GreedyCoverageResult greedy = GreedyMaxCoverage(&pool, k);
+
+  uint64_t best = 0;
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = a + 1; b < 6; ++b) {
+      BitVector members(6);
+      members.Set(a);
+      members.Set(b);
+      best = std::max(best, pool.CoverageOfSet(members));
+    }
+  }
+  EXPECT_GE(static_cast<double>(greedy.covered),
+            (1.0 - 1.0 / 2.718281828) * static_cast<double>(best));
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,177 @@
+#include "diffusion/ic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace atpm {
+namespace {
+
+TEST(SimulateIcTest, DeterministicWithProbabilityOne) {
+  const Graph g = MakePathGraph(5, 1.0);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateIC(g, seeds, &rng), 5u);
+}
+
+TEST(SimulateIcTest, NoSpreadWithProbabilityZero) {
+  const Graph g = MakePathGraph(5, 0.0);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateIC(g, seeds, &rng), 1u);
+}
+
+TEST(SimulateIcTest, SeedFromMiddleOfPath) {
+  const Graph g = MakePathGraph(6, 1.0);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {3};
+  EXPECT_EQ(SimulateIC(g, seeds, &rng), 3u);  // 3 -> 4 -> 5
+}
+
+TEST(SimulateIcTest, DuplicateSeedsCountOnce) {
+  const Graph g = MakePathGraph(4, 0.0);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {2, 2, 2};
+  EXPECT_EQ(SimulateIC(g, seeds, &rng), 1u);
+}
+
+TEST(SimulateIcTest, MultipleSeedsUnionSpread) {
+  const Graph g = MakePathGraph(10, 1.0);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {8, 0};
+  EXPECT_EQ(SimulateIC(g, seeds, &rng), 10u);
+}
+
+TEST(SimulateIcTest, RemovedNodesBlockPropagationAndSeeding) {
+  const Graph g = MakePathGraph(5, 1.0);
+  Rng rng(1);
+  BitVector removed(5);
+  removed.Set(2);
+  std::vector<NodeId> seeds = {0};
+  // 0 -> 1, blocked at 2.
+  EXPECT_EQ(SimulateIC(g, seeds, &rng, &removed), 2u);
+  // Removed seeds contribute nothing.
+  std::vector<NodeId> removed_seed = {2};
+  EXPECT_EQ(SimulateIC(g, removed_seed, &rng, &removed), 0u);
+}
+
+TEST(SimulateIcTest, ActivatedOutIncludesSeedsAndActivations) {
+  const Graph g = MakeStarGraph(4, 1.0);
+  Rng rng(1);
+  std::vector<NodeId> activated;
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateIC(g, seeds, &rng, nullptr, &activated), 4u);
+  EXPECT_EQ(activated.size(), 4u);
+  EXPECT_EQ(activated[0], 0u);
+}
+
+TEST(SimulateIcTest, SpreadProbabilityMatchesSingleEdge) {
+  // One edge with p = 0.3: E[I({0})] = 1.3.
+  Graph g = MakePathGraph(2, 0.3);
+  Rng rng(99);
+  const int trials = 200000;
+  int64_t total = 0;
+  std::vector<NodeId> seeds = {0};
+  for (int t = 0; t < trials; ++t) total += SimulateIC(g, seeds, &rng);
+  EXPECT_NEAR(static_cast<double>(total) / trials, 1.3, 0.01);
+}
+
+TEST(SimulateIcTest, StarSpreadMatchesClosedForm) {
+  // Star 0 -> {1..9} each with p = 0.2: E[I({0})] = 1 + 9 * 0.2 = 2.8.
+  Graph g = MakeStarGraph(10, 0.2);
+  Rng rng(7);
+  const int trials = 200000;
+  int64_t total = 0;
+  std::vector<NodeId> seeds = {0};
+  for (int t = 0; t < trials; ++t) total += SimulateIC(g, seeds, &rng);
+  EXPECT_NEAR(static_cast<double>(total) / trials, 2.8, 0.02);
+}
+
+TEST(EdgeCoinTest, DeterministicGivenSaltAndEdge) {
+  for (uint64_t e = 0; e < 50; ++e) {
+    for (uint64_t salt = 0; salt < 20; ++salt) {
+      EXPECT_EQ(EdgeCoin(e, salt, 0.5f), EdgeCoin(e, salt, 0.5f));
+    }
+  }
+}
+
+TEST(EdgeCoinTest, RespectsProbabilityExtremes) {
+  for (uint64_t e = 0; e < 100; ++e) {
+    EXPECT_FALSE(EdgeCoin(e, 42, 0.0f));
+    EXPECT_TRUE(EdgeCoin(e, 42, 1.0f));
+  }
+}
+
+TEST(EdgeCoinTest, FrequencyMatchesProbability) {
+  int hits = 0;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    hits += EdgeCoin(17, static_cast<uint64_t>(t), 0.35f) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.35, 0.01);
+}
+
+TEST(EdgeCoinTest, MonotoneInProbability) {
+  // If a coin lands heads at probability p, it must land heads at p' > p
+  // (the underlying uniform draw is fixed by (edge, salt)).
+  for (uint64_t e = 0; e < 200; ++e) {
+    if (EdgeCoin(e, 5, 0.3f)) {
+      EXPECT_TRUE(EdgeCoin(e, 5, 0.8f));
+    }
+  }
+}
+
+TEST(SpreadInHashedWorldTest, AgreesWithClosedFormOnAverage) {
+  Graph g = MakeStarGraph(10, 0.2);
+  std::vector<NodeId> seeds = {0};
+  double total = 0.0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    total += SpreadInHashedWorld(g, seeds, static_cast<uint64_t>(t) * 31 + 7);
+  }
+  EXPECT_NEAR(total / trials, 2.8, 0.02);
+}
+
+TEST(SpreadInHashedWorldTest, SameSaltIsConsistentAcrossSeedSets) {
+  // Common-random-numbers property: I_phi(S u {u}) >= I_phi(S) within the
+  // same hashed world (monotonicity of reachability).
+  Rng rng(3);
+  ErdosRenyiOptions options;
+  options.num_nodes = 60;
+  options.num_edges = 240;
+  Graph g = GenerateErdosRenyi(options, &rng).value();
+  g.AssignProbabilities([](NodeId, NodeId) { return 0.3; });
+
+  std::vector<NodeId> base = {1, 2};
+  std::vector<NodeId> bigger = {1, 2, 3};
+  for (uint64_t salt = 0; salt < 500; ++salt) {
+    EXPECT_GE(SpreadInHashedWorld(g, bigger, salt),
+              SpreadInHashedWorld(g, base, salt));
+  }
+}
+
+TEST(SpreadInHashedWorldTest, RemovedMaskRespected) {
+  const Graph g = MakePathGraph(5, 1.0);
+  BitVector removed(5);
+  removed.Set(1);
+  std::vector<NodeId> seeds = {0};
+  for (uint64_t salt = 0; salt < 20; ++salt) {
+    EXPECT_EQ(SpreadInHashedWorld(g, seeds, salt, &removed), 1u);
+  }
+}
+
+TEST(SimulateIcTest, WorksAcrossDifferentGraphSizes) {
+  // The thread_local visited set must resize correctly between graphs.
+  const Graph small = MakePathGraph(3, 1.0);
+  const Graph large = MakePathGraph(300, 1.0);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateIC(small, seeds, &rng), 3u);
+  EXPECT_EQ(SimulateIC(large, seeds, &rng), 300u);
+  EXPECT_EQ(SimulateIC(small, seeds, &rng), 3u);
+}
+
+}  // namespace
+}  // namespace atpm

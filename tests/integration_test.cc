@@ -1,0 +1,151 @@
+// End-to-end pipeline tests: dataset -> target selection -> all algorithms
+// on shared realizations, with qualitative checks matching the paper's
+// findings (Section VI).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_util/datasets.h"
+#include "bench_util/experiment.h"
+#include "core/ars.h"
+#include "core/hatp.h"
+#include "core/hntp.h"
+#include "core/nonadaptive_greedy.h"
+#include "core/target_selection.h"
+
+namespace atpm {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One shared small dataset + problem for all pipeline tests.
+    Result<BenchDataset> ds = BuildDataset("HepMini", 0.5, 3);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = new BenchDataset(std::move(ds).value());
+
+    TargetSelectionOptions options;
+    options.seed = 11;
+    Result<TargetSelectionResult> sel = BuildTopKTargetProblem(
+        dataset_->graph, 15, CostScheme::kDegreeProportional, options);
+    ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+    selection_ = new TargetSelectionResult(std::move(sel).value());
+  }
+  static void TearDownTestSuite() {
+    delete selection_;
+    delete dataset_;
+    selection_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static BenchDataset* dataset_;
+  static TargetSelectionResult* selection_;
+};
+
+BenchDataset* PipelineTest::dataset_ = nullptr;
+TargetSelectionResult* PipelineTest::selection_ = nullptr;
+
+TEST_F(PipelineTest, CostCalibrationMakesTargetProfitNonnegative) {
+  // rho(T) = E[I(T)] - E_l[I(T)] >= 0 in expectation; check on realized
+  // worlds with slack for sampling noise.
+  ExperimentRunner runner(selection_->problem, 8, 21);
+  AlgoStats baseline = runner.EvaluateBaseline();
+  EXPECT_GT(baseline.mean_profit, -0.15 * selection_->problem.k() *
+                                      selection_->problem.TotalTargetCost() /
+                                      selection_->problem.k());
+}
+
+TEST_F(PipelineTest, HatpBeatsArsAndBaseline) {
+  ExperimentRunner runner(selection_->problem, 4, 22);
+  HatpOptions hatp_options;
+  hatp_options.max_rr_sets_per_decision = 1ull << 17;
+  hatp_options.num_threads = 4;
+  HatpPolicy hatp(hatp_options);
+  ArsPolicy ars;
+
+  Result<AlgoStats> hatp_stats = runner.RunAdaptive(&hatp);
+  Result<AlgoStats> ars_stats = runner.RunAdaptive(&ars);
+  ASSERT_TRUE(hatp_stats.ok() && ars_stats.ok());
+  // Fig. 2's ordering: HATP above ARS, both above the baseline.
+  EXPECT_GT(hatp_stats.value().mean_profit, ars_stats.value().mean_profit);
+  EXPECT_GT(hatp_stats.value().mean_profit,
+            runner.EvaluateBaseline().mean_profit);
+}
+
+TEST_F(PipelineTest, NonadaptiveBatchesAreProfitable) {
+  ExperimentRunner runner(selection_->problem, 4, 23);
+  Rng rng(31);
+  const uint64_t theta = 1u << 14;
+  Result<NonadaptiveResult> nsg = RunNsg(selection_->problem, theta, &rng);
+  Result<NonadaptiveResult> ndg = RunNdg(selection_->problem, theta, &rng);
+  ASSERT_TRUE(nsg.ok() && ndg.ok());
+  const double nsg_profit =
+      runner.EvaluateFixedSet(nsg.value().seeds, 0.0).mean_profit;
+  const double ndg_profit =
+      runner.EvaluateFixedSet(ndg.value().seeds, 0.0).mean_profit;
+  const double baseline = runner.EvaluateBaseline().mean_profit;
+  EXPECT_GT(nsg_profit, baseline);
+  EXPECT_GT(ndg_profit, baseline);
+}
+
+TEST_F(PipelineTest, AdaptiveBeatsItsNonadaptiveTailoring) {
+  // The adaptivity-gap claim (Figs. 2, 3): HATP >= HNTP on average.
+  // Averaged over few worlds this can be noisy, so assert with slack.
+  ExperimentRunner runner(selection_->problem, 6, 24);
+  HatpOptions options;
+  options.max_rr_sets_per_decision = 1ull << 17;
+  options.num_threads = 4;
+  HatpPolicy hatp(options);
+  Result<AlgoStats> hatp_stats = runner.RunAdaptive(&hatp);
+  ASSERT_TRUE(hatp_stats.ok());
+
+  Rng rng(41);
+  Result<HntpResult> hntp = RunHntp(selection_->problem, options, &rng);
+  ASSERT_TRUE(hntp.ok());
+  const double hntp_profit =
+      runner.EvaluateFixedSet(hntp.value().seeds, 0.0).mean_profit;
+  EXPECT_GT(hatp_stats.value().mean_profit, 0.8 * hntp_profit);
+}
+
+TEST_F(PipelineTest, AllSeedsComeFromTargetSet) {
+  ExperimentRunner runner(selection_->problem, 2, 25);
+  HatpOptions options;
+  options.max_rr_sets_per_decision = 1ull << 16;
+  options.num_threads = 4;
+  HatpPolicy hatp(options);
+
+  BitVector in_targets(dataset_->graph.num_nodes());
+  for (NodeId t : selection_->problem.targets) in_targets.Set(t);
+
+  for (uint32_t i = 0; i < 2; ++i) {
+    AdaptiveEnvironment env(Realization(runner.worlds()[i]));
+    Rng rng(runner.WorldSeed(i));
+    Result<AdaptiveRunResult> run =
+        hatp.Run(selection_->problem, &env, &rng);
+    ASSERT_TRUE(run.ok());
+    for (NodeId s : run.value().seeds) EXPECT_TRUE(in_targets.Test(s));
+    // Spread accounting is self-consistent.
+    EXPECT_EQ(run.value().realized_spread, env.num_activated());
+    EXPECT_NEAR(run.value().realized_profit,
+                run.value().realized_spread - run.value().seed_cost, 1e-9);
+  }
+}
+
+TEST_F(PipelineTest, PredefinedCostPipelineRunsEndToEnd) {
+  Result<TargetSelectionResult> sel = BuildPredefinedCostProblem(
+      dataset_->graph, 0.5, CostScheme::kUniform, TargetMethod::kNdg);
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  ASSERT_GT(sel.value().problem.k(), 0u);
+
+  ExperimentRunner runner(sel.value().problem, 2, 26);
+  HatpOptions options;
+  options.max_rr_sets_per_decision = 1ull << 16;
+  options.num_threads = 4;
+  HatpPolicy hatp(options);
+  Result<AlgoStats> stats = runner.RunAdaptive(&hatp);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().completed_runs, 2u);
+}
+
+}  // namespace
+}  // namespace atpm

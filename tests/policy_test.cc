@@ -1,0 +1,196 @@
+// Cross-policy contract tests: every AdaptivePolicy implementation must
+// honor the same invariants when driven through the base interface on a
+// shared world — seeds come from T, accounting identities hold, the
+// environment reflects exactly the policy's seedings, and skipped
+// candidates are really activated.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/addatp.h"
+#include "core/adg.h"
+#include "core/ars.h"
+#include "core/hatp.h"
+#include "core/policy.h"
+#include "diffusion/spread_oracle.h"
+#include "graph/generators.h"
+#include "graph/weighting.h"
+
+namespace atpm {
+namespace {
+
+struct PolicyFixture {
+  Graph graph;
+  ProfitProblem problem;
+  std::unique_ptr<MonteCarloSpreadOracle> oracle;
+  std::vector<std::unique_ptr<AdaptivePolicy>> policies;
+
+  PolicyFixture() {
+    Rng rng(31);
+    BarabasiAlbertOptions options;
+    options.num_nodes = 500;
+    options.edges_per_node = 2;
+    graph = GenerateBarabasiAlbert(options, &rng).value();
+    ApplyWeightedCascade(&graph);
+
+    problem.graph = &graph;
+    problem.targets = {0, 1, 2, 3, 7, 11, 50, 200};
+    problem.costs.assign(graph.num_nodes(), 0.0);
+    for (NodeId t : problem.targets) problem.costs[t] = 2.0;
+
+    MonteCarloOptions mc;
+    mc.num_samples = 3000;
+    mc.seed = 5;
+    oracle = std::make_unique<MonteCarloSpreadOracle>(graph, mc);
+
+    policies.push_back(std::make_unique<AdgPolicy>(oracle.get()));
+    policies.push_back(
+        std::make_unique<AdgPolicy>(oracle.get(), /*randomized=*/true));
+    HatpOptions hatp_options;
+    hatp_options.max_rr_sets_per_decision = 1ull << 15;
+    policies.push_back(std::make_unique<HatpPolicy>(hatp_options));
+    AddAtpOptions addatp_options;
+    addatp_options.max_rr_sets_per_decision = 1ull << 15;
+    addatp_options.fail_on_budget_exhausted = false;
+    policies.push_back(std::make_unique<AddAtpPolicy>(addatp_options));
+    AddAtpOptions dynamic_options = addatp_options;
+    dynamic_options.dynamic_threshold = true;
+    policies.push_back(std::make_unique<AddAtpPolicy>(dynamic_options));
+    policies.push_back(std::make_unique<ArsPolicy>());
+  }
+};
+
+TEST(PolicyContractTest, AllPoliciesHonorSharedInvariants) {
+  PolicyFixture fixture;
+  BitVector in_targets(fixture.graph.num_nodes());
+  for (NodeId t : fixture.problem.targets) in_targets.Set(t);
+
+  for (auto& policy : fixture.policies) {
+    SCOPED_TRACE(std::string(policy->name()));
+    Rng world_rng(77);
+    AdaptiveEnvironment env(Realization::Sample(fixture.graph, &world_rng));
+    Rng rng(3);
+    Result<AdaptiveRunResult> run =
+        policy->Run(fixture.problem, &env, &rng);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const AdaptiveRunResult& result = run.value();
+
+    // Seeds come from T, without duplicates.
+    BitVector seen(fixture.graph.num_nodes());
+    for (NodeId s : result.seeds) {
+      EXPECT_TRUE(in_targets.Test(s));
+      EXPECT_FALSE(seen.Test(s));
+      seen.Set(s);
+    }
+
+    // Accounting identities.
+    EXPECT_EQ(result.realized_spread, env.num_activated());
+    EXPECT_DOUBLE_EQ(result.seed_cost,
+                     fixture.problem.CostOfSet(result.seeds));
+    EXPECT_DOUBLE_EQ(result.realized_profit,
+                     result.realized_spread - result.seed_cost);
+
+    // One step per target, in examination order.
+    ASSERT_EQ(result.steps.size(), fixture.problem.targets.size());
+    uint32_t selected = 0;
+    uint32_t spread_from_steps = 0;
+    for (size_t i = 0; i < result.steps.size(); ++i) {
+      EXPECT_EQ(result.steps[i].node, fixture.problem.targets[i]);
+      if (result.steps[i].decision == SeedDecision::kSelected) {
+        ++selected;
+        spread_from_steps += result.steps[i].newly_activated;
+        EXPECT_GE(result.steps[i].newly_activated, 1u);  // at least itself
+      } else {
+        EXPECT_EQ(result.steps[i].newly_activated, 0u);
+      }
+    }
+    EXPECT_EQ(selected, result.seeds.size());
+    EXPECT_EQ(spread_from_steps, result.realized_spread);
+
+    // Every seed is activated in the final environment; skipped
+    // candidates were activated before their turn.
+    for (NodeId s : result.seeds) EXPECT_TRUE(env.IsActivated(s));
+    for (const AdaptiveStepRecord& step : result.steps) {
+      if (step.decision == SeedDecision::kSkippedActivated) {
+        EXPECT_TRUE(env.IsActivated(step.node));
+      }
+    }
+  }
+}
+
+TEST(PolicyContractTest, SamplingPoliciesReportRrTelemetry) {
+  PolicyFixture fixture;
+  for (auto& policy : fixture.policies) {
+    const bool sampling =
+        policy->name() == "HATP" || policy->name() == "ADDATP";
+    if (!sampling) continue;
+    SCOPED_TRACE(std::string(policy->name()));
+    Rng world_rng(78);
+    AdaptiveEnvironment env(Realization::Sample(fixture.graph, &world_rng));
+    Rng rng(4);
+    Result<AdaptiveRunResult> run =
+        policy->Run(fixture.problem, &env, &rng);
+    ASSERT_TRUE(run.ok());
+    EXPECT_GT(run.value().total_rr_sets, 0u);
+    EXPECT_LE(run.value().max_rr_sets_per_iteration,
+              run.value().total_rr_sets);
+    uint64_t steps_total = 0;
+    for (const AdaptiveStepRecord& step : run.value().steps) {
+      steps_total += step.rr_sets_used;
+    }
+    EXPECT_EQ(steps_total, run.value().total_rr_sets);
+  }
+}
+
+TEST(PolicyContractTest, OracleAndArsPoliciesUseNoSamples) {
+  PolicyFixture fixture;
+  for (auto& policy : fixture.policies) {
+    const bool sampling_free =
+        policy->name() == "ADG" || policy->name() == "ADG-R" ||
+        policy->name() == "ARS";
+    if (!sampling_free) continue;
+    SCOPED_TRACE(std::string(policy->name()));
+    Rng world_rng(79);
+    AdaptiveEnvironment env(Realization::Sample(fixture.graph, &world_rng));
+    Rng rng(5);
+    Result<AdaptiveRunResult> run =
+        policy->Run(fixture.problem, &env, &rng);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.value().total_rr_sets, 0u);
+  }
+}
+
+TEST(PolicyContractTest, EveryPolicyRejectsUsedEnvironment) {
+  PolicyFixture fixture;
+  for (auto& policy : fixture.policies) {
+    SCOPED_TRACE(std::string(policy->name()));
+    Rng world_rng(80);
+    AdaptiveEnvironment env(Realization::Sample(fixture.graph, &world_rng));
+    env.SeedAndObserve(400);  // not a target; environment no longer fresh
+    Rng rng(6);
+    EXPECT_FALSE(policy->Run(fixture.problem, &env, &rng).ok());
+  }
+}
+
+TEST(FinalizeAdaptiveResultTest, ComputesIdentities) {
+  const Graph g = MakePathGraph(4, 1.0);
+  ProfitProblem problem;
+  problem.graph = &g;
+  problem.targets = {0};
+  problem.costs = {1.5, 0.0, 0.0, 0.0};
+
+  Rng world_rng(1);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  env.SeedAndObserve(0);  // activates the whole path
+
+  AdaptiveRunResult result;
+  result.seeds = {0};
+  FinalizeAdaptiveResult(problem, env, &result);
+  EXPECT_EQ(result.realized_spread, 4u);
+  EXPECT_DOUBLE_EQ(result.seed_cost, 1.5);
+  EXPECT_DOUBLE_EQ(result.realized_profit, 2.5);
+}
+
+}  // namespace
+}  // namespace atpm

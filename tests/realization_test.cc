@@ -1,0 +1,131 @@
+#include "diffusion/realization.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace atpm {
+namespace {
+
+TEST(RealizationTest, AllEdgesLiveAtProbabilityOne) {
+  const Graph g = MakePathGraph(6, 1.0);
+  Rng rng(1);
+  Realization world = Realization::Sample(g, &rng);
+  EXPECT_EQ(world.NumLiveEdges(), g.num_edges());
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(world.Spread(seeds), 6u);
+}
+
+TEST(RealizationTest, NoEdgesLiveAtProbabilityZero) {
+  const Graph g = MakeCompleteGraph(5, 0.0);
+  Rng rng(1);
+  Realization world = Realization::Sample(g, &rng);
+  EXPECT_EQ(world.NumLiveEdges(), 0u);
+  std::vector<NodeId> seeds = {2};
+  EXPECT_EQ(world.Spread(seeds), 1u);
+}
+
+TEST(RealizationTest, LiveEdgeFrequencyMatchesProbability) {
+  const Graph g = MakeStarGraph(2000, 0.3);
+  Rng rng(5);
+  Realization world = Realization::Sample(g, &rng);
+  EXPECT_NEAR(static_cast<double>(world.NumLiveEdges()) /
+                  static_cast<double>(g.num_edges()),
+              0.3, 0.03);
+}
+
+TEST(RealizationTest, FromLiveEdgesExactControl) {
+  const Graph g = MakePathGraph(4, 0.5);  // edges: 0->1, 1->2, 2->3
+  BitVector live(g.num_edges());
+  live.Set(0);
+  live.Set(2);
+  Realization world = Realization::FromLiveEdges(g, std::move(live));
+  EXPECT_TRUE(world.IsLive(0, 0));
+  EXPECT_FALSE(world.IsLive(1, 0));
+  EXPECT_TRUE(world.IsLive(2, 0));
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(world.Spread(seeds), 2u);  // 0 -> 1, stops (1->2 dead)
+}
+
+TEST(RealizationTest, SpreadWithRemovedMask) {
+  const Graph g = MakePathGraph(5, 1.0);
+  Rng rng(1);
+  Realization world = Realization::Sample(g, &rng);
+  BitVector removed(5);
+  removed.Set(2);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(world.Spread(seeds, &removed), 2u);
+  // A removed seed contributes nothing.
+  std::vector<NodeId> seed2 = {2};
+  EXPECT_EQ(world.Spread(seed2, &removed), 0u);
+}
+
+TEST(RealizationTest, ReachedOutListsReachedNodes) {
+  const Graph g = MakePathGraph(4, 1.0);
+  Rng rng(1);
+  Realization world = Realization::Sample(g, &rng);
+  std::vector<NodeId> reached;
+  std::vector<NodeId> seeds = {1};
+  EXPECT_EQ(world.Spread(seeds, nullptr, &reached), 3u);
+  ASSERT_EQ(reached.size(), 3u);
+  EXPECT_EQ(reached[0], 1u);
+  EXPECT_EQ(reached[1], 2u);
+  EXPECT_EQ(reached[2], 3u);
+}
+
+TEST(RealizationTest, SpreadIsMonotoneInSeeds) {
+  Rng rng(9);
+  ErdosRenyiOptions options;
+  options.num_nodes = 80;
+  options.num_edges = 320;
+  Graph g = GenerateErdosRenyi(options, &rng).value();
+  g.AssignProbabilities([](NodeId, NodeId) { return 0.4; });
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Realization world = Realization::Sample(g, &rng);
+    std::vector<NodeId> small = {0, 5};
+    std::vector<NodeId> large = {0, 5, 10, 15};
+    EXPECT_GE(world.Spread(large), world.Spread(small));
+  }
+}
+
+TEST(RealizationTest, AverageSpreadOverWorldsMatchesIcSimulation) {
+  // E over sampled worlds of I_phi(S) equals E[I(S)].
+  const Graph g = MakeStarGraph(12, 0.25);  // E[I({0})] = 1 + 11/4 = 3.75
+  Rng rng(21);
+  double total = 0.0;
+  const int trials = 100000;
+  std::vector<NodeId> seeds = {0};
+  for (int t = 0; t < trials; ++t) {
+    Realization world = Realization::Sample(g, &rng);
+    total += world.Spread(seeds);
+  }
+  EXPECT_NEAR(total / trials, 3.75, 0.02);
+}
+
+TEST(RealizationTest, RepeatedQueriesOnSameWorldAreStable) {
+  Rng rng(33);
+  const Graph g = MakeCycleGraph(10, 0.5);
+  Realization world = Realization::Sample(g, &rng);
+  std::vector<NodeId> seeds = {3};
+  const uint32_t first = world.Spread(seeds);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(world.Spread(seeds), first);
+}
+
+TEST(RealizationTest, DeterministicGivenSeed) {
+  const Graph g = MakeCompleteGraph(8, 0.5);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  Realization a = Realization::Sample(g, &rng_a);
+  Realization b = Realization::Sample(g, &rng_b);
+  for (NodeId u = 0; u < 8; ++u) {
+    for (uint32_t j = 0; j < g.OutDegree(u); ++j) {
+      EXPECT_EQ(a.IsLive(u, j), b.IsLive(u, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,106 @@
+#include "rris/ris_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "diffusion/spread_oracle.h"
+#include "graph/generators.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+namespace {
+
+TEST(RisEstimatorTest, EmptyPoolEstimatesZero) {
+  RRCollection pool(4);
+  EXPECT_DOUBLE_EQ(EstimateSpreadOfNode(pool, 0, 4), 0.0);
+}
+
+TEST(RisEstimatorTest, MakeMembershipBitmap) {
+  std::vector<NodeId> nodes = {1, 3};
+  BitVector b = MakeMembershipBitmap(5, nodes);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_TRUE(b.Test(1));
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(RisEstimatorTest, HandPoolEstimates) {
+  RRCollection pool(4);
+  pool.AddSet(std::vector<NodeId>{0});
+  pool.AddSet(std::vector<NodeId>{0, 1});
+  pool.AddSet(std::vector<NodeId>{2});
+  pool.AddSet(std::vector<NodeId>{3});
+  // Cov(0) = 2 of 4 sets; estimate = 4 * 2/4 = 2.
+  EXPECT_DOUBLE_EQ(EstimateSpreadOfNode(pool, 0, 4), 2.0);
+  BitVector members = MakeMembershipBitmap(4, std::vector<NodeId>{0, 2});
+  EXPECT_DOUBLE_EQ(EstimateSpreadOfSet(pool, members, 4), 3.0);
+  BitVector base = MakeMembershipBitmap(4, std::vector<NodeId>{1});
+  EXPECT_DOUBLE_EQ(EstimateMarginalSpread(pool, 0, base, 4), 1.0);
+}
+
+// Property: RIS estimates converge to exact expected spreads.
+class RisAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RisAccuracyTest, EstimatesMatchExactOracle) {
+  Graph g;
+  switch (GetParam()) {
+    case 0:
+      g = MakePathGraph(5, 0.5);
+      break;
+    case 1:
+      g = MakeStarGraph(7, 0.35);
+      break;
+    case 2:
+      g = MakeCycleGraph(6, 0.4);
+      break;
+    default:
+      g = MakePaperFigure1Graph();
+  }
+  auto exact = ExactSpreadOracle::Create(g);
+  ASSERT_TRUE(exact.ok());
+
+  RRSetGenerator generator(g);
+  RRCollection pool(g.num_nodes());
+  Rng rng(500 + GetParam());
+  pool.Generate(&generator, nullptr, g.num_nodes(), 200000, &rng);
+
+  // Single nodes.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<NodeId> seeds = {u};
+    EXPECT_NEAR(EstimateSpreadOfNode(pool, u, g.num_nodes()),
+                exact.value()->ExpectedSpread(seeds, nullptr), 0.08)
+        << "node " << u;
+  }
+  // A two-node set and its marginal.
+  std::vector<NodeId> pair = {0, static_cast<NodeId>(g.num_nodes() - 1)};
+  BitVector members = MakeMembershipBitmap(g.num_nodes(), pair);
+  EXPECT_NEAR(EstimateSpreadOfSet(pool, members, g.num_nodes()),
+              exact.value()->ExpectedSpread(pair, nullptr), 0.1);
+
+  std::vector<NodeId> base = {0};
+  BitVector base_b = MakeMembershipBitmap(g.num_nodes(), base);
+  EXPECT_NEAR(
+      EstimateMarginalSpread(pool, pair[1], base_b, g.num_nodes()),
+      exact.value()->ExpectedMarginalSpread(pair[1], base, nullptr), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, RisAccuracyTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(RisEstimatorTest, ResidualGraphEstimates) {
+  // Path 0 -> 1 -> 2 -> 3 at p = 1 with node 2 removed: alive = {0, 1, 3},
+  // E[I_res({0})] = 2.
+  const Graph g = MakePathGraph(4, 1.0);
+  BitVector removed(4);
+  removed.Set(2);
+  RRSetGenerator generator(g);
+  RRCollection pool(4);
+  Rng rng(9);
+  pool.Generate(&generator, &removed, 3, 60000, &rng);
+  EXPECT_NEAR(EstimateSpreadOfNode(pool, 0, 3), 2.0, 0.05);
+  EXPECT_NEAR(EstimateSpreadOfNode(pool, 3, 3), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,93 @@
+#include "im/spread_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "diffusion/spread_oracle.h"
+#include "graph/generators.h"
+#include "rris/rr_collection.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+namespace {
+
+TEST(SpreadBoundTest, LowerIsBelowUpper) {
+  for (uint64_t cov : {0ull, 5ull, 100ull, 5000ull}) {
+    EXPECT_LE(SpreadLowerBound(cov, 10000, 1000, 0.01),
+              SpreadUpperBound(cov, 10000, 1000, 0.01));
+  }
+}
+
+TEST(SpreadBoundTest, LowerBoundBelowPointEstimate) {
+  const uint64_t cov = 400;
+  const uint64_t theta = 10000;
+  const uint32_t n = 1000;
+  const double point = static_cast<double>(cov) * n / theta;
+  EXPECT_LE(SpreadLowerBound(cov, theta, n, 0.001), point);
+  EXPECT_GE(SpreadUpperBound(cov, theta, n, 0.001), point);
+}
+
+TEST(SpreadBoundTest, ZeroCoverageGivesZeroLowerBound) {
+  EXPECT_NEAR(SpreadLowerBound(0, 1000, 100, 0.01), 0.0, 1e-12);
+}
+
+TEST(SpreadBoundTest, UpperBoundCappedAtN) {
+  // Even with full coverage, the spread cannot exceed n.
+  EXPECT_LE(SpreadUpperBound(1000, 1000, 50, 0.001), 50.0);
+}
+
+TEST(SpreadBoundTest, BoundsTightenWithMoreSamples) {
+  // Same empirical fraction at 10x samples -> tighter interval.
+  const double lo_small = SpreadLowerBound(100, 1000, 1000, 0.01);
+  const double hi_small = SpreadUpperBound(100, 1000, 1000, 0.01);
+  const double lo_large = SpreadLowerBound(1000, 10000, 1000, 0.01);
+  const double hi_large = SpreadUpperBound(1000, 10000, 1000, 0.01);
+  EXPECT_GE(lo_large, lo_small);
+  EXPECT_LE(hi_large, hi_small);
+}
+
+TEST(SpreadBoundTest, SmallerDeltaWidensInterval) {
+  const double lo_loose = SpreadLowerBound(500, 5000, 1000, 0.1);
+  const double lo_tight = SpreadLowerBound(500, 5000, 1000, 1e-6);
+  EXPECT_LE(lo_tight, lo_loose);
+  const double hi_loose = SpreadUpperBound(500, 5000, 1000, 0.1);
+  const double hi_tight = SpreadUpperBound(500, 5000, 1000, 1e-6);
+  EXPECT_GE(hi_tight, hi_loose);
+}
+
+// Empirical coverage: across repeated pools, the lower bound should hold
+// for the true expected spread in well over 1 - delta of trials.
+TEST(SpreadBoundTest, LowerBoundHoldsEmpirically) {
+  const Graph g = MakeStarGraph(20, 0.4);  // E[I({0})] = 1 + 19*0.4 = 8.6
+  auto exact = ExactSpreadOracle::Create(g, 32);
+  ASSERT_TRUE(exact.ok());
+  std::vector<NodeId> seeds = {0};
+  const double truth = exact.value()->ExpectedSpread(seeds, nullptr);
+
+  Rng rng(77);
+  RRSetGenerator generator(g);
+  const uint64_t theta = 3000;
+  const double delta = 0.05;
+  int violations = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    RRCollection pool(20);
+    pool.Generate(&generator, nullptr, 20, theta, &rng);
+    const uint64_t cov = pool.CoverageOfNode(0);
+    if (SpreadLowerBound(cov, theta, 20, delta) > truth) ++violations;
+    if (SpreadUpperBound(cov, theta, 20, delta) < truth) ++violations;
+  }
+  // Each side should fail at most ~delta of the time; allow generous slack.
+  EXPECT_LE(violations, static_cast<int>(2 * delta * trials) + 5);
+}
+
+TEST(SpreadBoundDeathTest, RejectsDegenerateInputs) {
+  EXPECT_DEATH(SpreadLowerBound(1, 0, 10, 0.1), "ATPM_CHECK");
+  EXPECT_DEATH(SpreadLowerBound(1, 10, 10, 0.0), "ATPM_CHECK");
+  EXPECT_DEATH(SpreadUpperBound(1, 10, 10, 1.5), "ATPM_CHECK");
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,204 @@
+#include "diffusion/spread_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace atpm {
+namespace {
+
+std::unique_ptr<ExactSpreadOracle> MakeExact(const Graph& g) {
+  Result<std::unique_ptr<ExactSpreadOracle>> oracle =
+      ExactSpreadOracle::Create(g);
+  EXPECT_TRUE(oracle.ok()) << oracle.status().ToString();
+  return std::move(oracle).value();
+}
+
+TEST(ExactSpreadOracleTest, SingleEdgeClosedForm) {
+  const Graph g = MakePathGraph(2, 0.3);
+  auto oracle = MakeExact(g);
+  std::vector<NodeId> seeds = {0};
+  // Probabilities are stored as float; tolerances account for the cast.
+  EXPECT_NEAR(oracle->ExpectedSpread(seeds, nullptr), 1.3, 1e-6);
+}
+
+TEST(ExactSpreadOracleTest, PathClosedForm) {
+  // Path 0 -> 1 -> 2 with p: E[I({0})] = 1 + p + p^2.
+  const double p = 0.4;
+  const Graph g = MakePathGraph(3, p);
+  auto oracle = MakeExact(g);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_NEAR(oracle->ExpectedSpread(seeds, nullptr), 1.0 + p + p * p, 1e-6);
+}
+
+TEST(ExactSpreadOracleTest, StarClosedForm) {
+  const Graph g = MakeStarGraph(6, 0.25);  // 1 + 5 * 0.25 = 2.25
+  auto oracle = MakeExact(g);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_NEAR(oracle->ExpectedSpread(seeds, nullptr), 2.25, 1e-6);
+}
+
+TEST(ExactSpreadOracleTest, EmptySeedSetHasZeroSpread) {
+  const Graph g = MakePathGraph(3, 0.5);
+  auto oracle = MakeExact(g);
+  EXPECT_DOUBLE_EQ(oracle->ExpectedSpread({}, nullptr), 0.0);
+}
+
+TEST(ExactSpreadOracleTest, FullSeedSetSpreadIsN) {
+  const Graph g = MakePathGraph(4, 0.5);
+  auto oracle = MakeExact(g);
+  std::vector<NodeId> seeds = {0, 1, 2, 3};
+  EXPECT_NEAR(oracle->ExpectedSpread(seeds, nullptr), 4.0, 1e-12);
+}
+
+TEST(ExactSpreadOracleTest, RemovedMaskGivesResidualSpread) {
+  const Graph g = MakePathGraph(4, 1.0);
+  auto oracle = MakeExact(g);
+  BitVector removed(4);
+  removed.Set(2);
+  std::vector<NodeId> seeds = {0};
+  // Residual: 0 -> 1, blocked.
+  EXPECT_NEAR(oracle->ExpectedSpread(seeds, &removed), 2.0, 1e-12);
+}
+
+TEST(ExactSpreadOracleTest, RemovedSeedContributesNothing) {
+  const Graph g = MakePathGraph(3, 1.0);
+  auto oracle = MakeExact(g);
+  BitVector removed(3);
+  removed.Set(0);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_DOUBLE_EQ(oracle->ExpectedSpread(seeds, &removed), 0.0);
+}
+
+TEST(ExactSpreadOracleTest, CreateFailsOnLargeGraphs) {
+  const Graph g = MakeCompleteGraph(8, 0.1);  // 56 edges > default cap 24
+  Result<std::unique_ptr<ExactSpreadOracle>> oracle =
+      ExactSpreadOracle::Create(g);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_TRUE(oracle.status().IsInvalidArgument());
+}
+
+TEST(ExactSpreadOracleTest, MarginalSpreadMatchesDifference) {
+  const Graph g = MakePaperFigure1Graph();
+  auto oracle = MakeExact(g);
+  std::vector<NodeId> base = {1};
+  std::vector<NodeId> with = {1, 5};
+  const double marginal = oracle->ExpectedMarginalSpread(5, base, nullptr);
+  EXPECT_NEAR(marginal,
+              oracle->ExpectedSpread(with, nullptr) -
+                  oracle->ExpectedSpread(base, nullptr),
+              1e-12);
+}
+
+TEST(ExactSpreadOracleTest, PaperFigure1NonadaptiveTargetProfit) {
+  // The paper states E[I_{G1}({v1, v2, v6})] = 6.16 for Fig. 1(a).
+  const Graph g = MakePaperFigure1Graph();
+  auto oracle = MakeExact(g);
+  std::vector<NodeId> targets = {0, 1, 5};  // v1, v2, v6
+  EXPECT_NEAR(oracle->ExpectedSpread(targets, nullptr), 6.16, 0.02);
+}
+
+TEST(MonteCarloSpreadOracleTest, MatchesExactOnSmallGraphs) {
+  const Graph g = MakePaperFigure1Graph();
+  auto exact = MakeExact(g);
+  MonteCarloOptions options;
+  options.num_samples = 200000;
+  options.seed = 11;
+  MonteCarloSpreadOracle mc(g, options);
+
+  for (const std::vector<NodeId>& seeds :
+       std::vector<std::vector<NodeId>>{{0}, {1}, {5}, {0, 1}, {1, 5},
+                                        {0, 1, 5}}) {
+    EXPECT_NEAR(mc.ExpectedSpread(seeds, nullptr),
+                exact->ExpectedSpread(seeds, nullptr), 0.05)
+        << "seeds size " << seeds.size();
+  }
+}
+
+TEST(MonteCarloSpreadOracleTest, MarginalUsesCommonRandomNumbers) {
+  // The paired estimator must match exact marginals tightly even with a
+  // modest sample count (independent estimates would need far more).
+  const Graph g = MakePaperFigure1Graph();
+  auto exact = MakeExact(g);
+  MonteCarloOptions options;
+  options.num_samples = 50000;
+  options.seed = 13;
+  MonteCarloSpreadOracle mc(g, options);
+
+  std::vector<NodeId> base = {1};
+  EXPECT_NEAR(mc.ExpectedMarginalSpread(5, base, nullptr),
+              exact->ExpectedMarginalSpread(5, base, nullptr), 0.06);
+}
+
+TEST(MonteCarloSpreadOracleTest, MarginalOfMemberIsZero) {
+  const Graph g = MakePathGraph(4, 0.5);
+  MonteCarloOptions options;
+  options.num_samples = 20000;
+  MonteCarloSpreadOracle mc(g, options);
+  std::vector<NodeId> base = {1};
+  EXPECT_DOUBLE_EQ(mc.ExpectedMarginalSpread(1, base, nullptr), 0.0);
+}
+
+TEST(MonteCarloSpreadOracleTest, RespectsRemovedMask) {
+  const Graph g = MakePathGraph(4, 1.0);
+  MonteCarloOptions options;
+  options.num_samples = 1000;
+  MonteCarloSpreadOracle mc(g, options);
+  BitVector removed(4);
+  removed.Set(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_NEAR(mc.ExpectedSpread(seeds, &removed), 1.0, 1e-9);
+}
+
+TEST(MonteCarloSpreadOracleTest, DeterministicGivenSeed) {
+  const Graph g = MakePaperFigure1Graph();
+  MonteCarloOptions options;
+  options.num_samples = 5000;
+  options.seed = 99;
+  MonteCarloSpreadOracle a(g, options);
+  MonteCarloSpreadOracle b(g, options);
+  std::vector<NodeId> seeds = {1, 5};
+  EXPECT_DOUBLE_EQ(a.ExpectedSpread(seeds, nullptr),
+                   b.ExpectedSpread(seeds, nullptr));
+}
+
+// Property sweep: MC tracks the exact oracle across several structured
+// graphs and seed sets.
+class OracleAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleAgreementTest, McMatchesExact) {
+  const int variant = GetParam();
+  Graph g;
+  switch (variant) {
+    case 0:
+      g = MakePathGraph(5, 0.6);
+      break;
+    case 1:
+      g = MakeStarGraph(8, 0.4);
+      break;
+    case 2:
+      g = MakeCycleGraph(6, 0.5);
+      break;
+    default:
+      g = MakePaperFigure1Graph();
+  }
+  auto exact = MakeExact(g);
+  MonteCarloOptions options;
+  options.num_samples = 100000;
+  options.seed = 1000 + variant;
+  MonteCarloSpreadOracle mc(g, options);
+
+  std::vector<NodeId> seeds = {0, static_cast<NodeId>(g.num_nodes() / 2)};
+  EXPECT_NEAR(mc.ExpectedSpread(seeds, nullptr),
+              exact->ExpectedSpread(seeds, nullptr), 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, OracleAgreementTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace atpm

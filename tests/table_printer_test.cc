@@ -1,0 +1,53 @@
+#include "bench_util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace atpm {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"dataset", "k", "profit"});
+  table.AddRow({"NetHEPT", "10", "123.45"});
+  table.AddRow({"LiveJournal", "500", "9.1"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("dataset"), std::string::npos);
+  EXPECT_NE(text.find("LiveJournal"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Every line of the body starts at column 0 with the first cell.
+  EXPECT_EQ(text.find("NetHEPT"), text.find('\n', text.find("----")) + 1);
+}
+
+TEST(TablePrinterTest, HandlesShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find('x'), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsHeaderOnly) {
+  TablePrinter table({"col"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("col"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatSecondsTest, RangeDependentPrecision) {
+  EXPECT_EQ(FormatSeconds(0.1234), "0.123");
+  EXPECT_EQ(FormatSeconds(12.34), "12.3");
+  EXPECT_EQ(FormatSeconds(1234.6), "1235");
+}
+
+}  // namespace
+}  // namespace atpm

@@ -1,0 +1,135 @@
+#include "core/target_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/weighting.h"
+
+namespace atpm {
+namespace {
+
+Graph TestSocialGraph(uint64_t seed) {
+  Rng rng(seed);
+  BarabasiAlbertOptions ba;
+  ba.num_nodes = 400;
+  ba.edges_per_node = 2;
+  Graph g = GenerateBarabasiAlbert(ba, &rng).value();
+  ApplyWeightedCascade(&g);
+  return g;
+}
+
+TEST(TopKTargetTest, ProducesValidCalibratedProblem) {
+  const Graph g = TestSocialGraph(1);
+  Result<TargetSelectionResult> result =
+      BuildTopKTargetProblem(g, 15, CostScheme::kUniform);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ProfitProblem& problem = result.value().problem;
+  EXPECT_EQ(problem.k(), 15u);
+  EXPECT_TRUE(problem.Validate().ok());
+  // The paper's calibration: c(T) = E_l[I(T)].
+  EXPECT_NEAR(problem.TotalTargetCost(), result.value().spread_lower_bound,
+              1e-6);
+  EXPECT_GT(result.value().spread_lower_bound, 15.0);
+}
+
+TEST(TopKTargetTest, TargetsAreInfluential) {
+  // The IMM-selected targets must beat random nodes on average degree
+  // (degree is a strong spread proxy under weighted cascade).
+  const Graph g = TestSocialGraph(2);
+  Result<TargetSelectionResult> result =
+      BuildTopKTargetProblem(g, 10, CostScheme::kDegreeProportional);
+  ASSERT_TRUE(result.ok());
+  double target_deg = 0.0;
+  for (NodeId t : result.value().problem.targets) {
+    target_deg += g.OutDegree(t);
+  }
+  target_deg /= 10.0;
+  EXPECT_GT(target_deg, 3.0 * g.AverageDegree());
+}
+
+TEST(TopKTargetTest, DegreeSchemeChargesInfluencersMore) {
+  const Graph g = TestSocialGraph(3);
+  Result<TargetSelectionResult> result =
+      BuildTopKTargetProblem(g, 10, CostScheme::kDegreeProportional);
+  ASSERT_TRUE(result.ok());
+  const ProfitProblem& problem = result.value().problem;
+  // Max-degree target costs more than min-degree target.
+  NodeId max_t = problem.targets[0];
+  NodeId min_t = problem.targets[0];
+  for (NodeId t : problem.targets) {
+    if (g.OutDegree(t) > g.OutDegree(max_t)) max_t = t;
+    if (g.OutDegree(t) < g.OutDegree(min_t)) min_t = t;
+  }
+  if (g.OutDegree(max_t) > g.OutDegree(min_t)) {
+    EXPECT_GT(problem.CostOf(max_t), problem.CostOf(min_t));
+  }
+}
+
+TEST(TopKTargetTest, DeterministicGivenSeed) {
+  const Graph g = TestSocialGraph(4);
+  TargetSelectionOptions options;
+  options.seed = 123;
+  Result<TargetSelectionResult> a =
+      BuildTopKTargetProblem(g, 8, CostScheme::kUniform, options);
+  Result<TargetSelectionResult> b =
+      BuildTopKTargetProblem(g, 8, CostScheme::kUniform, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().problem.targets, b.value().problem.targets);
+  EXPECT_EQ(a.value().problem.costs, b.value().problem.costs);
+}
+
+TEST(TopKTargetTest, RejectsBadK) {
+  const Graph g = TestSocialGraph(5);
+  EXPECT_FALSE(BuildTopKTargetProblem(g, 0, CostScheme::kUniform).ok());
+}
+
+TEST(PredefinedCostTest, DerivesNonEmptyTargetSet) {
+  const Graph g = TestSocialGraph(6);
+  // Small lambda: many nodes profitable.
+  Result<TargetSelectionResult> result = BuildPredefinedCostProblem(
+      g, 0.5, CostScheme::kUniform, TargetMethod::kNsg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().problem.k(), 0u);
+  EXPECT_TRUE(result.value().problem.Validate().ok());
+}
+
+TEST(PredefinedCostTest, SmallerLambdaYieldsLargerTargetSet) {
+  const Graph g = TestSocialGraph(7);
+  Result<TargetSelectionResult> small_lambda = BuildPredefinedCostProblem(
+      g, 0.3, CostScheme::kUniform, TargetMethod::kNsg);
+  Result<TargetSelectionResult> large_lambda = BuildPredefinedCostProblem(
+      g, 1.5, CostScheme::kUniform, TargetMethod::kNsg);
+  ASSERT_TRUE(small_lambda.ok() && large_lambda.ok());
+  EXPECT_GE(small_lambda.value().problem.k(),
+            large_lambda.value().problem.k());
+}
+
+TEST(PredefinedCostTest, NdgMethodAlsoWorks) {
+  const Graph g = TestSocialGraph(8);
+  Result<TargetSelectionResult> result = BuildPredefinedCostProblem(
+      g, 0.5, CostScheme::kDegreeProportional, TargetMethod::kNdg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().problem.k(), 0u);
+}
+
+TEST(PredefinedCostTest, HugeLambdaFailsGracefully) {
+  const Graph g = TestSocialGraph(9);
+  Result<TargetSelectionResult> result = BuildPredefinedCostProblem(
+      g, 1e6, CostScheme::kUniform, TargetMethod::kNsg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(PredefinedCostTest, CostsCoverWholeGraph) {
+  const Graph g = TestSocialGraph(10);
+  Result<TargetSelectionResult> result = BuildPredefinedCostProblem(
+      g, 0.5, CostScheme::kUniform, TargetMethod::kNsg);
+  ASSERT_TRUE(result.ok());
+  // Predefined setting: every node carries a positive cost.
+  for (double c : result.value().problem.costs) EXPECT_GT(c, 0.0);
+}
+
+}  // namespace
+}  // namespace atpm

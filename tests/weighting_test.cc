@@ -1,0 +1,141 @@
+#include "graph/weighting.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace atpm {
+namespace {
+
+Graph SmallTestGraph() {
+  GraphBuilder b;
+  b.AddEdge(0, 2, 0.0);
+  b.AddEdge(1, 2, 0.0);
+  b.AddEdge(3, 2, 0.0);
+  b.AddEdge(0, 1, 0.0);
+  b.AddEdge(2, 3, 0.0);
+  Result<Graph> g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(WeightedCascadeTest, ProbabilityIsInverseInDegree) {
+  Graph g = SmallTestGraph();
+  ApplyWeightedCascade(&g);
+  // Node 2 has in-degree 3: every incoming arc carries 1/3.
+  for (float p : g.InProbs(2)) EXPECT_FLOAT_EQ(p, 1.0f / 3.0f);
+  // Node 1 has in-degree 1.
+  EXPECT_FLOAT_EQ(g.InProbs(1)[0], 1.0f);
+  // Forward view agrees.
+  const auto neigh = g.OutNeighbors(0);
+  const auto probs = g.OutProbs(0);
+  for (uint32_t j = 0; j < neigh.size(); ++j) {
+    EXPECT_FLOAT_EQ(probs[j], 1.0f / static_cast<float>(g.InDegree(neigh[j])));
+  }
+}
+
+TEST(WeightedCascadeTest, IncomingProbabilitiesSumToOne) {
+  Rng rng(5);
+  BarabasiAlbertOptions options;
+  options.num_nodes = 300;
+  options.edges_per_node = 3;
+  Graph g = GenerateBarabasiAlbert(options, &rng).value();
+  ApplyWeightedCascade(&g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) continue;
+    double sum = 0.0;
+    for (float p : g.InProbs(v)) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(ConstantProbabilityTest, AllEdgesGetP) {
+  Graph g = SmallTestGraph();
+  ApplyConstantProbability(&g, 0.37);
+  for (const WeightedEdge& e : g.CollectEdges()) {
+    EXPECT_FLOAT_EQ(e.prob, 0.37f);
+  }
+}
+
+TEST(TrivalencyTest, OnlyThreeLevelsAppear) {
+  Rng rng(6);
+  Graph g = MakeCompleteGraph(20, 0.0);
+  ApplyTrivalency(&g, &rng);
+  int counts[3] = {0, 0, 0};
+  for (const WeightedEdge& e : g.CollectEdges()) {
+    if (e.prob == 0.1f) {
+      ++counts[0];
+    } else if (e.prob == 0.01f) {
+      ++counts[1];
+    } else if (e.prob == 0.001f) {
+      ++counts[2];
+    } else {
+      FAIL() << "unexpected probability " << e.prob;
+    }
+  }
+  // All three levels should occur on 380 edges.
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+}
+
+TEST(TrivalencyTest, ForwardReverseConsistent) {
+  Rng rng(7);
+  Graph g = SmallTestGraph();
+  ApplyTrivalency(&g, &rng);
+  // The hash-keyed assignment must give identical values in both CSR views.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto in_neigh = g.InNeighbors(v);
+    const auto in_probs = g.InProbs(v);
+    for (uint32_t j = 0; j < in_neigh.size(); ++j) {
+      const NodeId u = in_neigh[j];
+      const auto out_neigh = g.OutNeighbors(u);
+      const auto out_probs = g.OutProbs(u);
+      bool found = false;
+      for (uint32_t l = 0; l < out_neigh.size(); ++l) {
+        if (out_neigh[l] == v) {
+          EXPECT_FLOAT_EQ(out_probs[l], in_probs[j]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(UniformRandomProbabilityTest, StaysInRange) {
+  Rng rng(8);
+  Graph g = MakeCompleteGraph(15, 0.0);
+  ApplyUniformRandomProbability(&g, 0.2, 0.6, &rng);
+  for (const WeightedEdge& e : g.CollectEdges()) {
+    EXPECT_GE(e.prob, 0.2f);
+    EXPECT_LE(e.prob, 0.6f);
+  }
+}
+
+TEST(UniformRandomProbabilityTest, DifferentSaltsChangeAssignment) {
+  Graph g1 = MakeCompleteGraph(10, 0.0);
+  Graph g2 = MakeCompleteGraph(10, 0.0);
+  Rng rng1(100);
+  Rng rng2(200);
+  ApplyUniformRandomProbability(&g1, 0.0, 1.0, &rng1);
+  ApplyUniformRandomProbability(&g2, 0.0, 1.0, &rng2);
+  const auto e1 = g1.CollectEdges();
+  const auto e2 = g2.CollectEdges();
+  int differing = 0;
+  for (size_t i = 0; i < e1.size(); ++i) {
+    if (e1[i].prob != e2[i].prob) ++differing;
+  }
+  EXPECT_GT(differing, static_cast<int>(e1.size() / 2));
+}
+
+TEST(WeightingTest, ReweightingOverwritesPreviousScheme) {
+  Graph g = SmallTestGraph();
+  ApplyConstantProbability(&g, 0.9);
+  ApplyWeightedCascade(&g);
+  for (float p : g.InProbs(2)) EXPECT_FLOAT_EQ(p, 1.0f / 3.0f);
+}
+
+}  // namespace
+}  // namespace atpm
