@@ -4,6 +4,8 @@
 // paper's complexity analysis (Theorems 3, 5) is expressed in.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,6 +16,7 @@
 #include "graph/weighting.h"
 #include "rris/rr_collection.h"
 #include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 namespace {
@@ -135,6 +138,56 @@ void BM_ParallelCountCovering(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelCountCovering)->Arg(1)->Arg(4)->Arg(8);
 
+// Sampler-scaling series: the two SamplingEngine operations across thread
+// counts, sized so the parallel backend is actually engaged. The acceptance
+// bar for the engine layer is count-path throughput at 4 threads >= 2x the
+// 1-thread run of the same benchmark.
+void BM_SamplingEngineCountScaling(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  SamplingEngineOptions options;
+  options.backend =
+      threads > 1 ? SamplingBackend::kParallel : SamplingBackend::kSerial;
+  options.num_threads = threads;
+  auto engine = CreateSamplingEngine(
+      g, DiffusionModel::kIndependentCascade, options);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 100; v < 200; ++v) base.Set(v);
+  Rng rng(37);
+  const uint64_t theta = 1 << 15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->CountConditionalCoverage(
+        0, &base, nullptr, g.num_nodes(), theta, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(theta));
+}
+BENCHMARK(BM_SamplingEngineCountScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_SamplingEnginePoolScaling(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  SamplingEngineOptions options;
+  options.backend =
+      threads > 1 ? SamplingBackend::kParallel : SamplingBackend::kSerial;
+  options.num_threads = threads;
+  auto engine = CreateSamplingEngine(
+      g, DiffusionModel::kIndependentCascade, options);
+  Rng rng(41);
+  const uint64_t count = 1 << 14;
+  for (auto _ : state) {
+    engine->ResetPool();
+    RRCollection& pool =
+        engine->GeneratePool(nullptr, g.num_nodes(), count, &rng);
+    benchmark::DoNotOptimize(pool.total_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
+}
+BENCHMARK(BM_SamplingEnginePoolScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
 void BM_CoverageQueries(benchmark::State& state) {
   const Graph g = BenchGraph(1 << 13);
   RRSetGenerator generator(g);
@@ -163,3 +216,31 @@ BENCHMARK(BM_RealizationSpreadQuery);
 
 }  // namespace
 }  // namespace atpm
+
+// Custom main: unless the caller overrides it, benchmark JSON goes to
+// BENCH_sampling.json so the sampler-scaling series is machine-readable by
+// default (run with --benchmark_filter=SamplingEngine for just that
+// series).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag only: --benchmark_out_format alone must not suppress the
+    // default output file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_sampling.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

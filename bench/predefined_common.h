@@ -24,17 +24,21 @@
 #include "core/nonadaptive_greedy.h"
 #include "core/target_selection.h"
 #include "rris/rr_collection.h"
-#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm_bench {
 
 // Estimated maximum single-node expected spread, via one RR pool.
-inline double EstimateTopSpread(const atpm::Graph& graph, uint64_t seed) {
+inline double EstimateTopSpread(const atpm::Graph& graph, uint64_t seed,
+                                uint32_t threads) {
   atpm::Rng rng(seed);
-  atpm::RRSetGenerator generator(graph);
-  atpm::RRCollection pool(graph.num_nodes());
+  atpm::SamplingEngineOptions engine_options;
+  engine_options.num_threads = threads;
+  std::unique_ptr<atpm::SamplingEngine> engine = atpm::CreateSamplingEngine(
+      graph, atpm::DiffusionModel::kIndependentCascade, engine_options);
   const uint64_t theta = 1u << 15;
-  pool.Generate(&generator, nullptr, graph.num_nodes(), theta, &rng);
+  atpm::RRCollection& pool =
+      engine->GeneratePool(nullptr, graph.num_nodes(), theta, &rng);
   pool.BuildIndex();
   uint64_t best = 0;
   for (atpm::NodeId u = 0; u < graph.num_nodes(); ++u) {
@@ -56,7 +60,8 @@ inline int RunPredefinedFigure(atpm::TargetMethod method,
     return 1;
   }
   const atpm::Graph& graph = dataset.value().graph;
-  const double top_spread = EstimateTopSpread(graph, config.seed);
+  const double top_spread =
+      EstimateTopSpread(graph, config.seed, config.threads);
 
   std::printf("=== %s: HATP vs %s, predefined cost, LiveJournal "
               "(n=%u, top single-node spread ~%.0f) ===\n",
@@ -86,6 +91,7 @@ inline int RunPredefinedFigure(atpm::TargetMethod method,
       scan_options.seed = config.seed;
       scan_options.derive_rr_sets = 1u << 14;
       scan_options.bound_rr_sets = 1u << 14;
+      scan_options.num_threads = config.threads;
       for (int i = 0; i < 14; ++i) {
         atpm::Result<atpm::TargetSelectionResult> probe =
             atpm::BuildPredefinedCostProblem(graph, lambda_star, scheme,
@@ -104,6 +110,7 @@ inline int RunPredefinedFigure(atpm::TargetMethod method,
       const double lambda = mult * lambda_star;
       atpm::TargetSelectionOptions sel_options;
       sel_options.seed = config.seed + static_cast<uint64_t>(100 * mult);
+      sel_options.num_threads = config.threads;
       atpm::Result<atpm::TargetSelectionResult> selection =
           atpm::BuildPredefinedCostProblem(graph, lambda, scheme, method,
                                            sel_options);

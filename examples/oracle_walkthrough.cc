@@ -14,6 +14,7 @@
 #include "core/double_greedy.h"
 #include "diffusion/spread_oracle.h"
 #include "graph/generators.h"
+#include "rris/sampling_engine.h"
 
 namespace {
 
@@ -71,6 +72,16 @@ int main() {
               oracle->ExpectedSpread(t_set, nullptr));
   std::printf("rho(T)           = %.2f   (paper: 1.66)\n",
               atpm::OracleProfit(problem, oracle, t_set));
+
+  // Cross-check the exact oracle against the sampling substrate the big
+  // algorithms run on: a RisSpreadOracle estimates the same E[I(T)] from
+  // RR sets drawn through a SamplingEngine.
+  atpm::SerialSamplingEngine engine(g);
+  atpm::RisOracleOptions ris_options;
+  ris_options.num_rr_sets = 1u << 16;
+  atpm::RisSpreadOracle ris_oracle(&engine, ris_options);
+  std::printf("E[I(T)] via RIS  = %.2f   (SamplingEngine estimate)\n",
+              ris_oracle.ExpectedSpread(t_set, nullptr));
 
   // Replay the realization drawn in Fig. 1(b)-(d): v2's edges to v3, v4
   // succeed (v2->v1 fails), v3->v4 succeeds, v4->v5 fails; v6 activates

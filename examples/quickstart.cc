@@ -48,11 +48,17 @@ int main() {
   std::printf("targets: k=%u, c(T)=%.1f (= E_l[I(T)])\n", problem.k(),
               problem.TotalTargetCost());
 
-  // 3. Sample one ground-truth world and run HATP against it.
+  // 3. Sample one ground-truth world and run HATP against it. The engine
+  //    knob picks the RR-sampling backend: kSerial (reproducible against
+  //    the single-threaded reference), kParallel (persistent worker pool),
+  //    or kAuto (parallel iff num_threads > 1).
   atpm::Rng world_rng(42);
   atpm::AdaptiveEnvironment env(
       atpm::Realization::Sample(graph, &world_rng));
-  atpm::HatpPolicy hatp;  // paper defaults: eps0=0.5, eps=0.05, n*zeta0=64
+  atpm::HatpOptions hatp_options;  // paper defaults: eps0=0.5, eps=0.05
+  hatp_options.engine = atpm::SamplingBackend::kAuto;
+  hatp_options.num_threads = 4;
+  atpm::HatpPolicy hatp(hatp_options);
   atpm::Rng policy_rng(1);
   atpm::Result<atpm::AdaptiveRunResult> run =
       hatp.Run(problem, &env, &policy_rng);

@@ -49,8 +49,10 @@ int main(int argc, char** argv) {
   atpm::TablePrinter table({"algorithm", "mean profit", "mean #seeds",
                             "time (s)"});
 
-  // Adaptive algorithms.
+  // Adaptive algorithms. All sampling goes through the SamplingEngine
+  // layer; kParallel keeps one warm worker pool across every world.
   atpm::HatpOptions hatp_options;
+  hatp_options.engine = atpm::SamplingBackend::kParallel;
   hatp_options.num_threads = 4;
   atpm::HatpPolicy hatp(hatp_options);
   atpm::Result<atpm::AlgoStats> hatp_stats = runner.RunAdaptive(&hatp);

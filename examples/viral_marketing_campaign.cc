@@ -71,6 +71,7 @@ int main() {
   // --- Adaptive campaign (HATP). ---
   atpm::AdaptiveEnvironment env{atpm::Realization(world)};
   atpm::HatpOptions options;
+  options.engine = atpm::SamplingBackend::kParallel;
   options.num_threads = 4;
   atpm::HatpPolicy hatp(options);
   atpm::Rng policy_rng(5);

@@ -104,6 +104,7 @@ Status RunCellAlgorithms(const GridConfig& config,
                          uint32_t k, std::vector<GridCell>* cells) {
   TargetSelectionOptions sel_options;
   sel_options.seed = config.seed + k;
+  sel_options.num_threads = config.threads;
   Result<TargetSelectionResult> selection =
       BuildTopKTargetProblem(graph, k, config.scheme, sel_options);
   if (!selection.ok()) return selection.status();

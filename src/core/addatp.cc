@@ -7,7 +7,7 @@
 #include "common/bit_vector.h"
 #include "common/math_util.h"
 #include "core/concentration.h"
-#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -26,6 +26,15 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
   const NodeId n = graph.num_nodes();
   const uint32_t k = problem.k();
   if (k == 0) return AdaptiveRunResult{};
+
+  SamplingEngineOptions engine_options;
+  engine_options.backend = options_.engine;
+  engine_options.num_threads = options_.num_threads;
+  SamplingEngine* engine = engine_.Get(graph, options_.model, engine_options);
+  if (&engine->graph() != &graph || engine->model() != options_.model) {
+    return Status::InvalidArgument(
+        "ADDATP: sampling engine bound to a different graph/model");
+  }
 
   AdaptiveRunResult result;
   result.steps.reserve(k);
@@ -97,14 +106,12 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
 
       // Two independent pools R1, R2, counted on the fly (no storage).
       const double scale = nd / static_cast<double>(theta);
-      rho_f = static_cast<double>(ParallelCountCovering(
-                  graph, &removed, ni, theta, u, &seed_bitmap, rng->Next(),
-                  options_.num_threads, options_.model)) *
+      rho_f = static_cast<double>(engine->CountConditionalCoverage(
+                  u, &seed_bitmap, &removed, ni, theta, rng)) *
                   scale -
               cost;
-      rho_r = -static_cast<double>(ParallelCountCovering(
-                  graph, &removed, ni, theta, u, &candidates, rng->Next(),
-                  options_.num_threads, options_.model)) *
+      rho_r = -static_cast<double>(engine->CountConditionalCoverage(
+                  u, &candidates, &removed, ni, theta, rng)) *
                   scale +
               cost;
 

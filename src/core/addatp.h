@@ -3,6 +3,7 @@
 
 #include "core/policy.h"
 #include "diffusion/diffusion_model.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -24,8 +25,13 @@ struct AddAtpOptions {
   /// true: exceeding the budget aborts the run with OutOfBudget (paper-like
   /// OOM marker). false: the decision is forced with the current estimates.
   bool fail_on_budget_exhausted = true;
-  /// Worker threads for RR-set counting. Results are deterministic for a
-  /// fixed (seed, num_threads) pair but differ across thread counts.
+  /// RR sampling backend. kAuto engages the persistent thread pool iff
+  /// num_threads > 1; kSerial reproduces the single-threaded code path bit
+  /// for bit for a fixed seed.
+  SamplingBackend engine = SamplingBackend::kAuto;
+  /// Worker threads for the parallel backend (0 = hardware concurrency).
+  /// Results are deterministic for a fixed (seed, num_threads) pair but
+  /// differ across thread counts.
   uint32_t num_threads = 1;
   /// Enables the dynamic C2-threshold strategy of the paper's Discussion
   /// (after Theorem 2): instead of the fixed stopping bar n_i ζ_i <= 1,
@@ -55,11 +61,17 @@ class AddAtpPolicy final : public AdaptivePolicy {
 
   std::string_view name() const override { return "ADDATP"; }
 
+  /// Samples through `engine` (not owned; must be bound to the run's graph
+  /// and options.model) instead of the policy's own backend. Pass nullptr
+  /// to revert.
+  void set_engine(SamplingEngine* engine) { engine_.Use(engine); }
+
   Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
                                 AdaptiveEnvironment* env, Rng* rng) override;
 
  private:
   AddAtpOptions options_;
+  SamplingEngineHandle engine_;
 };
 
 }  // namespace atpm

@@ -31,6 +31,17 @@ class AdgPolicy final : public AdaptivePolicy {
   explicit AdgPolicy(SpreadOracle* oracle, bool randomized = false)
       : oracle_(oracle), randomized_(randomized) {}
 
+  /// ADG with its oracle queries answered by reverse influence sampling:
+  /// builds (and owns) a RisSpreadOracle over `engine` (not owned), so the
+  /// oracle model runs on large graphs at whatever parallelism the engine
+  /// provides.
+  explicit AdgPolicy(SamplingEngine* engine,
+                     const RisOracleOptions& options = {},
+                     bool randomized = false)
+      : owned_oracle_(new RisSpreadOracle(engine, options)),
+        oracle_(owned_oracle_.get()),
+        randomized_(randomized) {}
+
   std::string_view name() const override {
     return randomized_ ? "ADG-R" : "ADG";
   }
@@ -39,6 +50,7 @@ class AdgPolicy final : public AdaptivePolicy {
                                 AdaptiveEnvironment* env, Rng* rng) override;
 
  private:
+  std::unique_ptr<SpreadOracle> owned_oracle_;
   SpreadOracle* oracle_;
   bool randomized_;
 };

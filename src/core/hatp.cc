@@ -7,7 +7,7 @@
 #include "common/bit_vector.h"
 #include "common/math_util.h"
 #include "core/concentration.h"
-#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -33,6 +33,15 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
   const NodeId n = graph.num_nodes();
   const uint32_t k = problem.k();
   if (k == 0) return AdaptiveRunResult{};
+
+  SamplingEngineOptions engine_options;
+  engine_options.backend = options_.engine;
+  engine_options.num_threads = options_.num_threads;
+  SamplingEngine* engine = engine_.Get(graph, options_.model, engine_options);
+  if (&engine->graph() != &graph || engine->model() != options_.model) {
+    return Status::InvalidArgument(
+        "HATP: sampling engine bound to a different graph/model");
+  }
 
   AdaptiveRunResult result;
   result.steps.reserve(k);
@@ -84,13 +93,11 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
 
       // Two independent pools R1, R2, counted on the fly (no storage).
       const double scale = nd / static_cast<double>(theta);
-      fest = static_cast<double>(ParallelCountCovering(
-                 graph, &removed, ni, theta, u, &seed_bitmap, rng->Next(),
-                 options_.num_threads, options_.model)) *
+      fest = static_cast<double>(engine->CountConditionalCoverage(
+                 u, &seed_bitmap, &removed, ni, theta, rng)) *
              scale;
-      rest = static_cast<double>(ParallelCountCovering(
-                 graph, &removed, ni, theta, u, &candidates, rng->Next(),
-                 options_.num_threads, options_.model)) *
+      rest = static_cast<double>(engine->CountConditionalCoverage(
+                 u, &candidates, &removed, ni, theta, rng)) *
              scale;
 
       const double az = nd * zeta;  // n_i ζ_i in spread units

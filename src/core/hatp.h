@@ -3,6 +3,7 @@
 
 #include "core/policy.h"
 #include "diffusion/diffusion_model.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -24,8 +25,13 @@ struct HatpOptions {
   /// true: exceeding the budget aborts with OutOfBudget; false (default):
   /// the decision is forced with the current estimates.
   bool fail_on_budget_exhausted = false;
-  /// Worker threads for RR-set counting. Results are deterministic for a
-  /// fixed (seed, num_threads) pair but differ across thread counts.
+  /// RR sampling backend. kAuto engages the persistent thread pool iff
+  /// num_threads > 1; kSerial reproduces the single-threaded code path bit
+  /// for bit for a fixed seed.
+  SamplingBackend engine = SamplingBackend::kAuto;
+  /// Worker threads for the parallel backend (0 = hardware concurrency).
+  /// Results are deterministic for a fixed (seed, num_threads) pair but
+  /// differ across thread counts.
   uint32_t num_threads = 1;
 };
 
@@ -50,11 +56,17 @@ class HatpPolicy final : public AdaptivePolicy {
 
   std::string_view name() const override { return "HATP"; }
 
+  /// Samples through `engine` (not owned; must be bound to the run's graph
+  /// and options.model) instead of the policy's own backend — lets several
+  /// policies share one warm worker pool. Pass nullptr to revert.
+  void set_engine(SamplingEngine* engine) { engine_.Use(engine); }
+
   Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
                                 AdaptiveEnvironment* env, Rng* rng) override;
 
  private:
   HatpOptions options_;
+  SamplingEngineHandle engine_;
 };
 
 }  // namespace atpm

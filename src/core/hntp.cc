@@ -7,13 +7,30 @@
 #include "common/bit_vector.h"
 #include "common/math_util.h"
 #include "core/concentration.h"
-#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
 Result<HntpResult> RunHntp(const ProfitProblem& problem,
                            const HatpOptions& options, Rng* rng) {
   ATPM_RETURN_NOT_OK(problem.Validate());
+  SamplingEngineOptions engine_options;
+  engine_options.backend = options.engine;
+  engine_options.num_threads = options.num_threads;
+  std::unique_ptr<SamplingEngine> engine =
+      CreateSamplingEngine(*problem.graph, options.model, engine_options);
+  return RunHntp(problem, options, rng, engine.get());
+}
+
+Result<HntpResult> RunHntp(const ProfitProblem& problem,
+                           const HatpOptions& options, Rng* rng,
+                           SamplingEngine* engine) {
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  if (&engine->graph() != problem.graph ||
+      engine->model() != options.model) {
+    return Status::InvalidArgument(
+        "HNTP: sampling engine bound to a different graph/model");
+  }
   const double eps_thr = options.relative_error_threshold;
   if (eps_thr <= 0.0 || eps_thr >= 1.0 ||
       options.initial_relative_error < eps_thr ||
@@ -65,13 +82,11 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
 
       // Two independent pools R1, R2, counted on the fly (no storage).
       const double scale = nd / static_cast<double>(theta);
-      fest = static_cast<double>(ParallelCountCovering(
-                 graph, /*removed=*/nullptr, n, theta, u, &seed_bitmap,
-                 rng->Next(), options.num_threads, options.model)) *
+      fest = static_cast<double>(engine->CountConditionalCoverage(
+                 u, &seed_bitmap, /*removed=*/nullptr, n, theta, rng)) *
              scale;
-      rest = static_cast<double>(ParallelCountCovering(
-                 graph, /*removed=*/nullptr, n, theta, u, &t_bitmap,
-                 rng->Next(), options.num_threads, options.model)) *
+      rest = static_cast<double>(engine->CountConditionalCoverage(
+                 u, &t_bitmap, /*removed=*/nullptr, n, theta, rng)) *
              scale;
 
       const double az = nd * zeta;

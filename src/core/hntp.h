@@ -28,9 +28,15 @@ struct HntpResult {
 /// the rear base T_{i-1} \ {u_i} includes the selected seeds. The whole
 /// batch is returned for one-shot deployment.
 ///
-/// Reuses HatpOptions; n_i = n throughout.
+/// Reuses HatpOptions; n_i = n throughout. The engine overload samples
+/// through `engine` (must be bound to problem.graph and options.model);
+/// the two-argument form builds the backend selected by options.engine /
+/// options.num_threads internally.
 Result<HntpResult> RunHntp(const ProfitProblem& problem,
                            const HatpOptions& options, Rng* rng);
+Result<HntpResult> RunHntp(const ProfitProblem& problem,
+                           const HatpOptions& options, Rng* rng,
+                           SamplingEngine* engine);
 
 }  // namespace atpm
 

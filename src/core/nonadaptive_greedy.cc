@@ -4,17 +4,21 @@
 
 #include "common/bit_vector.h"
 #include "rris/rr_collection.h"
-#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
 namespace {
 
 Status ValidateFixedSample(const ProfitProblem& problem,
-                           uint64_t num_rr_sets) {
+                           uint64_t num_rr_sets, SamplingEngine* engine) {
   ATPM_RETURN_NOT_OK(problem.Validate());
   if (num_rr_sets == 0) {
     return Status::InvalidArgument("fixed-sample greedy: num_rr_sets == 0");
+  }
+  if (&engine->graph() != problem.graph) {
+    return Status::InvalidArgument(
+        "fixed-sample greedy: sampling engine bound to a different graph");
   }
   return Status::OK();
 }
@@ -23,15 +27,23 @@ Status ValidateFixedSample(const ProfitProblem& problem,
 
 Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
                                  uint64_t num_rr_sets, Rng* rng) {
-  ATPM_RETURN_NOT_OK(ValidateFixedSample(problem, num_rr_sets));
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  SerialSamplingEngine engine(*problem.graph);
+  return RunNsg(problem, num_rr_sets, rng, &engine);
+}
+
+Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
+                                 uint64_t num_rr_sets, Rng* rng,
+                                 SamplingEngine* engine) {
+  ATPM_RETURN_NOT_OK(ValidateFixedSample(problem, num_rr_sets, engine));
   const Graph& graph = *problem.graph;
   const NodeId n = graph.num_nodes();
   const double scale =
       static_cast<double>(n) / static_cast<double>(num_rr_sets);
 
-  RRSetGenerator generator(graph);
-  RRCollection pool(n);
-  pool.Generate(&generator, /*removed=*/nullptr, n, num_rr_sets, rng);
+  engine->ResetPool();
+  RRCollection& pool =
+      engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
   pool.BuildIndex();
 
   // Exact marginal coverage per node, maintained by decrement on coverage.
@@ -80,15 +92,23 @@ Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
 
 Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
                                  uint64_t num_rr_sets, Rng* rng) {
-  ATPM_RETURN_NOT_OK(ValidateFixedSample(problem, num_rr_sets));
+  ATPM_RETURN_NOT_OK(problem.Validate());
+  SerialSamplingEngine engine(*problem.graph);
+  return RunNdg(problem, num_rr_sets, rng, &engine);
+}
+
+Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
+                                 uint64_t num_rr_sets, Rng* rng,
+                                 SamplingEngine* engine) {
+  ATPM_RETURN_NOT_OK(ValidateFixedSample(problem, num_rr_sets, engine));
   const Graph& graph = *problem.graph;
   const NodeId n = graph.num_nodes();
   const double scale =
       static_cast<double>(n) / static_cast<double>(num_rr_sets);
 
-  RRSetGenerator generator(graph);
-  RRCollection pool(n);
-  pool.Generate(&generator, /*removed=*/nullptr, n, num_rr_sets, rng);
+  engine->ResetPool();
+  RRCollection& pool =
+      engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
   pool.BuildIndex();
 
   // count_s[u]: sets containing u not yet covered by S (front marginal).

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/profit.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -25,8 +26,15 @@ struct NonadaptiveResult {
 /// positive. No estimation-error control — the paper sizes the pool as the
 /// largest per-iteration spend of HATP (Section VI-A) and shows in Fig. 9
 /// that more samples do not help.
+///
+/// The engine overloads sample the fixed pool through `engine` (must be
+/// bound to problem.graph; its pool is reset); the three-argument forms use
+/// a private serial engine, bit-identical to the historical behavior.
 Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
                                  uint64_t num_rr_sets, Rng* rng);
+Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
+                                 uint64_t num_rr_sets, Rng* rng,
+                                 SamplingEngine* engine);
 
 /// NDG — Nonadaptive Double Greedy (Tang et al., TKDE'18): deterministic
 /// double greedy (Alg 1) driven by coverage estimates on one fixed pool of
@@ -34,6 +42,9 @@ Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
 /// marginals are Cov(u | S)·n/θ − c(u) and c(u) − Cov(u | T \ {u})·n/θ.
 Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
                                  uint64_t num_rr_sets, Rng* rng);
+Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
+                                 uint64_t num_rr_sets, Rng* rng,
+                                 SamplingEngine* engine);
 
 }  // namespace atpm
 

@@ -7,7 +7,7 @@
 #include "im/imm.h"
 #include "im/spread_bound.h"
 #include "rris/rr_collection.h"
-#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -15,14 +15,14 @@ namespace {
 
 // E_l[I(T)]: coverage of T over a fresh pool, pushed through the martingale
 // lower bound.
-double EstimateSpreadLowerBound(const Graph& graph,
+double EstimateSpreadLowerBound(SamplingEngine* engine,
                                 std::span<const NodeId> targets,
                                 uint64_t num_rr_sets, double delta,
                                 Rng* rng) {
-  const NodeId n = graph.num_nodes();
-  RRSetGenerator generator(graph);
-  RRCollection pool(n);
-  pool.Generate(&generator, /*removed=*/nullptr, n, num_rr_sets, rng);
+  const NodeId n = engine->graph().num_nodes();
+  engine->ResetPool();
+  const RRCollection& pool =
+      engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
 
   BitVector members(n);
   for (NodeId t : targets) members.Set(t);
@@ -30,22 +30,34 @@ double EstimateSpreadLowerBound(const Graph& graph,
   return SpreadLowerBound(cov, num_rr_sets, n, delta);
 }
 
+// One engine drives every stage of a pipeline call.
+std::unique_ptr<SamplingEngine> PipelineEngine(
+    const Graph& graph, const TargetSelectionOptions& options) {
+  SamplingEngineOptions engine_options;
+  engine_options.backend = options.engine;
+  engine_options.num_threads = options.num_threads;
+  return CreateSamplingEngine(graph, DiffusionModel::kIndependentCascade,
+                              engine_options);
+}
+
 }  // namespace
 
 Result<TargetSelectionResult> BuildTopKTargetProblem(
     const Graph& graph, uint32_t k, CostScheme scheme,
     const TargetSelectionOptions& options) {
+  std::unique_ptr<SamplingEngine> engine = PipelineEngine(graph, options);
   ImmOptions imm_options;
   imm_options.epsilon = options.imm_epsilon;
   imm_options.ell = options.imm_ell;
   imm_options.seed = options.seed;
-  Result<ImmResult> imm = RunImm(graph, k, imm_options);
+  Result<ImmResult> imm = RunImm(graph, k, imm_options, engine.get());
   if (!imm.ok()) return imm.status();
 
   Rng rng(options.seed ^ 0x5ca1ab1eULL);
   const std::vector<NodeId>& targets = imm.value().seeds;
   const double lower_bound = EstimateSpreadLowerBound(
-      graph, targets, options.bound_rr_sets, options.bound_delta, &rng);
+      engine.get(), targets, options.bound_rr_sets, options.bound_delta,
+      &rng);
   if (lower_bound <= 0.0) {
     return Status::Internal(
         "top-k target selection: vanishing spread lower bound");
@@ -67,6 +79,7 @@ Result<TargetSelectionResult> BuildTopKTargetProblem(
 Result<TargetSelectionResult> BuildPredefinedCostProblem(
     const Graph& graph, double lambda, CostScheme scheme, TargetMethod method,
     const TargetSelectionOptions& options) {
+  std::unique_ptr<SamplingEngine> engine = PipelineEngine(graph, options);
   Rng rng(options.seed ^ 0xdecafbadULL);
   Result<std::vector<double>> costs =
       BuildPredefinedCosts(graph, scheme, lambda, &rng);
@@ -81,8 +94,8 @@ Result<TargetSelectionResult> BuildPredefinedCostProblem(
 
   Result<NonadaptiveResult> derived =
       method == TargetMethod::kNsg
-          ? RunNsg(all_nodes, options.derive_rr_sets, &rng)
-          : RunNdg(all_nodes, options.derive_rr_sets, &rng);
+          ? RunNsg(all_nodes, options.derive_rr_sets, &rng, engine.get())
+          : RunNdg(all_nodes, options.derive_rr_sets, &rng, engine.get());
   if (!derived.ok()) return derived.status();
   if (derived.value().seeds.empty()) {
     return Status::InvalidArgument(
@@ -95,7 +108,7 @@ Result<TargetSelectionResult> BuildPredefinedCostProblem(
   result.problem.targets = derived.value().seeds;
   result.problem.costs = std::move(costs).value();
   result.spread_lower_bound = EstimateSpreadLowerBound(
-      graph, result.problem.targets, options.bound_rr_sets,
+      engine.get(), result.problem.targets, options.bound_rr_sets,
       options.bound_delta, &rng);
   ATPM_RETURN_NOT_OK(result.problem.Validate());
   return result;

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/cost_model.h"
 #include "core/profit.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -29,6 +30,11 @@ struct TargetSelectionOptions {
   uint64_t derive_rr_sets = 1ull << 16;
   /// Seed for all sampling in the pipeline.
   uint64_t seed = 7;
+  /// RR sampling backend shared by every stage of the pipeline (IMM,
+  /// bound estimation, NSG/NDG derivation).
+  SamplingBackend engine = SamplingBackend::kAuto;
+  /// Worker threads for the parallel backend (0 = hardware concurrency).
+  uint32_t num_threads = 1;
 };
 
 /// A fully-specified TPM instance plus calibration metadata.

@@ -39,6 +39,19 @@ uint32_t SpreadInHashedWorld(const Graph& graph,
                              std::span<const NodeId> seeds, uint64_t salt,
                              const BitVector* removed = nullptr);
 
+/// Deterministic per-trial node threshold in [0, 1): the LT analogue of
+/// EdgeCoin, hashed on (node, salt).
+double NodeThreshold(NodeId node, uint64_t salt);
+
+/// LT spread of `seeds` in the possible world identified by `salt`: node v
+/// activates once the probability mass of its activated in-neighbors
+/// reaches NodeThreshold(v, salt). Two traversals with the same salt share
+/// one LT world, giving common random numbers for marginal queries.
+/// Respects `removed` like SimulateLT.
+uint32_t SpreadInHashedWorldLt(const Graph& graph,
+                               std::span<const NodeId> seeds, uint64_t salt,
+                               const BitVector* removed = nullptr);
+
 /// Forward simulation of the linear threshold (LT) model: every node draws
 /// a uniform threshold in [0, 1] and activates once the probability mass of
 /// its activated in-neighbors reaches it. Equivalent to the live-edge

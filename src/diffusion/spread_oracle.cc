@@ -1,5 +1,6 @@
 #include "diffusion/spread_oracle.h"
 
+#include <algorithm>
 #include <string>
 
 #include "diffusion/ic_model.h"
@@ -16,17 +17,61 @@ double SpreadOracle::ExpectedMarginalSpread(NodeId u,
 }
 
 Result<std::unique_ptr<ExactSpreadOracle>> ExactSpreadOracle::Create(
-    const Graph& graph, uint32_t max_edges) {
+    const Graph& graph, uint32_t max_edges, DiffusionModel model) {
   if (graph.num_edges() > max_edges) {
     return Status::InvalidArgument(
         "ExactSpreadOracle: graph has " + std::to_string(graph.num_edges()) +
         " edges, enumeration cap is " + std::to_string(max_edges));
   }
-  return std::unique_ptr<ExactSpreadOracle>(new ExactSpreadOracle(&graph));
+  return std::unique_ptr<ExactSpreadOracle>(
+      new ExactSpreadOracle(&graph, model));
+}
+
+// LT worlds: every node independently keeps in-edge j with probability
+// p_j, or no in-edge with the leftover mass 1 - Σ_j p_j. Enumerated with a
+// per-node odometer; Π_v (indeg(v)+1) <= 2^m worlds, bounded by Create.
+double ExactSpreadOracle::ExpectedSpreadLt(std::span<const NodeId> seeds,
+                                           const BitVector* removed) {
+  const Graph& g = *graph_;
+  const NodeId n = g.num_nodes();
+  // choice[v] in [0, indeg(v)]: index of the kept in-edge, indeg(v) = none.
+  std::vector<uint32_t> choice(n, 0);
+  double expected = 0.0;
+  BitVector live(g.num_edges());
+  for (;;) {
+    double world_prob = 1.0;
+    live.Reset();
+    for (NodeId v = 0; v < n && world_prob > 0.0; ++v) {
+      const auto probs = g.InProbs(v);
+      if (choice[v] < probs.size()) {
+        world_prob *= probs[choice[v]];
+        live.Set(g.InEdgeIndex(v, choice[v]));
+      } else {
+        double none = 1.0;
+        for (float p : probs) none -= p;
+        world_prob *= std::max(0.0, none);
+      }
+    }
+    if (world_prob > 0.0) {
+      const Realization world = Realization::FromLiveEdges(g, BitVector(live));
+      expected += world_prob * world.Spread(seeds, removed);
+    }
+    NodeId v = 0;
+    while (v < n) {
+      if (++choice[v] <= g.InDegree(v)) break;
+      choice[v] = 0;
+      ++v;
+    }
+    if (v == n) break;
+  }
+  return expected;
 }
 
 double ExactSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
                                          const BitVector* removed) {
+  if (model_ == DiffusionModel::kLinearThreshold) {
+    return ExpectedSpreadLt(seeds, removed);
+  }
   const Graph& g = *graph_;
   const uint64_t m = g.num_edges();
   ATPM_CHECK_LE(m, 62u);
@@ -60,11 +105,24 @@ double ExactSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
   return expected;
 }
 
+namespace {
+
+uint32_t HashedWorldSpread(const Graph& graph, DiffusionModel model,
+                           std::span<const NodeId> seeds, uint64_t salt,
+                           const BitVector* removed) {
+  return model == DiffusionModel::kLinearThreshold
+             ? SpreadInHashedWorldLt(graph, seeds, salt, removed)
+             : SpreadInHashedWorld(graph, seeds, salt, removed);
+}
+
+}  // namespace
+
 double MonteCarloSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
                                               const BitVector* removed) {
   double sum = 0.0;
   for (uint32_t t = 0; t < options_.num_samples; ++t) {
-    sum += SpreadInHashedWorld(*graph_, seeds, rng_.Next(), removed);
+    sum += HashedWorldSpread(*graph_, options_.model, seeds, rng_.Next(),
+                             removed);
   }
   return sum / options_.num_samples;
 }
@@ -77,12 +135,33 @@ double MonteCarloSpreadOracle::ExpectedMarginalSpread(
   for (uint32_t t = 0; t < options_.num_samples; ++t) {
     const uint64_t salt = rng_.Next();
     const uint32_t spread_with =
-        SpreadInHashedWorld(*graph_, with, salt, removed);
+        HashedWorldSpread(*graph_, options_.model, with, salt, removed);
     const uint32_t spread_base =
-        SpreadInHashedWorld(*graph_, base, salt, removed);
+        HashedWorldSpread(*graph_, options_.model, base, salt, removed);
     sum += static_cast<double>(spread_with) - static_cast<double>(spread_base);
   }
   return sum / options_.num_samples;
+}
+
+double RisSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
+                                       const BitVector* removed) {
+  const Graph& g = engine_->graph();
+  const NodeId n = g.num_nodes();
+  const uint32_t num_alive =
+      n - static_cast<uint32_t>(removed != nullptr ? removed->Count() : 0);
+  if (num_alive == 0 || seeds.empty()) return 0.0;
+
+  engine_->ResetPool();
+  const RRCollection& pool = engine_->GeneratePool(
+      removed, num_alive, options_.num_rr_sets, &rng_);
+
+  BitVector members(n);
+  for (NodeId s : seeds) members.Set(s);
+  // Seeds inside `removed` contribute nothing: removed nodes never appear
+  // in residual RR sets, so their bits are inert.
+  const uint64_t cov = pool.CoverageOfSet(members);
+  return static_cast<double>(num_alive) * static_cast<double>(cov) /
+         static_cast<double>(options_.num_rr_sets);
 }
 
 }  // namespace atpm

@@ -8,7 +8,9 @@
 #include "common/bit_vector.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "diffusion/diffusion_model.h"
 #include "graph/graph.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -19,7 +21,11 @@ namespace atpm {
 ///                              only for tiny graphs; the reference oracle
 ///                              for tests and the oracle-model experiments),
 ///   * MonteCarloSpreadOracle — forward-simulation average with common
-///                              random numbers for low-variance marginals.
+///                              random numbers for low-variance marginals,
+///   * RisSpreadOracle        — reverse-influence-sampling estimate through
+///                              a SamplingEngine (scales to large graphs
+///                              and inherits the engine's parallelism).
+/// All three honor both diffusion models (IC and LT).
 class SpreadOracle {
  public:
   virtual ~SpreadOracle() = default;
@@ -45,18 +51,25 @@ class SpreadOracle {
 /// with both endpoints alive; construction fails above `max_edges`.
 class ExactSpreadOracle final : public SpreadOracle {
  public:
-  /// Creates an exact oracle for `graph`. Fails with InvalidArgument if the
-  /// graph has more than `max_edges` edges (enumeration would be infeasible).
+  /// Creates an exact oracle for `graph` under `model`. Fails with
+  /// InvalidArgument if the graph has more than `max_edges` edges
+  /// (enumeration would be infeasible; under LT the world count
+  /// Π_v (indeg(v)+1) is also bounded by 2^max_edges).
   static Result<std::unique_ptr<ExactSpreadOracle>> Create(
-      const Graph& graph, uint32_t max_edges = 24);
+      const Graph& graph, uint32_t max_edges = 24,
+      DiffusionModel model = DiffusionModel::kIndependentCascade);
 
   double ExpectedSpread(std::span<const NodeId> seeds,
                         const BitVector* removed) override;
   const Graph& graph() const override { return *graph_; }
 
  private:
-  explicit ExactSpreadOracle(const Graph* graph) : graph_(graph) {}
+  ExactSpreadOracle(const Graph* graph, DiffusionModel model)
+      : graph_(graph), model_(model) {}
+  double ExpectedSpreadLt(std::span<const NodeId> seeds,
+                          const BitVector* removed);
   const Graph* graph_;
+  DiffusionModel model_;
 };
 
 /// Options for MonteCarloSpreadOracle.
@@ -66,6 +79,9 @@ struct MonteCarloOptions {
   /// RNG seed; every query draws fresh trial salts from a private stream,
   /// so oracle results are deterministic given the seed.
   uint64_t seed = 1;
+  /// Diffusion model of the simulated worlds (IC edge coins or LT node
+  /// thresholds, both hashed per trial for common random numbers).
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
 };
 
 /// Monte Carlo expected-spread estimator. Marginal queries evaluate
@@ -85,6 +101,39 @@ class MonteCarloSpreadOracle final : public SpreadOracle {
  private:
   const Graph* graph_;
   MonteCarloOptions options_;
+  Rng rng_;
+};
+
+/// Options for RisSpreadOracle.
+struct RisOracleOptions {
+  /// RR sets drawn per query (fresh pool each time; the engine's pool is
+  /// reset).
+  uint64_t num_rr_sets = 1ull << 15;
+  /// Seed of the oracle's private sampling stream.
+  uint64_t seed = 1;
+};
+
+/// Expected-spread estimator on the RIS identity: E[I_{G_i}(S)] ≈
+/// n_i / θ · Cov_R(S) over a fresh pool of θ RR sets drawn through a
+/// SamplingEngine. Unlike the Monte Carlo oracle this scales to large
+/// graphs (cost is per-pool, not per-seed-set traversal) and runs on
+/// whichever backend the engine was built with; the engine also fixes the
+/// diffusion model.
+class RisSpreadOracle final : public SpreadOracle {
+ public:
+  /// Creates the oracle over `engine` (not owned; its pool is clobbered by
+  /// every query).
+  explicit RisSpreadOracle(SamplingEngine* engine,
+                           const RisOracleOptions& options = {})
+      : engine_(engine), options_(options), rng_(options.seed) {}
+
+  double ExpectedSpread(std::span<const NodeId> seeds,
+                        const BitVector* removed) override;
+  const Graph& graph() const override { return engine_->graph(); }
+
+ private:
+  SamplingEngine* engine_;
+  RisOracleOptions options_;
   Rng rng_;
 };
 

@@ -8,12 +8,22 @@
 #include "common/rng.h"
 #include "im/greedy_coverage.h"
 #include "rris/rr_collection.h"
-#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
 Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
                          const ImmOptions& options) {
+  SamplingEngineOptions engine_options;
+  engine_options.backend = options.engine;
+  engine_options.num_threads = options.num_threads;
+  std::unique_ptr<SamplingEngine> engine = CreateSamplingEngine(
+      graph, DiffusionModel::kIndependentCascade, engine_options);
+  return RunImm(graph, k, options, engine.get());
+}
+
+Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
+                         const ImmOptions& options, SamplingEngine* engine) {
   const NodeId n = graph.num_nodes();
   if (n == 0) return Status::InvalidArgument("IMM: empty graph");
   if (k == 0 || k > n) {
@@ -22,6 +32,10 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
   }
   if (options.epsilon <= 0.0 || options.epsilon >= 1.0) {
     return Status::InvalidArgument("IMM: epsilon must be in (0, 1)");
+  }
+  if (&engine->graph() != &graph) {
+    return Status::InvalidArgument(
+        "IMM: sampling engine bound to a different graph");
   }
 
   const double nd = static_cast<double>(n);
@@ -34,8 +48,8 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
       options.ell * (1.0 + std::log(2.0) / std::max(log_n, 1e-9));
 
   Rng rng(options.seed);
-  RRSetGenerator generator(graph);
-  RRCollection pool(n);
+  engine->ResetPool();
+  RRCollection& pool = engine->pool();
 
   ImmResult result;
 
@@ -59,8 +73,8 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
                                  std::to_string(options.max_rr_sets));
     }
     if (pool.num_sets() < theta_i) {
-      pool.Generate(&generator, /*removed=*/nullptr, n,
-                    theta_i - pool.num_sets(), &rng);
+      engine->GeneratePool(/*removed=*/nullptr, n,
+                           theta_i - pool.num_sets(), &rng);
     }
     GreedyCoverageResult greedy = GreedyMaxCoverage(&pool, k);
     const double est = nd * static_cast<double>(greedy.covered) /
@@ -87,8 +101,8 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
                                std::to_string(options.max_rr_sets));
   }
   if (pool.num_sets() < theta) {
-    pool.Generate(&generator, /*removed=*/nullptr, n,
-                  theta - pool.num_sets(), &rng);
+    engine->GeneratePool(/*removed=*/nullptr, n,
+                         theta - pool.num_sets(), &rng);
   }
 
   GreedyCoverageResult final_greedy = GreedyMaxCoverage(&pool, k);
@@ -96,6 +110,7 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
   result.estimated_spread = nd * static_cast<double>(final_greedy.covered) /
                             static_cast<double>(pool.num_sets());
   result.num_rr_sets = pool.num_sets();
+  result.total_edges_examined = engine->total_edges_examined();
   return result;
 }
 

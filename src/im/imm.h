@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -20,6 +21,10 @@ struct ImmOptions {
   uint64_t seed = 1;
   /// Hard cap on generated RR sets; exceeding it fails with OutOfBudget.
   uint64_t max_rr_sets = 1ull << 26;
+  /// RR sampling backend for the pool (kAuto: parallel iff num_threads > 1).
+  SamplingBackend engine = SamplingBackend::kAuto;
+  /// Worker threads for the parallel backend (0 = hardware concurrency).
+  uint32_t num_threads = 1;
 };
 
 /// Output of RunImm.
@@ -31,6 +36,9 @@ struct ImmResult {
   double estimated_spread = 0.0;
   /// Number of RR sets generated in total (both phases).
   uint64_t num_rr_sets = 0;
+  /// Total edges examined while generating the pool (EPT accounting),
+  /// aggregated across sampler shards.
+  uint64_t total_edges_examined = 0;
 };
 
 /// IMM (Tang, Shi, Xiao — SIGMOD'15): near-linear-time influence
@@ -45,8 +53,14 @@ struct ImmResult {
 ///
 /// This is the "state of the art [28]" the paper uses to build the target
 /// set T (top-k influential users) in its first experimental setting.
+///
+/// The engine overload samples through `engine` (must be bound to `graph`;
+/// its pool is reset and then holds the final IMM pool); the default form
+/// builds the backend selected by options.engine / options.num_threads.
 Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
                          const ImmOptions& options = {});
+Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
+                         const ImmOptions& options, SamplingEngine* engine);
 
 }  // namespace atpm
 

@@ -8,6 +8,19 @@ void RRCollection::AddSet(std::span<const NodeId> nodes) {
   index_built_ = false;
 }
 
+void RRCollection::AppendShard(std::span<const NodeId> nodes,
+                               std::span<const uint32_t> set_sizes) {
+  set_nodes_.insert(set_nodes_.end(), nodes.begin(), nodes.end());
+  set_offsets_.reserve(set_offsets_.size() + set_sizes.size());
+  uint64_t offset = set_offsets_.back();
+  for (uint32_t size : set_sizes) {
+    offset += size;
+    set_offsets_.push_back(offset);
+  }
+  ATPM_DCHECK(offset == set_nodes_.size());
+  index_built_ = false;
+}
+
 uint64_t RRCollection::Generate(RRSetGenerator* generator,
                                 const BitVector* removed, uint32_t num_alive,
                                 uint64_t count, Rng* rng) {

@@ -26,6 +26,14 @@ class RRCollection {
   /// Appends one RR set. Invalidate any previously built index.
   void AddSet(std::span<const NodeId> nodes);
 
+  /// Bulk-appends `set_sizes.size()` RR sets whose node lists are
+  /// concatenated in `nodes` (shard layout of the parallel sampling
+  /// engine). The merge is one splice of the flat node buffer plus an
+  /// offset rebase — the sets are never re-walked, so sharded generation
+  /// lands in the CSR layout without a second pass.
+  void AppendShard(std::span<const NodeId> nodes,
+                   std::span<const uint32_t> set_sizes);
+
   /// Generates `count` RR sets with `generator` on the residual graph
   /// G \ removed; accumulates and returns the total edges examined.
   uint64_t Generate(RRSetGenerator* generator, const BitVector* removed,

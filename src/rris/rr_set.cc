@@ -1,6 +1,6 @@
 #include "rris/rr_set.h"
 
-#include <thread>
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -148,32 +148,20 @@ uint64_t ParallelCountCovering(const Graph& graph, const BitVector* removed,
                                uint32_t num_alive, uint64_t theta, NodeId u,
                                const BitVector* base, uint64_t seed,
                                uint32_t num_threads, DiffusionModel model) {
-  if (num_threads <= 1 || theta < 4096) {
+  // Keep this guard equal to the engine's default min_parallel_batch: it
+  // ensures the engine constructed below (one ephemeral worker pool per
+  // call, matching the historical cost of this wrapper) never immediately
+  // falls back to its inline serial path.
+  constexpr uint64_t kMinParallelTheta = 4096;
+  if (num_threads <= 1 || theta < kMinParallelTheta) {
     RRSetGenerator generator(graph, model);
     Rng rng(seed);
     return generator.CountCovering(removed, num_alive, theta, u, base, &rng);
   }
-
-  std::vector<uint64_t> counts(num_threads, 0);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  const uint64_t chunk = theta / num_threads;
-  const uint64_t remainder = theta % num_threads;
-
-  for (uint32_t w = 0; w < num_threads; ++w) {
-    const uint64_t quota = chunk + (w < remainder ? 1 : 0);
-    workers.emplace_back([&, w, quota]() {
-      RRSetGenerator generator(graph, model);
-      Rng rng(seed + 0x9e3779b97f4a7c15ULL * (w + 1));
-      counts[w] =
-          generator.CountCovering(removed, num_alive, quota, u, base, &rng);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-
-  uint64_t total = 0;
-  for (uint64_t c : counts) total += c;
-  return total;
+  ParallelSamplingEngine engine(graph, model, num_threads,
+                                kMinParallelTheta);
+  return engine.CountConditionalCoverageSeeded(u, base, removed, num_alive,
+                                               theta, seed);
 }
 
 }  // namespace atpm

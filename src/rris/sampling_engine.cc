@@ -1,0 +1,237 @@
+#include "rris/sampling_engine.h"
+
+#include <algorithm>
+
+namespace atpm {
+
+const char* SamplingBackendName(SamplingBackend backend) {
+  switch (backend) {
+    case SamplingBackend::kSerial:
+      return "serial";
+    case SamplingBackend::kParallel:
+      return "parallel";
+    case SamplingBackend::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------ serial
+
+SerialSamplingEngine::SerialSamplingEngine(const Graph& graph,
+                                           DiffusionModel model)
+    : model_(model), generator_(graph, model), pool_(graph.num_nodes()) {}
+
+RRCollection& SerialSamplingEngine::GeneratePool(const BitVector* removed,
+                                                 uint32_t num_alive,
+                                                 uint64_t count, Rng* rng) {
+  for (uint64_t i = 0; i < count; ++i) {
+    edges_examined_ += generator_.Generate(removed, num_alive, rng, &buffer_);
+    pool_.AddSet(buffer_);
+  }
+  return pool_;
+}
+
+uint64_t SerialSamplingEngine::CountConditionalCoverageSeeded(
+    NodeId u, const BitVector* base, const BitVector* removed,
+    uint32_t num_alive, uint64_t theta, uint64_t seed) {
+  Rng rng(seed);
+  return generator_.CountCovering(removed, num_alive, theta, u, base, &rng);
+}
+
+void SerialSamplingEngine::ResetPool() {
+  pool_.Clear();
+  edges_examined_ = 0;
+}
+
+// ---------------------------------------------------------------- parallel
+
+ParallelSamplingEngine::ParallelSamplingEngine(const Graph& graph,
+                                               DiffusionModel model,
+                                               uint32_t num_threads,
+                                               uint64_t min_parallel_batch)
+    : graph_(&graph),
+      model_(model),
+      min_parallel_batch_(min_parallel_batch),
+      pool_(graph.num_nodes()),
+      inline_generator_(graph, model) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.resize(num_threads);
+  for (Worker& worker : workers_) {
+    worker.generator = std::make_unique<RRSetGenerator>(graph, model);
+  }
+  threads_.reserve(num_threads);
+  for (uint32_t w = 0; w < num_threads; ++w) {
+    threads_.emplace_back([this, w]() { WorkerLoop(w); });
+  }
+}
+
+ParallelSamplingEngine::~ParallelSamplingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ParallelSamplingEngine::WorkerLoop(uint32_t index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(uint32_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&]() {
+        return stopping_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelSamplingEngine::RunOnPool(
+    const std::function<void(uint32_t)>& body) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    ++job_epoch_;
+    pending_ = static_cast<uint32_t>(workers_.size());
+  }
+  job_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&]() { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ParallelSamplingEngine::AssignQuotas(uint64_t total) {
+  const uint64_t num_workers = workers_.size();
+  const uint64_t chunk = total / num_workers;
+  const uint64_t remainder = total % num_workers;
+  for (uint64_t w = 0; w < num_workers; ++w) {
+    workers_[w].quota = chunk + (w < remainder ? 1 : 0);
+  }
+}
+
+RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
+                                                   uint32_t num_alive,
+                                                   uint64_t count, Rng* rng) {
+  // One draw from the caller's stream per query, independent of the worker
+  // count; the fan-out is derived from it via SplitSeed.
+  const uint64_t base_seed = rng->Next();
+  if (workers_.size() <= 1 || count < min_parallel_batch_) {
+    Rng local(base_seed);
+    for (uint64_t i = 0; i < count; ++i) {
+      edges_examined_ +=
+          inline_generator_.Generate(removed, num_alive, &local, &buffer_);
+      pool_.AddSet(buffer_);
+    }
+    return pool_;
+  }
+
+  AssignQuotas(count);
+  RunOnPool([&](uint32_t w) {
+    Worker& worker = workers_[w];
+    worker.shard_nodes.clear();
+    worker.shard_sizes.clear();
+    worker.edges_result = 0;
+    Rng local(SplitSeed(base_seed, w));
+    std::vector<NodeId> buffer;
+    for (uint64_t i = 0; i < worker.quota; ++i) {
+      worker.edges_result +=
+          worker.generator->Generate(removed, num_alive, &local, &buffer);
+      worker.shard_nodes.insert(worker.shard_nodes.end(), buffer.begin(),
+                                buffer.end());
+      worker.shard_sizes.push_back(static_cast<uint32_t>(buffer.size()));
+    }
+  });
+
+  // Merge in worker order: deterministic layout, and the EPT accounting
+  // (total edges examined) aggregates exactly as in a serial run.
+  for (Worker& worker : workers_) {
+    pool_.AppendShard(worker.shard_nodes, worker.shard_sizes);
+    edges_examined_ += worker.edges_result;
+  }
+  return pool_;
+}
+
+uint64_t ParallelSamplingEngine::CountConditionalCoverageSeeded(
+    NodeId u, const BitVector* base, const BitVector* removed,
+    uint32_t num_alive, uint64_t theta, uint64_t seed) {
+  if (workers_.size() <= 1 || theta < min_parallel_batch_) {
+    Rng rng(seed);
+    return inline_generator_.CountCovering(removed, num_alive, theta, u, base,
+                                           &rng);
+  }
+
+  AssignQuotas(theta);
+  RunOnPool([&](uint32_t w) {
+    Worker& worker = workers_[w];
+    Rng local(SplitSeed(seed, w));
+    worker.count_result = worker.generator->CountCovering(
+        removed, num_alive, worker.quota, u, base, &local);
+  });
+
+  uint64_t total = 0;
+  for (const Worker& worker : workers_) total += worker.count_result;
+  return total;
+}
+
+void ParallelSamplingEngine::ResetPool() {
+  pool_.Clear();
+  edges_examined_ = 0;
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<SamplingEngine> CreateSamplingEngine(
+    const Graph& graph, DiffusionModel model,
+    const SamplingEngineOptions& options) {
+  uint32_t threads = options.num_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : options.num_threads;
+  SamplingBackend backend = options.backend;
+  if (backend == SamplingBackend::kAuto) {
+    backend =
+        threads > 1 ? SamplingBackend::kParallel : SamplingBackend::kSerial;
+  }
+  if (backend == SamplingBackend::kParallel) {
+    return std::make_unique<ParallelSamplingEngine>(
+        graph, model, threads, options.min_parallel_batch);
+  }
+  return std::make_unique<SerialSamplingEngine>(graph, model);
+}
+
+SamplingEngine* SamplingEngineHandle::Get(const Graph& graph,
+                                          DiffusionModel model,
+                                          const SamplingEngineOptions& options) {
+  if (external_ != nullptr) return external_;
+  // Reuse is keyed by graph identity (address + shape): the caller owns the
+  // graph's lifetime and must not recycle it while the handle is live. The
+  // shape check guards the likeliest ABA accident — a new, differently
+  // sized graph allocated at the old address — which would otherwise hand
+  // out generators with undersized visited markers.
+  const bool reusable =
+      owned_ != nullptr && &owned_->graph() == &graph &&
+      owned_->graph().num_nodes() == graph.num_nodes() &&
+      owned_->graph().num_edges() == graph.num_edges() &&
+      owned_->model() == model &&
+      owned_options_.backend == options.backend &&
+      owned_options_.num_threads == options.num_threads &&
+      owned_options_.min_parallel_batch == options.min_parallel_batch;
+  if (!reusable) {
+    owned_ = CreateSamplingEngine(graph, model, options);
+    owned_options_ = options;
+  }
+  return owned_.get();
+}
+
+}  // namespace atpm

@@ -1,0 +1,259 @@
+#ifndef ATPM_RRIS_SAMPLING_ENGINE_H_
+#define ATPM_RRIS_SAMPLING_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "diffusion/diffusion_model.h"
+#include "graph/graph.h"
+#include "rris/rr_collection.h"
+#include "rris/rr_set.h"
+
+namespace atpm {
+
+/// Which RR-set sampling backend a policy should use.
+enum class SamplingBackend {
+  /// Single-threaded; bit-identical to driving an RRSetGenerator directly.
+  kSerial,
+  /// Persistent worker pool with deterministic per-thread RNG streams.
+  kParallel,
+  /// kParallel when the resolved thread count exceeds 1, else kSerial.
+  kAuto,
+};
+
+/// Human-readable backend name ("serial" / "parallel" / "auto").
+const char* SamplingBackendName(SamplingBackend backend);
+
+/// Backend selection knobs, threaded through policy options.
+struct SamplingEngineOptions {
+  SamplingBackend backend = SamplingBackend::kAuto;
+  /// Worker threads for the parallel backend; 0 = hardware concurrency.
+  uint32_t num_threads = 1;
+  /// Batches below this size run on the calling thread even under the
+  /// parallel backend — fan-out overhead dominates tiny jobs, and the
+  /// adaptive policies issue plenty of them early in the error schedule.
+  uint64_t min_parallel_batch = 4096;
+};
+
+/// The substrate boundary between RR-set sampling and the TPM algorithms.
+///
+/// Every policy needs exactly two operations on the residual graph
+/// G \ removed (`num_alive` = nodes outside `removed`):
+///
+///  * GeneratePool — append `count` stored RR sets to the engine's pool
+///    (NSG/NDG/IMM-style fixed pools, spread lower bounds), with the total
+///    edges examined (the IMM/EPT cost measure) accumulated in
+///    total_edges_examined() so concentration accounting aggregates
+///    correctly across parallel shards;
+///  * CountConditionalCoverage — draw θ throwaway RR sets and count direct
+///    hits of Cov(u | base) (the ADDATP/HATP per-decision hot path).
+///
+/// Engines are bound to one (graph, diffusion model) pair and are *not*
+/// re-entrant: one query runs at a time. Randomness is always drawn from
+/// the caller's Rng, so runs remain reproducible; the parallel backend
+/// consumes exactly one 64-bit draw per query and splits it into
+/// per-worker streams (SplitSeed), making results deterministic for a
+/// fixed (caller stream, thread count) pair.
+class SamplingEngine {
+ public:
+  virtual ~SamplingEngine() = default;
+
+  /// Appends `count` RR sets sampled on G \ removed to the engine's pool
+  /// and returns the pool. Edge-examination cost accrues into
+  /// total_edges_examined().
+  virtual RRCollection& GeneratePool(const BitVector* removed,
+                                     uint32_t num_alive, uint64_t count,
+                                     Rng* rng) = 0;
+
+  /// Samples `theta` RR sets without storing them and returns how many
+  /// contain `u` while avoiding every node of `base` (nullptr base = plain
+  /// Cov({u}) count). Consumes one 64-bit draw from `rng`.
+  uint64_t CountConditionalCoverage(NodeId u, const BitVector* base,
+                                    const BitVector* removed,
+                                    uint32_t num_alive, uint64_t theta,
+                                    Rng* rng) {
+    return CountConditionalCoverageSeeded(u, base, removed, num_alive, theta,
+                                          rng->Next());
+  }
+
+  /// Seed-level variant of CountConditionalCoverage: the serial backend
+  /// counts with the stream Rng(seed); the parallel backend gives worker w
+  /// the stream Rng(SplitSeed(seed, w)).
+  virtual uint64_t CountConditionalCoverageSeeded(NodeId u,
+                                                  const BitVector* base,
+                                                  const BitVector* removed,
+                                                  uint32_t num_alive,
+                                                  uint64_t theta,
+                                                  uint64_t seed) = 0;
+
+  /// The engine's pool of stored RR sets (as filled by GeneratePool).
+  virtual RRCollection& pool() = 0;
+  /// Empties the pool (keeps capacity) and zeroes the edge accounting.
+  virtual void ResetPool() = 0;
+  /// Total edges examined by all GeneratePool calls since the last
+  /// ResetPool, aggregated across workers.
+  virtual uint64_t total_edges_examined() const = 0;
+
+  /// The bound graph.
+  virtual const Graph& graph() const = 0;
+  /// The bound diffusion model.
+  virtual DiffusionModel model() const = 0;
+  /// Worker count (1 for the serial backend).
+  virtual uint32_t num_workers() const = 0;
+  /// Backend identifier for logs and benchmarks.
+  virtual std::string_view name() const = 0;
+};
+
+/// Single-threaded backend: a persistent RRSetGenerator driven by the
+/// caller's Rng. For a fixed seed this reproduces the pre-engine code paths
+/// (raw generator + RRCollection::Generate / ParallelCountCovering with one
+/// thread) bit for bit.
+class SerialSamplingEngine final : public SamplingEngine {
+ public:
+  explicit SerialSamplingEngine(
+      const Graph& graph,
+      DiffusionModel model = DiffusionModel::kIndependentCascade);
+
+  RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
+                             uint64_t count, Rng* rng) override;
+  uint64_t CountConditionalCoverageSeeded(NodeId u, const BitVector* base,
+                                          const BitVector* removed,
+                                          uint32_t num_alive, uint64_t theta,
+                                          uint64_t seed) override;
+
+  RRCollection& pool() override { return pool_; }
+  void ResetPool() override;
+  uint64_t total_edges_examined() const override { return edges_examined_; }
+  const Graph& graph() const override { return generator_.graph(); }
+  DiffusionModel model() const override { return model_; }
+  uint32_t num_workers() const override { return 1; }
+  std::string_view name() const override { return "serial"; }
+
+ private:
+  DiffusionModel model_;
+  RRSetGenerator generator_;
+  RRCollection pool_;
+  std::vector<NodeId> buffer_;
+  uint64_t edges_examined_ = 0;
+};
+
+/// Thread-pool backend: `num_threads` persistent workers, each with its own
+/// RRSetGenerator (no shared mutable state on the hot path) and a private
+/// Rng stream derived by SplitSeed from the query's base seed. Pool
+/// generation shards into per-worker flat buffers that are spliced into the
+/// CSR pool in worker order (RRCollection::AppendShard), so the merged pool
+/// and the aggregated edge count are deterministic for a fixed
+/// (seed, num_threads) pair. Queries below min_parallel_batch bypass the
+/// pool and run on the calling thread; for CountConditionalCoverage that
+/// inline path is bit-identical to the serial backend (both count with the
+/// stream Rng(base seed)), while GeneratePool is only statistically
+/// equivalent (the serial backend generates from the caller's stream
+/// directly, the inline path from one reseeded draw).
+class ParallelSamplingEngine final : public SamplingEngine {
+ public:
+  explicit ParallelSamplingEngine(
+      const Graph& graph,
+      DiffusionModel model = DiffusionModel::kIndependentCascade,
+      uint32_t num_threads = 0, uint64_t min_parallel_batch = 4096);
+  ~ParallelSamplingEngine() override;
+
+  ParallelSamplingEngine(const ParallelSamplingEngine&) = delete;
+  ParallelSamplingEngine& operator=(const ParallelSamplingEngine&) = delete;
+
+  RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
+                             uint64_t count, Rng* rng) override;
+  uint64_t CountConditionalCoverageSeeded(NodeId u, const BitVector* base,
+                                          const BitVector* removed,
+                                          uint32_t num_alive, uint64_t theta,
+                                          uint64_t seed) override;
+
+  RRCollection& pool() override { return pool_; }
+  void ResetPool() override;
+  uint64_t total_edges_examined() const override { return edges_examined_; }
+  const Graph& graph() const override { return *graph_; }
+  DiffusionModel model() const override { return model_; }
+  uint32_t num_workers() const override {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  std::string_view name() const override { return "parallel"; }
+
+ private:
+  /// Per-worker state; only its owning thread touches it during a job.
+  struct Worker {
+    std::unique_ptr<RRSetGenerator> generator;
+    uint64_t quota = 0;
+    uint64_t count_result = 0;
+    uint64_t edges_result = 0;
+    std::vector<NodeId> shard_nodes;
+    std::vector<uint32_t> shard_sizes;
+  };
+
+  /// Runs `body(worker_index)` on every pool thread and blocks until all
+  /// finish. Exactly one job is in flight at a time.
+  void RunOnPool(const std::function<void(uint32_t)>& body);
+  void WorkerLoop(uint32_t index);
+  /// Splits `total` draws over the workers (remainder to the lowest ids).
+  void AssignQuotas(uint64_t total);
+
+  const Graph* graph_;
+  DiffusionModel model_;
+  uint64_t min_parallel_batch_;
+
+  RRCollection pool_;
+  uint64_t edges_examined_ = 0;
+  /// Serial fallback generator for sub-threshold queries.
+  RRSetGenerator inline_generator_;
+  std::vector<NodeId> buffer_;
+
+  std::vector<Worker> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* job_ = nullptr;
+  uint64_t job_epoch_ = 0;
+  uint32_t pending_ = 0;
+  bool stopping_ = false;
+};
+
+/// Builds the backend selected by `options` for (graph, model). kAuto
+/// resolves to kParallel iff the resolved thread count (num_threads, with 0
+/// meaning hardware concurrency) exceeds 1.
+std::unique_ptr<SamplingEngine> CreateSamplingEngine(
+    const Graph& graph,
+    DiffusionModel model = DiffusionModel::kIndependentCascade,
+    const SamplingEngineOptions& options = {});
+
+/// Engine slot embedded by policies: hands out an injected (borrowed)
+/// engine when one was set, otherwise lazily builds — and caches across
+/// Run() calls, so a parallel backend keeps its worker pool warm — an
+/// owned engine for the requested (graph, model, options). The cache keys
+/// on graph identity, so the graph passed to Get must stay alive (and
+/// unmoved) for as long as the handle may serve it.
+class SamplingEngineHandle {
+ public:
+  /// Injects an external engine (not owned; pass nullptr to clear). Its
+  /// graph/model must match what the policy is run on.
+  void Use(SamplingEngine* external) { external_ = external; }
+
+  /// The engine to use for (graph, model, options).
+  SamplingEngine* Get(const Graph& graph, DiffusionModel model,
+                      const SamplingEngineOptions& options);
+
+ private:
+  SamplingEngine* external_ = nullptr;
+  std::unique_ptr<SamplingEngine> owned_;
+  SamplingEngineOptions owned_options_{};
+};
+
+}  // namespace atpm
+
+#endif  // ATPM_RRIS_SAMPLING_ENGINE_H_

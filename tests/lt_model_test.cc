@@ -8,10 +8,12 @@
 #include "core/hatp.h"
 #include "diffusion/ic_model.h"
 #include "diffusion/realization.h"
+#include "diffusion/spread_oracle.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
 #include "graph/weighting.h"
 #include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 namespace {
@@ -220,6 +222,122 @@ TEST(LtEndToEndTest, HatpRunsUnderLinearThreshold) {
   // early BA nodes are hubs with cost 1).
   EXPECT_EQ(run.value().realized_spread, env.num_activated());
   EXPECT_FALSE(run.value().seeds.empty());
+}
+
+// --- SpreadOracle parity under LT: every oracle honors the model knob. ---
+
+TEST(LtSpreadOracleTest, ExactOracleMatchesChainClosedForm) {
+  // Path 0 -> 1 with p = 0.3: in-degrees <= 1, so LT == IC and
+  // E[I({0})] = 1 + 0.3.
+  const Graph g = MakePathGraph(2, 0.3);
+  auto oracle = ExactSpreadOracle::Create(g, /*max_edges=*/24,
+                                          DiffusionModel::kLinearThreshold);
+  ASSERT_TRUE(oracle.ok());
+  std::vector<NodeId> seeds = {0};
+  EXPECT_NEAR(oracle.value()->ExpectedSpread(seeds, nullptr), 1.3, 1e-6);
+}
+
+TEST(LtSpreadOracleTest, ExactOracleJointInfluenceClosedForm) {
+  // Two sources with p = 0.5 each into node 2: under LT the joint
+  // activation probability is min(1, 0.5 + 0.5) = 1, so E[I({0,1})] = 3
+  // (the IC oracle would give 2.75).
+  GraphBuilder b;
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(1, 2, 0.5);
+  Graph g = b.Build().value();
+  auto lt = ExactSpreadOracle::Create(g, 24, DiffusionModel::kLinearThreshold);
+  auto ic = ExactSpreadOracle::Create(g, 24);
+  ASSERT_TRUE(lt.ok() && ic.ok());
+  std::vector<NodeId> seeds = {0, 1};
+  EXPECT_NEAR(lt.value()->ExpectedSpread(seeds, nullptr), 3.0, 1e-6);
+  EXPECT_NEAR(ic.value()->ExpectedSpread(seeds, nullptr), 2.75, 1e-6);
+}
+
+TEST(LtSpreadOracleTest, MonteCarloMatchesExactOnSmallGraph) {
+  Rng rng(15);
+  Graph g = MakeCompleteGraph(5, 0.0);
+  ApplyWeightedCascade(&g);
+
+  auto exact =
+      ExactSpreadOracle::Create(g, 24, DiffusionModel::kLinearThreshold);
+  ASSERT_TRUE(exact.ok());
+
+  MonteCarloOptions mc_options;
+  mc_options.model = DiffusionModel::kLinearThreshold;
+  mc_options.num_samples = 200000;
+  mc_options.seed = 16;
+  MonteCarloSpreadOracle mc(g, mc_options);
+
+  std::vector<NodeId> seeds = {0, 2};
+  const double want = exact.value()->ExpectedSpread(seeds, nullptr);
+  EXPECT_NEAR(mc.ExpectedSpread(seeds, nullptr), want, 0.02);
+
+  // Marginal query (common random numbers) agrees with the exact marginal.
+  std::vector<NodeId> base = {0};
+  const double want_marginal =
+      exact.value()->ExpectedSpread(seeds, nullptr) -
+      exact.value()->ExpectedSpread(base, nullptr);
+  EXPECT_NEAR(mc.ExpectedMarginalSpread(2, base, nullptr), want_marginal,
+              0.02);
+}
+
+TEST(LtSpreadOracleTest, MonteCarloRespectsRemovedMask) {
+  const Graph g = MakePathGraph(5, 1.0);
+  MonteCarloOptions mc_options;
+  mc_options.model = DiffusionModel::kLinearThreshold;
+  mc_options.num_samples = 200;
+  MonteCarloSpreadOracle mc(g, mc_options);
+  BitVector removed(5);
+  removed.Set(2);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_NEAR(mc.ExpectedSpread(seeds, &removed), 2.0, 1e-9);
+}
+
+TEST(LtSpreadOracleTest, RisOracleMatchesExactUnderLt) {
+  // End-to-end LT path through the sampling substrate: a RisSpreadOracle
+  // over an LT SamplingEngine reproduces the exact LT expected spread.
+  Rng rng(17);
+  Graph g = MakeCompleteGraph(6, 0.0);
+  ApplyWeightedCascade(&g);
+
+  auto exact =
+      ExactSpreadOracle::Create(g, 30, DiffusionModel::kLinearThreshold);
+  ASSERT_TRUE(exact.ok());
+
+  SerialSamplingEngine engine(g, DiffusionModel::kLinearThreshold);
+  RisOracleOptions ris_options;
+  ris_options.num_rr_sets = 1u << 17;
+  ris_options.seed = 18;
+  RisSpreadOracle ris(&engine, ris_options);
+
+  std::vector<NodeId> seeds = {1, 4};
+  EXPECT_NEAR(ris.ExpectedSpread(seeds, nullptr),
+              exact.value()->ExpectedSpread(seeds, nullptr), 0.05);
+}
+
+TEST(LtSamplingEngineTest, ParallelCountAgreesWithSerialUnderLt) {
+  Rng graph_rng(19);
+  BarabasiAlbertOptions ba;
+  ba.num_nodes = 400;
+  ba.edges_per_node = 2;
+  Graph g = GenerateBarabasiAlbert(ba, &graph_rng).value();
+  ApplyWeightedCascade(&g);
+
+  const uint64_t theta = 100000;
+  Rng serial_rng(20);
+  SerialSamplingEngine serial(g, DiffusionModel::kLinearThreshold);
+  const double p_serial =
+      static_cast<double>(serial.CountConditionalCoverage(
+          0, nullptr, nullptr, g.num_nodes(), theta, &serial_rng)) /
+      static_cast<double>(theta);
+
+  Rng parallel_rng(21);
+  ParallelSamplingEngine parallel(g, DiffusionModel::kLinearThreshold, 4);
+  const double p_parallel =
+      static_cast<double>(parallel.CountConditionalCoverage(
+          0, nullptr, nullptr, g.num_nodes(), theta, &parallel_rng)) /
+      static_cast<double>(theta);
+  EXPECT_NEAR(p_serial, p_parallel, 0.01);
 }
 
 TEST(DiffusionModelTest, Names) {

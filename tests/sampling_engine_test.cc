@@ -1,0 +1,330 @@
+// Tests for the SamplingEngine layer: serial backend bit-identity against
+// the raw generator, parallel backend determinism, cross-backend
+// statistical agreement, shard merging, and EPT accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/weighting.h"
+#include "rris/rr_collection.h"
+#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
+
+namespace atpm {
+namespace {
+
+Graph TestGraph(NodeId n) {
+  Rng rng(7);
+  BarabasiAlbertOptions options;
+  options.num_nodes = n;
+  options.edges_per_node = 3;
+  Graph g = GenerateBarabasiAlbert(options, &rng).value();
+  ApplyWeightedCascade(&g);
+  return g;
+}
+
+void ExpectSamePools(const RRCollection& a, const RRCollection& b) {
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  ASSERT_EQ(a.total_nodes(), b.total_nodes());
+  for (uint64_t i = 0; i < a.num_sets(); ++i) {
+    const auto sa = a.set(i);
+    const auto sb = b.set(i);
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << i;
+    for (size_t j = 0; j < sa.size(); ++j) {
+      EXPECT_EQ(sa[j], sb[j]) << "set " << i << " slot " << j;
+    }
+  }
+}
+
+// (a) The serial backend reproduces the raw-generator code paths bit for
+// bit for a fixed seed.
+
+TEST(SerialSamplingEngineTest, PoolBitIdenticalToRawGenerator) {
+  const Graph g = TestGraph(300);
+  const uint64_t count = 2000;
+
+  Rng engine_rng(77);
+  SerialSamplingEngine engine(g);
+  const RRCollection& engine_pool =
+      engine.GeneratePool(nullptr, g.num_nodes(), count, &engine_rng);
+
+  Rng raw_rng(77);
+  RRSetGenerator generator(g);
+  RRCollection raw_pool(g.num_nodes());
+  const uint64_t raw_edges =
+      raw_pool.Generate(&generator, nullptr, g.num_nodes(), count, &raw_rng);
+
+  ExpectSamePools(engine_pool, raw_pool);
+  EXPECT_EQ(engine.total_edges_examined(), raw_edges);
+}
+
+TEST(SerialSamplingEngineTest, PoolBitIdenticalOnResidualGraph) {
+  const Graph g = TestGraph(300);
+  BitVector removed(g.num_nodes());
+  for (NodeId v = 0; v < 40; ++v) removed.Set(v);
+  const uint32_t alive = g.num_nodes() - 40;
+
+  Rng engine_rng(78);
+  SerialSamplingEngine engine(g);
+  const RRCollection& engine_pool =
+      engine.GeneratePool(&removed, alive, 1500, &engine_rng);
+
+  Rng raw_rng(78);
+  RRSetGenerator generator(g);
+  RRCollection raw_pool(g.num_nodes());
+  raw_pool.Generate(&generator, &removed, alive, 1500, &raw_rng);
+
+  ExpectSamePools(engine_pool, raw_pool);
+}
+
+TEST(SerialSamplingEngineTest, CountBitIdenticalToRawGenerator) {
+  const Graph g = TestGraph(300);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 10; v < 30; ++v) base.Set(v);
+  const uint64_t theta = 20000;
+
+  // The engine draws one base seed from the caller's stream and counts
+  // with the stream Rng(base seed) — exactly the historical
+  // ParallelCountCovering(seed = rng.Next(), num_threads = 1) path.
+  Rng engine_rng(5);
+  SerialSamplingEngine engine(g);
+  const uint64_t engine_count = engine.CountConditionalCoverage(
+      0, &base, nullptr, g.num_nodes(), theta, &engine_rng);
+
+  Rng reference_rng(5);
+  const uint64_t reference_count = ParallelCountCovering(
+      g, nullptr, g.num_nodes(), theta, 0, &base, reference_rng.Next(), 1);
+
+  EXPECT_EQ(engine_count, reference_count);
+  // The caller streams advanced identically (one draw each).
+  EXPECT_EQ(engine_rng.Next(), reference_rng.Next());
+}
+
+TEST(SerialSamplingEngineTest, ResetPoolClearsSetsAndAccounting) {
+  const Graph g = TestGraph(100);
+  Rng rng(9);
+  SerialSamplingEngine engine(g);
+  engine.GeneratePool(nullptr, g.num_nodes(), 100, &rng);
+  EXPECT_GT(engine.pool().num_sets(), 0u);
+  EXPECT_GT(engine.total_edges_examined(), 0u);
+  engine.ResetPool();
+  EXPECT_EQ(engine.pool().num_sets(), 0u);
+  EXPECT_EQ(engine.total_edges_examined(), 0u);
+}
+
+// (b) The parallel backend is deterministic for a fixed (seed, threads).
+
+TEST(ParallelSamplingEngineTest, PoolDeterministicForFixedSeedAndThreads) {
+  const Graph g = TestGraph(500);
+  const uint64_t count = 8192;  // above the serial-fallback threshold
+
+  RRCollection first(0);
+  {
+    Rng rng(123);
+    ParallelSamplingEngine engine(g, DiffusionModel::kIndependentCascade, 4);
+    first = engine.GeneratePool(nullptr, g.num_nodes(), count, &rng);
+    EXPECT_EQ(engine.num_workers(), 4u);
+  }
+  Rng rng(123);
+  ParallelSamplingEngine engine(g, DiffusionModel::kIndependentCascade, 4);
+  const RRCollection& second =
+      engine.GeneratePool(nullptr, g.num_nodes(), count, &rng);
+  ExpectSamePools(first, second);
+}
+
+TEST(ParallelSamplingEngineTest, CountDeterministicForFixedSeedAndThreads) {
+  const Graph g = TestGraph(500);
+  const uint64_t theta = 60000;
+  uint64_t counts[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    Rng rng(321);
+    ParallelSamplingEngine engine(g, DiffusionModel::kIndependentCascade, 4);
+    counts[trial] = engine.CountConditionalCoverage(
+        1, nullptr, nullptr, g.num_nodes(), theta, &rng);
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 0u);
+}
+
+TEST(ParallelSamplingEngineTest, EdgeAccountingDeterministicAndAggregated) {
+  const Graph g = TestGraph(500);
+  uint64_t edges[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    Rng rng(55);
+    ParallelSamplingEngine engine(g, DiffusionModel::kIndependentCascade, 4);
+    engine.GeneratePool(nullptr, g.num_nodes(), 8192, &rng);
+    edges[trial] = engine.total_edges_examined();
+  }
+  EXPECT_EQ(edges[0], edges[1]);
+  // Every RR set examines at least the root's in-edges; with 8192 sets on a
+  // BA graph the aggregate must be substantial.
+  EXPECT_GT(edges[0], 8192u);
+}
+
+TEST(ParallelSamplingEngineTest, SmallBatchesFallBackToSerialBitExactly) {
+  const Graph g = TestGraph(300);
+  const uint64_t theta = 512;  // below min_parallel_batch
+
+  Rng parallel_rng(42);
+  ParallelSamplingEngine parallel(g, DiffusionModel::kIndependentCascade, 4);
+  const uint64_t parallel_count = parallel.CountConditionalCoverage(
+      0, nullptr, nullptr, g.num_nodes(), theta, &parallel_rng);
+
+  Rng serial_rng(42);
+  SerialSamplingEngine serial(g);
+  const uint64_t serial_count = serial.CountConditionalCoverage(
+      0, nullptr, nullptr, g.num_nodes(), theta, &serial_rng);
+
+  EXPECT_EQ(parallel_count, serial_count);
+}
+
+// (c) Serial and parallel backends agree within concentration bounds on a
+// 1k-node generator graph: both estimate p = Pr[u in RR set avoiding base],
+// and two independent θ-sample means differ by more than
+// 5·sqrt(2·p̂(1−p̂)/θ) with probability well under 1e-5.
+
+TEST(SamplingEngineAgreementTest, SerialVsParallelCoverageEstimates) {
+  const Graph g = TestGraph(1000);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 50; v < 80; ++v) base.Set(v);
+  const uint64_t theta = 200000;
+  const NodeId u = 0;
+
+  Rng serial_rng(2024);
+  SerialSamplingEngine serial(g);
+  const double p_serial =
+      static_cast<double>(serial.CountConditionalCoverage(
+          u, &base, nullptr, g.num_nodes(), theta, &serial_rng)) /
+      static_cast<double>(theta);
+
+  Rng parallel_rng(4048);
+  ParallelSamplingEngine parallel(g, DiffusionModel::kIndependentCascade, 4);
+  const double p_parallel =
+      static_cast<double>(parallel.CountConditionalCoverage(
+          u, &base, nullptr, g.num_nodes(), theta, &parallel_rng)) /
+      static_cast<double>(theta);
+
+  const double p_hat = 0.5 * (p_serial + p_parallel);
+  const double sigma =
+      std::sqrt(2.0 * p_hat * (1.0 - p_hat) / static_cast<double>(theta));
+  EXPECT_GT(p_hat, 0.0);
+  EXPECT_NEAR(p_serial, p_parallel, 5.0 * sigma + 1e-9);
+}
+
+TEST(SamplingEngineAgreementTest, PoolCoverageAcrossBackends) {
+  const Graph g = TestGraph(1000);
+  const uint64_t count = 65536;
+  const NodeId u = 1;
+
+  Rng serial_rng(10);
+  SerialSamplingEngine serial(g);
+  const RRCollection& serial_pool =
+      serial.GeneratePool(nullptr, g.num_nodes(), count, &serial_rng);
+  const double f_serial =
+      static_cast<double>(serial_pool.CoverageOfNode(u)) / count;
+
+  Rng parallel_rng(20);
+  ParallelSamplingEngine parallel(g, DiffusionModel::kIndependentCascade, 4);
+  const RRCollection& parallel_pool =
+      parallel.GeneratePool(nullptr, g.num_nodes(), count, &parallel_rng);
+  ASSERT_EQ(parallel_pool.num_sets(), count);
+  const double f_parallel =
+      static_cast<double>(parallel_pool.CoverageOfNode(u)) / count;
+
+  const double p_hat = 0.5 * (f_serial + f_parallel);
+  const double sigma =
+      std::sqrt(2.0 * p_hat * (1.0 - p_hat) / static_cast<double>(count));
+  EXPECT_NEAR(f_serial, f_parallel, 5.0 * sigma + 1e-9);
+}
+
+// Factory / knob resolution.
+
+TEST(CreateSamplingEngineTest, AutoResolvesByThreadCount) {
+  const Graph g = TestGraph(100);
+  SamplingEngineOptions options;
+  options.backend = SamplingBackend::kAuto;
+  options.num_threads = 1;
+  EXPECT_EQ(CreateSamplingEngine(g, DiffusionModel::kIndependentCascade,
+                                 options)
+                ->name(),
+            "serial");
+  options.num_threads = 4;
+  EXPECT_EQ(CreateSamplingEngine(g, DiffusionModel::kIndependentCascade,
+                                 options)
+                ->name(),
+            "parallel");
+  options.backend = SamplingBackend::kSerial;
+  EXPECT_EQ(CreateSamplingEngine(g, DiffusionModel::kIndependentCascade,
+                                 options)
+                ->name(),
+            "serial");
+}
+
+TEST(SamplingBackendTest, Names) {
+  EXPECT_STREQ(SamplingBackendName(SamplingBackend::kSerial), "serial");
+  EXPECT_STREQ(SamplingBackendName(SamplingBackend::kParallel), "parallel");
+  EXPECT_STREQ(SamplingBackendName(SamplingBackend::kAuto), "auto");
+}
+
+// Shard merge primitive used by the parallel backend.
+
+TEST(RRCollectionAppendShardTest, MatchesPerSetInsertion) {
+  RRCollection by_set(10);
+  RRCollection by_shard(10);
+
+  const std::vector<std::vector<NodeId>> sets = {
+      {1, 2, 3}, {4}, {}, {5, 6}, {7, 8, 9, 0}};
+  std::vector<NodeId> flat;
+  std::vector<uint32_t> sizes;
+  for (const auto& s : sets) {
+    by_set.AddSet(s);
+    flat.insert(flat.end(), s.begin(), s.end());
+    sizes.push_back(static_cast<uint32_t>(s.size()));
+  }
+  // Split into two shards to exercise repeated appends.
+  by_shard.AppendShard({flat.data(), 4}, {sizes.data(), 2});
+  by_shard.AppendShard({flat.data() + 4, flat.size() - 4},
+                       {sizes.data() + 2, sizes.size() - 2});
+
+  ExpectSamePools(by_set, by_shard);
+  by_shard.BuildIndex();
+  EXPECT_EQ(by_shard.CoverageOfNode(4), 1u);
+  EXPECT_EQ(by_shard.CoverageOfNode(0), 1u);
+}
+
+// Engine handle caching (the policies' embedded slot).
+
+TEST(SamplingEngineHandleTest, CachesOwnedEngineAndHonorsInjection) {
+  const Graph g = TestGraph(100);
+  SamplingEngineOptions options;
+  options.backend = SamplingBackend::kSerial;
+
+  SamplingEngineHandle handle;
+  SamplingEngine* first =
+      handle.Get(g, DiffusionModel::kIndependentCascade, options);
+  SamplingEngine* second =
+      handle.Get(g, DiffusionModel::kIndependentCascade, options);
+  EXPECT_EQ(first, second);  // cached across calls
+
+  options.backend = SamplingBackend::kParallel;
+  options.num_threads = 2;
+  SamplingEngine* third =
+      handle.Get(g, DiffusionModel::kIndependentCascade, options);
+  EXPECT_EQ(third->name(), "parallel");
+
+  SerialSamplingEngine external(g);
+  handle.Use(&external);
+  EXPECT_EQ(handle.Get(g, DiffusionModel::kIndependentCascade, options),
+            &external);
+  handle.Use(nullptr);
+  EXPECT_NE(handle.Get(g, DiffusionModel::kIndependentCascade, options),
+            &external);
+}
+
+}  // namespace
+}  // namespace atpm
