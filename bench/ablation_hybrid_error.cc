@@ -37,7 +37,7 @@ int main() {
     problem.costs[0] = cost;
 
     atpm::HatpOptions hatp_options;
-    hatp_options.max_rr_sets_per_decision = cap;
+    hatp_options.sampling.max_rr_sets_per_decision = cap;
     atpm::HatpPolicy hatp(hatp_options);
     atpm::Rng world_rng(1);
     atpm::AdaptiveEnvironment env_h(
@@ -48,7 +48,7 @@ int main() {
     if (!run_h.ok()) return 1;
 
     atpm::AddAtpOptions add_options;
-    add_options.max_rr_sets_per_decision = cap;
+    add_options.sampling.max_rr_sets_per_decision = cap;
     add_options.fail_on_budget_exhausted = false;
     atpm::AddAtpPolicy addatp(add_options);
     atpm::Rng world_rng2(1);

@@ -49,8 +49,8 @@ int main() {
 
       atpm::HatpOptions options;
       options.model = model;
-      options.num_threads = 4;
-      options.max_rr_sets_per_decision = 1ull << 17;
+      options.sampling.num_threads = 4;
+      options.sampling.max_rr_sets_per_decision = 1ull << 17;
       atpm::HatpPolicy hatp(options);
       atpm::AdaptiveEnvironment env{atpm::Realization(world)};
       atpm::Rng rng(2000 + w);

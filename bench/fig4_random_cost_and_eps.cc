@@ -57,8 +57,8 @@ int main() {
   for (double eps : {0.05, 0.10, 0.15, 0.20, 0.25}) {
     atpm::HatpOptions options;
     options.relative_error_threshold = eps;
-    options.max_rr_sets_per_decision = config.hatp_rr_cap;
-    options.num_threads = config.threads;
+    options.sampling.max_rr_sets_per_decision = config.hatp_rr_cap;
+    options.sampling.num_threads = config.threads;
     atpm::HatpPolicy policy(options);
     atpm::Result<atpm::AlgoStats> stats = runner.RunAdaptive(&policy);
     if (!stats.ok()) {

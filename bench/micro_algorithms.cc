@@ -51,8 +51,8 @@ const BenchInstance& Instance() {
 void BM_HatpFullRun(benchmark::State& state) {
   const BenchInstance& inst = Instance();
   HatpOptions options;
-  options.max_rr_sets_per_decision = 1ull << 16;
-  options.num_threads = static_cast<uint32_t>(state.range(0));
+  options.sampling.max_rr_sets_per_decision = 1ull << 16;
+  options.sampling.num_threads = static_cast<uint32_t>(state.range(0));
   HatpPolicy policy(options);
   uint64_t world_seed = 0;
   for (auto _ : state) {
@@ -71,7 +71,7 @@ BENCHMARK(BM_HatpFullRun)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 void BM_AddAtpFullRunCapped(benchmark::State& state) {
   const BenchInstance& inst = Instance();
   AddAtpOptions options;
-  options.max_rr_sets_per_decision = 1ull << 16;
+  options.sampling.max_rr_sets_per_decision = 1ull << 16;
   options.fail_on_budget_exhausted = false;
   AddAtpPolicy policy(options);
   uint64_t world_seed = 100;

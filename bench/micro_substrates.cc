@@ -165,6 +165,95 @@ BENCHMARK(BM_SamplingEngineCountScaling)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
 
+// Batched coverage queries: one shared pool of theta RR sets answers a
+// front/rear pair (the ADDATP/HATP round shape) in a single pass. Counters
+// report the engine's RR-set accounting and the pool-reuse ratio — the
+// whole point of the batch layer is reuse_ratio 2.0 at roughly the
+// single-query pool cost.
+void BM_SamplingEngineBatchCountScaling(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  SamplingEngineOptions options;
+  options.backend =
+      threads > 1 ? SamplingBackend::kParallel : SamplingBackend::kSerial;
+  options.num_threads = threads;
+  auto engine = CreateSamplingEngine(
+      g, DiffusionModel::kIndependentCascade, options);
+  BitVector front_base(g.num_nodes());
+  for (NodeId v = 100; v < 200; ++v) front_base.Set(v);
+  BitVector rear_base(g.num_nodes());
+  for (NodeId v = 100; v < 400; ++v) rear_base.Set(v);
+  Rng rng(43);
+  const uint64_t theta = 1 << 15;
+  CoverageQueryBatch batch;
+  for (auto _ : state) {
+    batch.Clear();
+    batch.Add(0, &front_base);
+    batch.Add(0, &rear_base);
+    engine->CountCoverageBatch(&batch, nullptr, g.num_nodes(), theta, &rng);
+    benchmark::DoNotOptimize(batch.hits(0) + batch.hits(1));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(theta));
+  state.counters["rr_sets_generated"] = static_cast<double>(
+      engine->stats().rr_sets_generated);
+  state.counters["reuse_ratio"] = engine->stats().ReuseRatio();
+}
+BENCHMARK(BM_SamplingEngineBatchCountScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+// Kernel cost vs batch width: how much does each extra per-seed counter add
+// to the single-pass walk? Width 1 is the historical one-query kernel.
+void BM_CountCoveringBatchWidth(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  RRSetGenerator generator(g);
+  Rng rng(47);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 100; v < 200; ++v) base.Set(v);
+  const size_t width = static_cast<size_t>(state.range(0));
+  std::vector<CoverageQuery> queries;
+  for (size_t q = 0; q < width; ++q) {
+    queries.push_back(CoverageQuery{static_cast<NodeId>(q), &base});
+  }
+  std::vector<uint64_t> hits(width);
+  const uint64_t theta = 1 << 12;
+  for (auto _ : state) {
+    generator.CountCoveringBatch(nullptr, g.num_nodes(), theta, queries,
+                                 hits.data(), &rng);
+    benchmark::DoNotOptimize(hits[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(theta * width));
+  state.counters["queries"] = static_cast<double>(width);
+}
+BENCHMARK(BM_CountCoveringBatchWidth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Stored-pool batch answering on the general (unindexed) scan path: a
+// whole conditional-marginal sweep against one pool in one CSR pass — the
+// RisSpreadOracle::ExpectedMarginalSpreads shape, every candidate
+// conditioned on the same base. (The NSG/NDG all-unconditional shape takes
+// the O(1)-per-query indexed fast path instead and is not worth timing.)
+void BM_RrCollectionAnswerBatch(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 13);
+  RRSetGenerator generator(g);
+  RRCollection pool(g.num_nodes());
+  Rng rng(53);
+  pool.Generate(&generator, nullptr, g.num_nodes(), 1 << 14, &rng);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 4000; v < 4100; ++v) base.Set(v);
+  const size_t width = static_cast<size_t>(state.range(0));
+  CoverageQueryBatch batch;
+  for (size_t q = 0; q < width; ++q) {
+    batch.Add(static_cast<NodeId>(q * 7 % 4000), &base);
+  }
+  for (auto _ : state) {
+    pool.AnswerBatch(&batch);
+    benchmark::DoNotOptimize(batch.hits(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(width));
+}
+BENCHMARK(BM_RrCollectionAnswerBatch)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_SamplingEnginePoolScaling(benchmark::State& state) {
   const Graph g = BenchGraph(1 << 14);
   const uint32_t threads = static_cast<uint32_t>(state.range(0));

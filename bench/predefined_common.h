@@ -133,8 +133,8 @@ inline int RunPredefinedFigure(atpm::TargetMethod method,
                                     config.seed);
 
       atpm::HatpOptions hatp_options;
-      hatp_options.max_rr_sets_per_decision = config.hatp_rr_cap;
-      hatp_options.num_threads = config.threads;
+      hatp_options.sampling.max_rr_sets_per_decision = config.hatp_rr_cap;
+      hatp_options.sampling.num_threads = config.threads;
       atpm::HatpPolicy hatp(hatp_options);
       atpm::Result<atpm::AlgoStats> hatp_stats = runner.RunAdaptive(&hatp);
       if (!hatp_stats.ok()) {
@@ -144,7 +144,10 @@ inline int RunPredefinedFigure(atpm::TargetMethod method,
       }
 
       const uint64_t theta = std::max<uint64_t>(
-          hatp_stats.value().max_rr_sets_per_iteration / 2, 1024);
+          atpm::SharedPoolIterationSpend(
+              hatp_options.sampling,
+              hatp_stats.value().max_rr_sets_per_iteration),
+          1024);
       atpm::Rng rng(config.seed * 13 + 7);
       atpm::Result<atpm::NonadaptiveResult> rival =
           method == atpm::TargetMethod::kNdg

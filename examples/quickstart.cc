@@ -56,8 +56,8 @@ int main() {
   atpm::AdaptiveEnvironment env(
       atpm::Realization::Sample(graph, &world_rng));
   atpm::HatpOptions hatp_options;  // paper defaults: eps0=0.5, eps=0.05
-  hatp_options.engine = atpm::SamplingBackend::kAuto;
-  hatp_options.num_threads = 4;
+  hatp_options.sampling.engine = atpm::SamplingBackend::kAuto;
+  hatp_options.sampling.num_threads = 4;
   atpm::HatpPolicy hatp(hatp_options);
   atpm::Rng policy_rng(1);
   atpm::Result<atpm::AdaptiveRunResult> run =

@@ -52,8 +52,8 @@ int main(int argc, char** argv) {
   // Adaptive algorithms. All sampling goes through the SamplingEngine
   // layer; kParallel keeps one warm worker pool across every world.
   atpm::HatpOptions hatp_options;
-  hatp_options.engine = atpm::SamplingBackend::kParallel;
-  hatp_options.num_threads = 4;
+  hatp_options.sampling.engine = atpm::SamplingBackend::kParallel;
+  hatp_options.sampling.num_threads = 4;
   atpm::HatpPolicy hatp(hatp_options);
   atpm::Result<atpm::AlgoStats> hatp_stats = runner.RunAdaptive(&hatp);
   if (!hatp_stats.ok()) return 1;
@@ -70,9 +70,13 @@ int main(int argc, char** argv) {
                 atpm::FormatDouble(ars_stats.value().mean_seeds, 1),
                 atpm::FormatSeconds(ars_stats.value().mean_seconds)});
 
-  // Nonadaptive batches, sized by HATP's largest per-iteration spend.
+  // Nonadaptive batches, sized by HATP's largest per-iteration spend (in
+  // shared-pool units, the paper's sizing rule).
   const uint64_t theta = std::max<uint64_t>(
-      hatp_stats.value().max_rr_sets_per_iteration / 2, 1024);
+      atpm::SharedPoolIterationSpend(
+          hatp_options.sampling,
+          hatp_stats.value().max_rr_sets_per_iteration),
+      1024);
 
   {
     atpm::Rng rng(31);

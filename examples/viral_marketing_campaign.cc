@@ -71,8 +71,8 @@ int main() {
   // --- Adaptive campaign (HATP). ---
   atpm::AdaptiveEnvironment env{atpm::Realization(world)};
   atpm::HatpOptions options;
-  options.engine = atpm::SamplingBackend::kParallel;
-  options.num_threads = 4;
+  options.sampling.engine = atpm::SamplingBackend::kParallel;
+  options.sampling.num_threads = 4;
   atpm::HatpPolicy hatp(options);
   atpm::Rng policy_rng(5);
   atpm::Result<atpm::AdaptiveRunResult> run =

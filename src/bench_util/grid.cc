@@ -32,8 +32,11 @@ GridConfig GridConfig::FromEnv() {
 }
 
 std::string GridConfig::Signature() const {
+  // "b" suffix: batched-rounds accounting (invalidates caches written by
+  // the pre-batching grid, whose NSG/NDG sizing used R1+R2 units).
   char buffer[160];
-  std::snprintf(buffer, sizeof(buffer), "%s_%s_s%.2f_r%u_t%u_c%llu_seed%llu",
+  std::snprintf(buffer, sizeof(buffer),
+                "%s_%s_s%.2f_r%u_t%u_c%llub_seed%llu",
                 CostSchemeName(scheme),
                 only_dataset.empty() ? "all" : only_dataset.c_str(), scale,
                 realizations, threads,
@@ -114,8 +117,8 @@ Status RunCellAlgorithms(const GridConfig& config,
 
   // --- HATP (the paper's practical algorithm). ---
   HatpOptions hatp_options;
-  hatp_options.max_rr_sets_per_decision = config.hatp_rr_cap;
-  hatp_options.num_threads = config.threads;
+  hatp_options.sampling.max_rr_sets_per_decision = config.hatp_rr_cap;
+  hatp_options.sampling.num_threads = config.threads;
   HatpPolicy hatp(hatp_options);
   Result<AlgoStats> hatp_stats = runner.RunAdaptive(&hatp);
   if (!hatp_stats.ok()) return hatp_stats.status();
@@ -127,9 +130,9 @@ Status RunCellAlgorithms(const GridConfig& config,
   // per-decision budget is hit, bounding the known ~400x slowdown.
   if (dataset_name == "NetHEPT" && k <= 50) {
     AddAtpOptions addatp_options;
-    addatp_options.max_rr_sets_per_decision = config.addatp_rr_cap;
+    addatp_options.sampling.max_rr_sets_per_decision = config.addatp_rr_cap;
     addatp_options.fail_on_budget_exhausted = false;
-    addatp_options.num_threads = config.threads;
+    addatp_options.sampling.num_threads = config.threads;
     AddAtpPolicy addatp(addatp_options);
     Result<AlgoStats> addatp_stats = runner.RunAdaptive(&addatp);
     if (!addatp_stats.ok()) return addatp_stats.status();
@@ -156,10 +159,11 @@ Status RunCellAlgorithms(const GridConfig& config,
   }
 
   // --- NSG / NDG: fixed pool sized by HATP's largest per-iteration spend
-  // (Section VI-A). max_rr_sets_per_iteration counts both pools R1+R2.
-  const uint64_t theta =
-      std::max<uint64_t>(hatp_stats.value().max_rr_sets_per_iteration / 2,
-                         1024);
+  // (Section VI-A), in shared-pool units.
+  const uint64_t theta = std::max<uint64_t>(
+      SharedPoolIterationSpend(hatp_options.sampling,
+                               hatp_stats.value().max_rr_sets_per_iteration),
+      1024);
   {
     Rng rng(config.seed * 37 + k);
     WallTimer timer;

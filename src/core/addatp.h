@@ -16,23 +16,15 @@ struct AddAtpOptions {
   /// ζ_0 is derived per iteration as initial_spread_error / n_i, clamped to
   /// (1/n_i, 1/2].
   double initial_spread_error = 64.0;
-  /// Budget cap on RR sets generated for a single seed decision (both pools
-  /// and all halving rounds combined). ADDATP's additive-only error needs
-  /// Θ(n_i² log n) samples for borderline nodes, which is exactly why the
-  /// paper's ADDATP runs out of memory beyond NetHEPT; the cap makes that
-  /// failure mode explicit and testable.
-  uint64_t max_rr_sets_per_decision = 1ull << 23;
+  /// Shared sampling knobs: backend, threads, the per-decision RR budget,
+  /// and round batching. ADDATP's additive-only error needs Θ(n_i² log n)
+  /// samples for borderline nodes, which is exactly why the paper's ADDATP
+  /// runs out of memory beyond NetHEPT; the budget cap makes that failure
+  /// mode explicit and testable.
+  SamplingOptions sampling;
   /// true: exceeding the budget aborts the run with OutOfBudget (paper-like
   /// OOM marker). false: the decision is forced with the current estimates.
   bool fail_on_budget_exhausted = true;
-  /// RR sampling backend. kAuto engages the persistent thread pool iff
-  /// num_threads > 1; kSerial reproduces the single-threaded code path bit
-  /// for bit for a fixed seed.
-  SamplingBackend engine = SamplingBackend::kAuto;
-  /// Worker threads for the parallel backend (0 = hardware concurrency).
-  /// Results are deterministic for a fixed (seed, num_threads) pair but
-  /// differ across thread counts.
-  uint32_t num_threads = 1;
   /// Enables the dynamic C2-threshold strategy of the paper's Discussion
   /// (after Theorem 2): instead of the fixed stopping bar n_i ζ_i <= 1,
   /// the bar η_i is raised adaptively while the accumulated profit loss
@@ -45,11 +37,14 @@ struct AddAtpOptions {
 
 /// ADDATP — adaptive double greedy with additive sampling error
 /// (Algorithm 3). Replaces ADG's oracle with reverse-influence-sampling
-/// estimates: each iteration draws two fresh RR-set pools R1, R2 of size
+/// estimates: each iteration draws a fresh RR-set pool of size
 ///
 ///   θ = ln(8/δ_i) / (2 ζ_i²),      δ_i = 1/(k n)
 ///
-/// estimates the front/rear profits, and stops as soon as
+/// per halving round — answering the front and rear coverage queries as one
+/// CoverageQueryBatch on that shared pool (the paper's literal Algorithm 3
+/// draws two independent pools R1, R2; sampling.batched_rounds = false
+/// restores that), estimates the front/rear profits, and stops as soon as
 ///   C1: the estimates are separated enough to decide correctly whp, or
 ///   C2: n_i ζ_i <= 1 (a wrong decision costs at most ~1 profit),
 /// otherwise halves ζ_i by √2 and δ_i by 2 and resamples.

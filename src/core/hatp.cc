@@ -7,6 +7,7 @@
 #include "common/bit_vector.h"
 #include "common/math_util.h"
 #include "core/concentration.h"
+#include "rris/coverage_batch.h"
 #include "rris/sampling_engine.h"
 
 namespace atpm {
@@ -34,17 +35,17 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
   const uint32_t k = problem.k();
   if (k == 0) return AdaptiveRunResult{};
 
-  SamplingEngineOptions engine_options;
-  engine_options.backend = options_.engine;
-  engine_options.num_threads = options_.num_threads;
-  SamplingEngine* engine = engine_.Get(graph, options_.model, engine_options);
+  SamplingEngine* engine =
+      engine_.Get(graph, options_.model, options_.sampling.EngineOptions());
   if (&engine->graph() != &graph || engine->model() != options_.model) {
     return Status::InvalidArgument(
         "HATP: sampling engine bound to a different graph/model");
   }
+  const bool batched = options_.sampling.batched_rounds;
 
   AdaptiveRunResult result;
   result.steps.reserve(k);
+  CoverageQueryBatch round_batch;
 
   BitVector seed_bitmap(n);
   BitVector candidates(n);
@@ -77,28 +78,35 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
 
     while (!decided) {
       const uint64_t theta = HatpSampleSize(eps, zeta, delta);
-      if (used_this_iter + 2 * theta > options_.max_rr_sets_per_decision) {
+      // Batched rounds: one shared pool answers the front and rear queries
+      // (and thereby the Lines 19–23 error-tuning probes reading them); the
+      // literal Algorithm 4 pays two independent pools R1, R2.
+      const uint64_t round_rr_sets = RoundRrSets(theta, batched);
+      if (used_this_iter + round_rr_sets >
+          options_.sampling.max_rr_sets_per_decision) {
         if (options_.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
               "HATP: deciding node " + std::to_string(u) + " needs " +
-              std::to_string(2 * theta) + " more RR sets (budget " +
-              std::to_string(options_.max_rr_sets_per_decision) + ")");
+              std::to_string(round_rr_sets) + " more RR sets (budget " +
+              std::to_string(options_.sampling.max_rr_sets_per_decision) +
+              ")");
         }
         decided = true;
         break;
       }
 
-      used_this_iter += 2 * theta;
+      used_this_iter += round_rr_sets;
       ++step.rounds;
+      step.coverage_queries += 2;
 
-      // Two independent pools R1, R2, counted on the fly (no storage).
+      // Front/rear conditional coverage, counted on the fly (no storage).
+      const FrontRearHits hits =
+          SampleFrontRearRound(engine, &round_batch, u, seed_bitmap,
+                               candidates, &removed, ni, theta, batched, rng);
+      result.total_count_pools += hits.pools;
       const double scale = nd / static_cast<double>(theta);
-      fest = static_cast<double>(engine->CountConditionalCoverage(
-                 u, &seed_bitmap, &removed, ni, theta, rng)) *
-             scale;
-      rest = static_cast<double>(engine->CountConditionalCoverage(
-                 u, &candidates, &removed, ni, theta, rng)) *
-             scale;
+      fest = static_cast<double>(hits.front) * scale;
+      rest = static_cast<double>(hits.rear) * scale;
 
       const double az = nd * zeta;  // n_i ζ_i in spread units
       // C'1: the hybrid confidence interval certifies the comparison
@@ -138,6 +146,7 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
 
     step.rr_sets_used = used_this_iter;
     result.total_rr_sets += used_this_iter;
+    result.total_coverage_queries += step.coverage_queries;
     result.max_rr_sets_per_iteration =
         std::max(result.max_rr_sets_per_iteration, used_this_iter);
 

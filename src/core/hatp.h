@@ -20,19 +20,13 @@ struct HatpOptions {
   double relative_error_threshold = 0.05;
   /// Initial additive spread error n_i * ζ_0.
   double initial_spread_error = 64.0;
-  /// Budget cap on RR sets per seed decision (both pools, all rounds).
-  uint64_t max_rr_sets_per_decision = 1ull << 23;
+  /// Shared sampling knobs: backend, threads, the per-decision RR budget,
+  /// and round batching (one shared pool per halving round vs the literal
+  /// two pools of Algorithm 4).
+  SamplingOptions sampling;
   /// true: exceeding the budget aborts with OutOfBudget; false (default):
   /// the decision is forced with the current estimates.
   bool fail_on_budget_exhausted = false;
-  /// RR sampling backend. kAuto engages the persistent thread pool iff
-  /// num_threads > 1; kSerial reproduces the single-threaded code path bit
-  /// for bit for a fixed seed.
-  SamplingBackend engine = SamplingBackend::kAuto;
-  /// Worker threads for the parallel backend (0 = hardware concurrency).
-  /// Results are deterministic for a fixed (seed, num_threads) pair but
-  /// differ across thread counts.
-  uint32_t num_threads = 1;
 };
 
 /// HATP — adaptive double greedy with *hybrid* (relative + additive) error

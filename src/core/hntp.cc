@@ -7,6 +7,7 @@
 #include "common/bit_vector.h"
 #include "common/math_util.h"
 #include "core/concentration.h"
+#include "rris/coverage_batch.h"
 #include "rris/sampling_engine.h"
 
 namespace atpm {
@@ -14,11 +15,8 @@ namespace atpm {
 Result<HntpResult> RunHntp(const ProfitProblem& problem,
                            const HatpOptions& options, Rng* rng) {
   ATPM_RETURN_NOT_OK(problem.Validate());
-  SamplingEngineOptions engine_options;
-  engine_options.backend = options.engine;
-  engine_options.num_threads = options.num_threads;
-  std::unique_ptr<SamplingEngine> engine =
-      CreateSamplingEngine(*problem.graph, options.model, engine_options);
+  std::unique_ptr<SamplingEngine> engine = CreateSamplingEngine(
+      *problem.graph, options.model, options.sampling.EngineOptions());
   return RunHntp(problem, options, rng, engine.get());
 }
 
@@ -45,6 +43,8 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
   const uint32_t k = problem.k();
   HntpResult result;
   if (k == 0) return result;
+  const bool batched = options.sampling.batched_rounds;
+  CoverageQueryBatch round_batch;
 
   // S_{i-1}: selected so far (stays in the graph — nonadaptive).
   BitVector seed_bitmap(n);
@@ -67,27 +67,32 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
 
     while (!decided) {
       const uint64_t theta = HatpSampleSize(eps, zeta, delta);
-      if (used_this_iter + 2 * theta > options.max_rr_sets_per_decision) {
+      const uint64_t round_rr_sets = RoundRrSets(theta, batched);
+      if (used_this_iter + round_rr_sets >
+          options.sampling.max_rr_sets_per_decision) {
         if (options.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
               "HNTP: deciding node " + std::to_string(u) + " needs " +
-              std::to_string(2 * theta) + " more RR sets (budget " +
-              std::to_string(options.max_rr_sets_per_decision) + ")");
+              std::to_string(round_rr_sets) + " more RR sets (budget " +
+              std::to_string(options.sampling.max_rr_sets_per_decision) +
+              ")");
         }
         decided = true;
         break;
       }
 
-      used_this_iter += 2 * theta;
+      used_this_iter += round_rr_sets;
+      result.total_coverage_queries += 2;
 
-      // Two independent pools R1, R2, counted on the fly (no storage).
+      // Front/rear conditional coverage on one shared pool (batched) or on
+      // two independent pools R1, R2 (the literal Section VI-A tailoring).
+      const FrontRearHits hits = SampleFrontRearRound(
+          engine, &round_batch, u, seed_bitmap, t_bitmap,
+          /*removed=*/nullptr, n, theta, batched, rng);
+      result.total_count_pools += hits.pools;
       const double scale = nd / static_cast<double>(theta);
-      fest = static_cast<double>(engine->CountConditionalCoverage(
-                 u, &seed_bitmap, /*removed=*/nullptr, n, theta, rng)) *
-             scale;
-      rest = static_cast<double>(engine->CountConditionalCoverage(
-                 u, &t_bitmap, /*removed=*/nullptr, n, theta, rng)) *
-             scale;
+      fest = static_cast<double>(hits.front) * scale;
+      rest = static_cast<double>(hits.rear) * scale;
 
       const double az = nd * zeta;
       const bool c1 =

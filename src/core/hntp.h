@@ -10,19 +10,28 @@
 
 namespace atpm {
 
+/// HNTP shares HATP's option set (including the embedded SamplingOptions);
+/// the alias names the nonadaptive tailoring at call sites.
+using HntpOptions = HatpOptions;
+
 /// Output of RunHntp.
 struct HntpResult {
   /// Selected seed batch (nonadaptive: deployed all at once).
   std::vector<NodeId> seeds;
   /// Total RR sets generated.
   uint64_t total_rr_sets = 0;
+  /// Coverage queries answered (2 per halving round).
+  uint64_t total_coverage_queries = 0;
+  /// Throwaway pools sampled (1 per round batched, 2 unbatched).
+  uint64_t total_count_pools = 0;
   /// Largest RR-set spend on a single candidate decision.
   uint64_t max_rr_sets_per_iteration = 0;
 };
 
 /// HNTP — the nonadaptive tailoring of HATP (Section VI-A). Identical
-/// estimation machinery (fresh hybrid-error RR pools per candidate, C'1/C'2
-/// stopping, adaptive ε/ζ schedule), but no seeding feedback: the graph is
+/// estimation machinery (fresh hybrid-error RR pools per candidate — one
+/// shared batched pool per round by default, C'1/C'2 stopping, adaptive ε/ζ
+/// schedule), but no seeding feedback: the graph is
 /// never updated, previously *selected* seeds stay in the graph, so the
 /// front estimate is the true conditional coverage Cov(u_i | S_{i-1}) and
 /// the rear base T_{i-1} \ {u_i} includes the selected seeds. The whole

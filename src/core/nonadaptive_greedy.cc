@@ -3,12 +3,29 @@
 #include <algorithm>
 
 #include "common/bit_vector.h"
+#include "rris/coverage_batch.h"
 #include "rris/rr_collection.h"
 #include "rris/sampling_engine.h"
 
 namespace atpm {
 
 namespace {
+
+// Initial Cov_R({t}) for every target as one batched coverage query over
+// the shared pool. The callers build the inverted index first (their
+// incremental updates need it), so AnswerBatch answers off the index in
+// O(1) per target.
+std::vector<uint64_t> InitialCoverage(const RRCollection& pool,
+                                      std::span<const NodeId> targets) {
+  CoverageQueryBatch batch;
+  for (NodeId t : targets) batch.Add(t);
+  pool.AnswerBatch(&batch);
+  std::vector<uint64_t> coverage(pool.num_nodes(), 0);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    coverage[targets[i]] = batch.hits(i);
+  }
+  return coverage;
+}
 
 Status ValidateFixedSample(const ProfitProblem& problem,
                            uint64_t num_rr_sets, SamplingEngine* engine) {
@@ -46,17 +63,16 @@ Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
       engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
   pool.BuildIndex();
 
-  // Exact marginal coverage per node, maintained by decrement on coverage.
-  std::vector<uint64_t> gain(n, 0);
-  for (NodeId t : problem.targets) {
-    gain[t] = pool.CoveringSets(t).size();
-  }
+  // Exact marginal coverage per node, seeded by one batched pool query and
+  // maintained by decrement on coverage.
+  std::vector<uint64_t> gain = InitialCoverage(pool, problem.targets);
   std::vector<bool> eligible(n, false);
   for (NodeId t : problem.targets) eligible[t] = true;
   std::vector<bool> covered(pool.num_sets(), false);
 
   NonadaptiveResult result;
   result.num_rr_sets = num_rr_sets;
+  result.batched_queries = problem.targets.size();
   uint64_t covered_total = 0;
 
   for (uint32_t round = 0; round < problem.k(); ++round) {
@@ -111,11 +127,9 @@ Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
       engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
   pool.BuildIndex();
 
-  // count_s[u]: sets containing u not yet covered by S (front marginal).
-  std::vector<uint64_t> count_s(n, 0);
-  for (NodeId t : problem.targets) {
-    count_s[t] = pool.CoveringSets(t).size();
-  }
+  // count_s[u]: sets containing u not yet covered by S (front marginal),
+  // seeded by one batched pool query.
+  std::vector<uint64_t> count_s = InitialCoverage(pool, problem.targets);
   std::vector<bool> covered_by_s(pool.num_sets(), false);
 
   // cand_count[set]: members of the current T (selected + undecided) in the
@@ -133,6 +147,7 @@ Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
 
   NonadaptiveResult result;
   result.num_rr_sets = num_rr_sets;
+  result.batched_queries = problem.targets.size();
   uint64_t covered_total = 0;
 
   for (NodeId u : problem.targets) {

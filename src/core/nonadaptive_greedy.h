@@ -16,6 +16,10 @@ struct NonadaptiveResult {
   std::vector<NodeId> seeds;
   /// RR sets generated (= the requested pool size).
   uint64_t num_rr_sets = 0;
+  /// Coverage queries the sweep answered on that ONE shared pool (the
+  /// batched per-target initialization); the pool-reuse ratio of a
+  /// fixed-sample greedy is batched_queries per pool.
+  uint64_t batched_queries = 0;
   /// RIS estimate of the expected profit of `seeds` on the same pool.
   double estimated_profit = 0.0;
 };

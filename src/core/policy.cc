@@ -5,10 +5,40 @@ namespace atpm {
 void FinalizeAdaptiveResult(const ProfitProblem& problem,
                             const AdaptiveEnvironment& env,
                             AdaptiveRunResult* result) {
+  // The environment's own interaction accounting must agree with the
+  // policy's telemetry: every reported seed is exactly one SeedAndObserve.
+  ATPM_DCHECK(static_cast<size_t>(env.num_seedings()) ==
+              result->seeds.size());
   result->realized_spread = env.num_activated();
   result->seed_cost = problem.CostOfSet(result->seeds);
   result->realized_profit =
       static_cast<double>(result->realized_spread) - result->seed_cost;
+}
+
+FrontRearHits SampleFrontRearRound(SamplingEngine* engine,
+                                   CoverageQueryBatch* batch, NodeId u,
+                                   const BitVector& front_base,
+                                   const BitVector& rear_base,
+                                   const BitVector* removed,
+                                   uint32_t num_alive, uint64_t theta,
+                                   bool batched, Rng* rng) {
+  FrontRearHits hits;
+  if (batched) {
+    batch->Clear();
+    const uint32_t front = batch->Add(u, &front_base);
+    const uint32_t rear = batch->Add(u, &rear_base);
+    engine->CountCoverageBatch(batch, removed, num_alive, theta, rng);
+    hits.front = batch->hits(front);
+    hits.rear = batch->hits(rear);
+    hits.pools = 1;
+  } else {
+    hits.front = engine->CountConditionalCoverage(u, &front_base, removed,
+                                                  num_alive, theta, rng);
+    hits.rear = engine->CountConditionalCoverage(u, &rear_base, removed,
+                                                 num_alive, theta, rng);
+    hits.pools = 2;
+  }
+  return hits;
 }
 
 }  // namespace atpm

@@ -8,6 +8,8 @@
 #include "common/status.h"
 #include "core/profit.h"
 #include "diffusion/adaptive_environment.h"
+#include "rris/coverage_batch.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 
@@ -30,6 +32,9 @@ struct AdaptiveStepRecord {
   uint32_t newly_activated = 0;
   /// RR sets generated while deciding this node (0 under the oracle model).
   uint64_t rr_sets_used = 0;
+  /// Coverage queries answered while deciding this node (2 per halving
+  /// round: front + rear; 0 under the oracle model).
+  uint64_t coverage_queries = 0;
   /// Error-halving rounds run while deciding this node.
   uint32_t rounds = 0;
 };
@@ -47,8 +52,17 @@ struct AdaptiveRunResult {
   double realized_profit = 0.0;
   /// Total RR sets generated across all iterations.
   uint64_t total_rr_sets = 0;
+  /// Coverage queries answered across all iterations (2 per halving round).
+  uint64_t total_coverage_queries = 0;
+  /// Throwaway pools sampled across all iterations: 1 per halving round
+  /// when rounds are batched, 2 when each query pays its own pool. The
+  /// pool-reuse ratio total_coverage_queries / total_count_pools is 2.0 for
+  /// batched rounds vs 1.0 for the paper's literal per-query sampling.
+  uint64_t total_count_pools = 0;
   /// Largest RR-set count spent on a single iteration — the paper sizes the
-  /// NSG/NDG baselines by this quantity (Section VI-A).
+  /// NSG/NDG baselines by this quantity (Section VI-A). With batched rounds
+  /// this is in shared-pool units (θ per round), i.e. half the value of the
+  /// unbatched accounting for the same error schedule.
   uint64_t max_rr_sets_per_iteration = 0;
   /// Per-iteration telemetry (one record per examined candidate).
   std::vector<AdaptiveStepRecord> steps;
@@ -78,6 +92,42 @@ class AdaptivePolicy {
 void FinalizeAdaptiveResult(const ProfitProblem& problem,
                             const AdaptiveEnvironment& env,
                             AdaptiveRunResult* result);
+
+/// One halving round's front/rear conditional-coverage estimates — the
+/// sampling step shared by the double-greedy decision loops (ADDATP Alg 3,
+/// HATP Alg 4, HNTP). Batched: ONE pool of `theta` RR sets answers both
+/// queries through `batch` (reused scratch). Unbatched: the literal two
+/// independent pools R1, R2, bit-identical to the pre-batching code paths
+/// for a fixed seed.
+struct FrontRearHits {
+  uint64_t front = 0;
+  uint64_t rear = 0;
+  /// Throwaway pools this round sampled (1 batched, 2 unbatched).
+  uint64_t pools = 0;
+};
+FrontRearHits SampleFrontRearRound(SamplingEngine* engine,
+                                   CoverageQueryBatch* batch, NodeId u,
+                                   const BitVector& front_base,
+                                   const BitVector& rear_base,
+                                   const BitVector* removed,
+                                   uint32_t num_alive, uint64_t theta,
+                                   bool batched, Rng* rng);
+
+/// RR sets a round will draw under the given batching mode (the budget-
+/// check quantity): theta for one shared pool, 2*theta for R1+R2.
+inline uint64_t RoundRrSets(uint64_t theta, bool batched) {
+  return batched ? theta : 2 * theta;
+}
+
+/// An adaptive run's largest per-iteration spend converted to shared-pool
+/// units — the paper's NSG/NDG pool-sizing quantity (Section VI-A).
+/// Batched rounds already account in shared-pool units; the literal
+/// two-pool accounting counts R1+R2 and is halved to the same quantity.
+inline uint64_t SharedPoolIterationSpend(const SamplingOptions& sampling,
+                                         uint64_t max_rr_sets_per_iteration) {
+  return sampling.batched_rounds ? max_rr_sets_per_iteration
+                                 : max_rr_sets_per_iteration / 2;
+}
 
 }  // namespace atpm
 

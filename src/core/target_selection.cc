@@ -14,7 +14,9 @@ namespace atpm {
 namespace {
 
 // E_l[I(T)]: coverage of T over a fresh pool, pushed through the martingale
-// lower bound.
+// lower bound. The pool MUST be fresh (not the one T was derived from):
+// reusing the derivation pool would condition the bound on the very samples
+// that picked T and void the concentration guarantee.
 double EstimateSpreadLowerBound(SamplingEngine* engine,
                                 std::span<const NodeId> targets,
                                 uint64_t num_rr_sets, double delta,
@@ -72,6 +74,7 @@ Result<TargetSelectionResult> BuildTopKTargetProblem(
   result.problem.targets = targets;
   result.problem.costs = std::move(costs).value();
   result.spread_lower_bound = lower_bound;
+  result.sampling_stats = engine->stats();
   ATPM_RETURN_NOT_OK(result.problem.Validate());
   return result;
 }
@@ -110,6 +113,7 @@ Result<TargetSelectionResult> BuildPredefinedCostProblem(
   result.spread_lower_bound = EstimateSpreadLowerBound(
       engine.get(), result.problem.targets, options.bound_rr_sets,
       options.bound_delta, &rng);
+  result.sampling_stats = engine->stats();
   ATPM_RETURN_NOT_OK(result.problem.Validate());
   return result;
 }

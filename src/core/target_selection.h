@@ -43,6 +43,12 @@ struct TargetSelectionResult {
   /// E_l[I(T)]: the spread lower bound the costs were calibrated against
   /// (c(T) = E_l[I(T)] in the top-k pipeline; informational otherwise).
   double spread_lower_bound = 0.0;
+  /// Sampling effort of every stage of the pipeline (IMM pool, bound
+  /// estimation, NSG/NDG derivation), aggregated by the shared engine.
+  /// Note the stages deliberately do NOT share pools: T is chosen
+  /// adaptively from the IMM/derivation pool, so the spread lower bound
+  /// must be estimated on a fresh pool or the martingale bound breaks.
+  SamplingStats sampling_stats;
 };
 
 /// Experimental setting 1 (Section VI-A): pick the top-k influential nodes

@@ -12,6 +12,7 @@ const std::vector<NodeId>& AdaptiveEnvironment::SeedAndObserve(NodeId u) {
   realization_.Spread({&u, 1}, &activated_, &last_observed_);
   for (NodeId v : last_observed_) activated_.Set(v);
   num_activated_ += static_cast<uint32_t>(last_observed_.size());
+  ++num_seedings_;
   return last_observed_;
 }
 

@@ -41,6 +41,11 @@ class AdaptiveEnvironment {
   /// Total nodes activated so far (the realized spread of all seeds).
   uint32_t num_activated() const { return num_activated_; }
 
+  /// Seeding interactions so far (SeedAndObserve calls) — the environment's
+  /// own accounting of how many decisions actually deployed a seed, used to
+  /// cross-check policy telemetry (result.seeds) after a run.
+  uint32_t num_seedings() const { return num_seedings_; }
+
   /// n_i: nodes remaining in the residual graph.
   uint32_t num_remaining() const {
     return realization_.graph().num_nodes() - num_activated_;
@@ -56,6 +61,7 @@ class AdaptiveEnvironment {
   Realization realization_;
   BitVector activated_;
   uint32_t num_activated_ = 0;
+  uint32_t num_seedings_ = 0;
   std::vector<NodeId> last_observed_;
 };
 

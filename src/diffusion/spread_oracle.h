@@ -42,6 +42,14 @@ class SpreadOracle {
                                         std::span<const NodeId> base,
                                         const BitVector* removed);
 
+  /// Marginal spreads of several candidates against the same base — the
+  /// greedy-sweep shape. The default loops ExpectedMarginalSpread (one
+  /// query's cost per candidate); RIS-backed oracles override it to answer
+  /// the whole batch on ONE shared RR pool.
+  virtual std::vector<double> ExpectedMarginalSpreads(
+      std::span<const NodeId> candidates, std::span<const NodeId> base,
+      const BitVector* removed);
+
   /// The graph this oracle is bound to.
   virtual const Graph& graph() const = 0;
 };
@@ -118,7 +126,10 @@ struct RisOracleOptions {
 /// SamplingEngine. Unlike the Monte Carlo oracle this scales to large
 /// graphs (cost is per-pool, not per-seed-set traversal) and runs on
 /// whichever backend the engine was built with; the engine also fixes the
-/// diffusion model.
+/// diffusion model. Marginal queries go through the batched coverage-query
+/// layer: E[I(base u {u})] − E[I(base)] = n_i/θ · Cov_R(u | base), so one
+/// pool answers a whole candidate sweep (with the two terms paired on the
+/// same samples — the variance-reduction the base-class contract allows).
 class RisSpreadOracle final : public SpreadOracle {
  public:
   /// Creates the oracle over `engine` (not owned; its pool is clobbered by
@@ -129,6 +140,11 @@ class RisSpreadOracle final : public SpreadOracle {
 
   double ExpectedSpread(std::span<const NodeId> seeds,
                         const BitVector* removed) override;
+  double ExpectedMarginalSpread(NodeId u, std::span<const NodeId> base,
+                                const BitVector* removed) override;
+  std::vector<double> ExpectedMarginalSpreads(
+      std::span<const NodeId> candidates, std::span<const NodeId> base,
+      const BitVector* removed) override;
   const Graph& graph() const override { return engine_->graph(); }
 
  private:

@@ -88,6 +88,81 @@ uint64_t RRCollection::ConditionalCoverage(NodeId u,
   return cov;
 }
 
+void RRCollection::AnswerBatch(CoverageQueryBatch* batch) const {
+  batch->ZeroHits();
+  const std::span<const CoverageQuery> queries = batch->queries();
+  const size_t num_queries = queries.size();
+  if (num_queries == 0 || num_sets() == 0) return;
+  uint64_t* hits = batch->hit_data();
+
+  // Fast path: with the inverted index built, unconditional queries are
+  // O(1) each — the NSG/NDG initialization shape pays nothing beyond the
+  // index it needs anyway.
+  const bool all_unconditional = [&]() {
+    for (const CoverageQuery& query : queries) {
+      if (query.base != nullptr) return false;
+    }
+    return true;
+  }();
+  if (index_built_ && all_unconditional) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      hits[q] = CoveringSets(queries[q].node).size();
+    }
+    return;
+  }
+
+  // General path: one CSR scan. node -> chain of query indices asking
+  // about that node (queries may repeat nodes), plus the conditional
+  // queries grouped by base bitmap: a sweep conditioning many candidates
+  // on the same base (the RisSpreadOracle shape) tests each distinct base
+  // once per set node and stamps once per (set, group).
+  std::vector<int32_t> head(num_nodes_, -1);
+  std::vector<int32_t> next(num_queries, -1);
+  constexpr int32_t kNoGroup = -1;
+  std::vector<int32_t> query_group(num_queries, kNoGroup);
+  std::vector<const BitVector*> bases;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const NodeId u = queries[q].node;
+    next[q] = head[u];
+    head[u] = static_cast<int32_t>(q);
+    if (queries[q].base != nullptr) {
+      size_t group = 0;
+      while (group < bases.size() && bases[group] != queries[q].base) {
+        ++group;
+      }
+      if (group == bases.size()) bases.push_back(queries[q].base);
+      query_group[q] = static_cast<int32_t>(group);
+    }
+  }
+
+  // Per-set found/dead marks via set-id stamps: no per-set clearing, and
+  // the final per-set tally walks only the queries actually touched.
+  std::vector<uint64_t> found_stamp(num_queries, 0);
+  std::vector<uint64_t> group_dead_stamp(bases.size(), 0);
+  std::vector<uint32_t> touched;
+  for (uint64_t i = 0; i < num_sets(); ++i) {
+    const uint64_t stamp = i + 1;
+    touched.clear();
+    for (NodeId w : set(i)) {
+      for (int32_t q = head[w]; q >= 0; q = next[q]) {
+        if (found_stamp[q] != stamp) {
+          found_stamp[q] = stamp;
+          touched.push_back(static_cast<uint32_t>(q));
+        }
+      }
+      for (size_t group = 0; group < bases.size(); ++group) {
+        if (group_dead_stamp[group] != stamp && bases[group]->Test(w)) {
+          group_dead_stamp[group] = stamp;
+        }
+      }
+    }
+    for (uint32_t q : touched) {
+      const int32_t group = query_group[q];
+      if (group == kNoGroup || group_dead_stamp[group] != stamp) ++hits[q];
+    }
+  }
+}
+
 void RRCollection::BuildIndex() {
   index_offsets_.assign(num_nodes_ + 1, 0);
   for (NodeId w : set_nodes_) ++index_offsets_[w + 1];

@@ -65,6 +65,15 @@ class RRCollection {
   /// must not contain u.
   uint64_t ConditionalCoverage(NodeId u, const BitVector& base) const;
 
+  /// Answers every query of `batch` in ONE pass over the stored pool:
+  /// batch->hits(q) becomes Cov_R(node_q | base_q). The multi-seed
+  /// counterpart of ConditionalCoverage — a greedy sweep evaluating many
+  /// candidates against the same pool pays one CSR scan instead of one per
+  /// candidate (conditional queries sharing a base bitmap share its
+  /// per-node tests). Needs no inverted index, but uses it when available:
+  /// an all-unconditional batch on an indexed pool is O(1) per query.
+  void AnswerBatch(CoverageQueryBatch* batch) const;
+
   /// Builds (or rebuilds) the inverted index node -> covering set ids.
   void BuildIndex();
   /// True iff the index reflects the current pool.

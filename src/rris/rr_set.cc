@@ -95,53 +95,94 @@ uint64_t RRSetGenerator::CountCovering(const BitVector* removed,
                                        uint32_t num_alive, uint64_t theta,
                                        NodeId u, const BitVector* base,
                                        Rng* rng) {
+  const CoverageQuery query{u, base};
+  uint64_t hits = 0;
+  CountCoveringBatch(removed, num_alive, theta, {&query, 1}, &hits, rng);
+  return hits;
+}
+
+uint64_t RRSetGenerator::CountCoveringBatch(
+    const BitVector* removed, uint32_t num_alive, uint64_t theta,
+    std::span<const CoverageQuery> queries, uint64_t* hits, Rng* rng) {
   const Graph& g = *graph_;
-  uint64_t covered = 0;
+  const size_t num_queries = queries.size();
+  for (size_t q = 0; q < num_queries; ++q) hits[q] = 0;
+  if (num_queries == 0) return 0;
+  query_dead_.resize(num_queries);
+  query_found_.resize(num_queries);
+  uint8_t* dead = query_dead_.data();
+  uint8_t* found = query_found_.data();
+  uint64_t edges_examined = 0;
 
   for (uint64_t t = 0; t < theta; ++t) {
     visited_.NextEpoch();
     scratch_.clear();
 
     const NodeId root = SampleAliveRoot(removed, num_alive, rng);
-    if (base != nullptr && base->Test(root)) continue;  // disqualified
+    size_t live = num_queries;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const CoverageQuery& query = queries[q];
+      const bool disqualified =
+          query.base != nullptr && query.base->Test(root);
+      dead[q] = disqualified;
+      found[q] = !disqualified && root == query.node;
+      if (disqualified) --live;
+    }
+    if (live == 0) continue;  // every query disqualified at the root
+
     visited_.Mark(root);
     scratch_.push_back(root);
-    bool has_u = root == u;
-    bool disqualified = false;
 
-    for (size_t head = 0; head < scratch_.size() && !disqualified; ++head) {
+    for (size_t head = 0; head < scratch_.size() && live > 0; ++head) {
       const NodeId v = scratch_[head];
       if (model_ == DiffusionModel::kLinearThreshold) {
+        edges_examined += g.InDegree(v);
         const NodeId w = PickLtInNeighbor(g, v, removed, rng);
         if (w >= g.num_nodes() || visited_.IsMarked(w)) continue;
-        if (base != nullptr && base->Test(w)) {
-          disqualified = true;
-          break;
+        for (size_t q = 0; q < num_queries; ++q) {
+          if (!dead[q] && queries[q].base != nullptr &&
+              queries[q].base->Test(w)) {
+            dead[q] = 1;
+            --live;
+          }
         }
+        if (live == 0) break;  // the set is dead for every query: abort
         visited_.Mark(w);
         scratch_.push_back(w);
-        if (w == u) has_u = true;
+        for (size_t q = 0; q < num_queries; ++q) {
+          if (!dead[q] && w == queries[q].node) found[q] = 1;
+        }
         continue;
       }
       const auto neigh = g.InNeighbors(v);
       const auto probs = g.InProbs(v);
+      edges_examined += neigh.size();
       for (uint32_t j = 0; j < neigh.size(); ++j) {
         const NodeId w = neigh[j];
         if (visited_.IsMarked(w)) continue;
         if (removed != nullptr && removed->Test(w)) continue;
         if (!rng->Bernoulli(probs[j])) continue;
-        if (base != nullptr && base->Test(w)) {
-          disqualified = true;
-          break;
+        for (size_t q = 0; q < num_queries; ++q) {
+          if (!dead[q] && queries[q].base != nullptr &&
+              queries[q].base->Test(w)) {
+            dead[q] = 1;
+            --live;
+          }
         }
+        if (live == 0) break;
         visited_.Mark(w);
         scratch_.push_back(w);
-        if (w == u) has_u = true;
+        for (size_t q = 0; q < num_queries; ++q) {
+          if (!dead[q] && w == queries[q].node) found[q] = 1;
+        }
       }
+      if (live == 0) break;
     }
-    if (has_u && !disqualified) ++covered;
+    for (size_t q = 0; q < num_queries; ++q) {
+      if (found[q] && !dead[q]) ++hits[q];
+    }
   }
-  return covered;
+  return edges_examined;
 }
 
 uint64_t ParallelCountCovering(const Graph& graph, const BitVector* removed,

@@ -25,18 +25,29 @@ SerialSamplingEngine::SerialSamplingEngine(const Graph& graph,
 RRCollection& SerialSamplingEngine::GeneratePool(const BitVector* removed,
                                                  uint32_t num_alive,
                                                  uint64_t count, Rng* rng) {
+  uint64_t edges = 0;
   for (uint64_t i = 0; i < count; ++i) {
-    edges_examined_ += generator_.Generate(removed, num_alive, rng, &buffer_);
+    edges += generator_.Generate(removed, num_alive, rng, &buffer_);
     pool_.AddSet(buffer_);
   }
+  edges_examined_ += edges;
+  stats_.rr_sets_generated += count;
+  stats_.edges_examined += edges;
   return pool_;
 }
 
-uint64_t SerialSamplingEngine::CountConditionalCoverageSeeded(
-    NodeId u, const BitVector* base, const BitVector* removed,
-    uint32_t num_alive, uint64_t theta, uint64_t seed) {
+void SerialSamplingEngine::CountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                                    const BitVector* removed,
+                                                    uint32_t num_alive,
+                                                    uint64_t theta,
+                                                    uint64_t seed) {
+  if (batch->empty()) return;
   Rng rng(seed);
-  return generator_.CountCovering(removed, num_alive, theta, u, base, &rng);
+  stats_.edges_examined += generator_.CountCoveringBatch(
+      removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng);
+  stats_.rr_sets_generated += theta;
+  stats_.count_pools += 1;
+  stats_.coverage_queries += batch->size();
 }
 
 void SerialSamplingEngine::ResetPool() {
@@ -129,11 +140,15 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
   const uint64_t base_seed = rng->Next();
   if (workers_.size() <= 1 || count < min_parallel_batch_) {
     Rng local(base_seed);
+    uint64_t edges = 0;
     for (uint64_t i = 0; i < count; ++i) {
-      edges_examined_ +=
-          inline_generator_.Generate(removed, num_alive, &local, &buffer_);
+      edges += inline_generator_.Generate(removed, num_alive, &local,
+                                          &buffer_);
       pool_.AddSet(buffer_);
     }
+    edges_examined_ += edges;
+    stats_.rr_sets_generated += count;
+    stats_.edges_examined += edges;
     return pool_;
   }
 
@@ -156,33 +171,50 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
 
   // Merge in worker order: deterministic layout, and the EPT accounting
   // (total edges examined) aggregates exactly as in a serial run.
+  uint64_t edges = 0;
   for (Worker& worker : workers_) {
     pool_.AppendShard(worker.shard_nodes, worker.shard_sizes);
-    edges_examined_ += worker.edges_result;
+    edges += worker.edges_result;
   }
+  edges_examined_ += edges;
+  stats_.rr_sets_generated += count;
+  stats_.edges_examined += edges;
   return pool_;
 }
 
-uint64_t ParallelSamplingEngine::CountConditionalCoverageSeeded(
-    NodeId u, const BitVector* base, const BitVector* removed,
-    uint32_t num_alive, uint64_t theta, uint64_t seed) {
+void ParallelSamplingEngine::CountCoverageBatchSeeded(
+    CoverageQueryBatch* batch, const BitVector* removed, uint32_t num_alive,
+    uint64_t theta, uint64_t seed) {
+  const size_t num_queries = batch->size();
+  if (num_queries == 0) return;
+  stats_.rr_sets_generated += theta;
+  stats_.count_pools += 1;
+  stats_.coverage_queries += num_queries;
+
   if (workers_.size() <= 1 || theta < min_parallel_batch_) {
     Rng rng(seed);
-    return inline_generator_.CountCovering(removed, num_alive, theta, u, base,
-                                           &rng);
+    stats_.edges_examined += inline_generator_.CountCoveringBatch(
+        removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng);
+    return;
   }
 
   AssignQuotas(theta);
   RunOnPool([&](uint32_t w) {
     Worker& worker = workers_[w];
+    worker.hit_shard.assign(num_queries, 0);
     Rng local(SplitSeed(seed, w));
-    worker.count_result = worker.generator->CountCovering(
-        removed, num_alive, worker.quota, u, base, &local);
+    worker.edges_result = worker.generator->CountCoveringBatch(
+        removed, num_alive, worker.quota, batch->queries(),
+        worker.hit_shard.data(), &local);
   });
 
-  uint64_t total = 0;
-  for (const Worker& worker : workers_) total += worker.count_result;
-  return total;
+  // Deterministic merge: per-worker counter shards summed in worker order.
+  batch->ZeroHits();
+  uint64_t* hits = batch->hit_data();
+  for (const Worker& worker : workers_) {
+    for (size_t q = 0; q < num_queries; ++q) hits[q] += worker.hit_shard[q];
+    stats_.edges_examined += worker.edges_result;
+  }
 }
 
 void ParallelSamplingEngine::ResetPool() {

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "diffusion/diffusion_model.h"
 #include "graph/graph.h"
+#include "rris/coverage_batch.h"
 #include "rris/rr_collection.h"
 #include "rris/rr_set.h"
 
@@ -43,6 +44,63 @@ struct SamplingEngineOptions {
   uint64_t min_parallel_batch = 4096;
 };
 
+/// Sampling knobs shared by every RIS-driven decision loop (ADDATP, HATP,
+/// HNTP). Policy option structs embed one of these instead of copy-pasting
+/// the fields.
+struct SamplingOptions {
+  /// RR sampling backend. kAuto engages the persistent thread pool iff
+  /// num_threads > 1; kSerial reproduces the single-threaded code path bit
+  /// for bit for a fixed seed.
+  SamplingBackend engine = SamplingBackend::kAuto;
+  /// Worker threads for the parallel backend (0 = hardware concurrency).
+  /// Results are deterministic for a fixed (seed, num_threads) pair but
+  /// differ across thread counts.
+  uint32_t num_threads = 1;
+  /// Budget cap on RR sets generated for a single seed decision (all pools
+  /// and all halving rounds combined).
+  uint64_t max_rr_sets_per_decision = 1ull << 23;
+  /// One shared pool of θ RR sets per halving round answers both the front
+  /// and the rear coverage query through a CoverageQueryBatch — half the RR
+  /// sets per round, identical per-query concentration bounds. false
+  /// restores the literal two-independent-pools sampling of Algorithms 3/4
+  /// (bit-identical to the pre-batching code paths for a fixed seed).
+  bool batched_rounds = true;
+
+  /// Engine-construction view of these knobs.
+  SamplingEngineOptions EngineOptions() const {
+    SamplingEngineOptions engine_options;
+    engine_options.backend = engine;
+    engine_options.num_threads = num_threads;
+    return engine_options;
+  }
+};
+
+/// Cumulative sampling-effort accounting, aggregated across an engine's
+/// whole lifetime (ResetStats to re-baseline). Unlike total_edges_examined,
+/// which is pool-scoped EPT accounting zeroed by ResetPool, these counters
+/// also cover the throwaway counting paths — they are what the benchmarks
+/// report as "RR sets generated" and "reuse ratio".
+struct SamplingStats {
+  /// RR sets sampled by GeneratePool + every counting query.
+  uint64_t rr_sets_generated = 0;
+  /// Edges examined by all of the above (the IMM/EPT cost proxy).
+  uint64_t edges_examined = 0;
+  /// Throwaway pools sampled by counting queries (one per batch call).
+  uint64_t count_pools = 0;
+  /// Coverage queries answered by those pools (>= count_pools; the ratio
+  /// coverage_queries / count_pools is the pool-reuse factor — 1.0 for the
+  /// historical one-pool-per-query sampling, 2.0 for batched front/rear
+  /// rounds).
+  uint64_t coverage_queries = 0;
+
+  /// Queries answered per throwaway pool (0 if no counting ran).
+  double ReuseRatio() const {
+    return count_pools == 0 ? 0.0
+                            : static_cast<double>(coverage_queries) /
+                                  static_cast<double>(count_pools);
+  }
+};
+
 /// The substrate boundary between RR-set sampling and the TPM algorithms.
 ///
 /// Every policy needs exactly two operations on the residual graph
@@ -53,8 +111,11 @@ struct SamplingEngineOptions {
 ///    edges examined (the IMM/EPT cost measure) accumulated in
 ///    total_edges_examined() so concentration accounting aggregates
 ///    correctly across parallel shards;
-///  * CountConditionalCoverage — draw θ throwaway RR sets and count direct
-///    hits of Cov(u | base) (the ADDATP/HATP per-decision hot path).
+///  * CountCoverageBatch — draw ONE pool of θ throwaway RR sets and answer
+///    every Cov(u | base) query of a CoverageQueryBatch in a single pass
+///    (the ADDATP/HATP per-decision hot path; a round's front and rear
+///    estimates share the pool instead of paying a fan-out each).
+///    CountConditionalCoverage is the one-query convenience form.
 ///
 /// Engines are bound to one (graph, diffusion model) pair and are *not*
 /// re-entrant: one query runs at a time. Randomness is always drawn from
@@ -73,9 +134,26 @@ class SamplingEngine {
                                      uint32_t num_alive, uint64_t count,
                                      Rng* rng) = 0;
 
-  /// Samples `theta` RR sets without storing them and returns how many
-  /// contain `u` while avoiding every node of `base` (nullptr base = plain
-  /// Cov({u}) count). Consumes one 64-bit draw from `rng`.
+  /// Samples one shared pool of `theta` RR sets without storing them and
+  /// fills in `batch`'s per-query hit counters. Consumes one 64-bit draw
+  /// from `rng` regardless of batch width or worker count.
+  void CountCoverageBatch(CoverageQueryBatch* batch, const BitVector* removed,
+                          uint32_t num_alive, uint64_t theta, Rng* rng) {
+    CountCoverageBatchSeeded(batch, removed, num_alive, theta, rng->Next());
+  }
+
+  /// Seed-level variant of CountCoverageBatch: the serial backend counts
+  /// with the stream Rng(seed); the parallel backend gives worker w the
+  /// stream Rng(SplitSeed(seed, w)) and a private counter shard, merged
+  /// deterministically in worker order.
+  virtual void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                        const BitVector* removed,
+                                        uint32_t num_alive, uint64_t theta,
+                                        uint64_t seed) = 0;
+
+  /// One-query convenience form: samples `theta` RR sets and returns how
+  /// many contain `u` while avoiding every node of `base` (nullptr base =
+  /// plain Cov({u}) count). Consumes one 64-bit draw from `rng`.
   uint64_t CountConditionalCoverage(NodeId u, const BitVector* base,
                                     const BitVector* removed,
                                     uint32_t num_alive, uint64_t theta,
@@ -84,15 +162,18 @@ class SamplingEngine {
                                           rng->Next());
   }
 
-  /// Seed-level variant of CountConditionalCoverage: the serial backend
-  /// counts with the stream Rng(seed); the parallel backend gives worker w
-  /// the stream Rng(SplitSeed(seed, w)).
-  virtual uint64_t CountConditionalCoverageSeeded(NodeId u,
-                                                  const BitVector* base,
-                                                  const BitVector* removed,
-                                                  uint32_t num_alive,
-                                                  uint64_t theta,
-                                                  uint64_t seed) = 0;
+  /// Seed-level variant of CountConditionalCoverage; a one-query batch, so
+  /// bit-identical to the historical per-query sampling for a fixed seed.
+  uint64_t CountConditionalCoverageSeeded(NodeId u, const BitVector* base,
+                                          const BitVector* removed,
+                                          uint32_t num_alive, uint64_t theta,
+                                          uint64_t seed) {
+    scratch_batch_.Clear();
+    scratch_batch_.Add(u, base);
+    CountCoverageBatchSeeded(&scratch_batch_, removed, num_alive, theta,
+                             seed);
+    return scratch_batch_.hits(0);
+  }
 
   /// The engine's pool of stored RR sets (as filled by GeneratePool).
   virtual RRCollection& pool() = 0;
@@ -102,6 +183,12 @@ class SamplingEngine {
   /// ResetPool, aggregated across workers.
   virtual uint64_t total_edges_examined() const = 0;
 
+  /// Lifetime sampling-effort counters (pool + counting paths). Unlike
+  /// total_edges_examined these survive ResetPool; ResetStats re-baselines
+  /// them (e.g. per benchmark phase).
+  const SamplingStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SamplingStats{}; }
+
   /// The bound graph.
   virtual const Graph& graph() const = 0;
   /// The bound diffusion model.
@@ -110,6 +197,14 @@ class SamplingEngine {
   virtual uint32_t num_workers() const = 0;
   /// Backend identifier for logs and benchmarks.
   virtual std::string_view name() const = 0;
+
+ protected:
+  SamplingStats stats_;
+
+ private:
+  /// Scratch for the one-query convenience path (engines are one query at a
+  /// time by contract, so a single slot suffices).
+  CoverageQueryBatch scratch_batch_;
 };
 
 /// Single-threaded backend: a persistent RRSetGenerator driven by the
@@ -124,10 +219,9 @@ class SerialSamplingEngine final : public SamplingEngine {
 
   RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
                              uint64_t count, Rng* rng) override;
-  uint64_t CountConditionalCoverageSeeded(NodeId u, const BitVector* base,
-                                          const BitVector* removed,
-                                          uint32_t num_alive, uint64_t theta,
-                                          uint64_t seed) override;
+  void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                const BitVector* removed, uint32_t num_alive,
+                                uint64_t theta, uint64_t seed) override;
 
   RRCollection& pool() override { return pool_; }
   void ResetPool() override;
@@ -149,14 +243,15 @@ class SerialSamplingEngine final : public SamplingEngine {
 /// RRSetGenerator (no shared mutable state on the hot path) and a private
 /// Rng stream derived by SplitSeed from the query's base seed. Pool
 /// generation shards into per-worker flat buffers that are spliced into the
-/// CSR pool in worker order (RRCollection::AppendShard), so the merged pool
-/// and the aggregated edge count are deterministic for a fixed
-/// (seed, num_threads) pair. Queries below min_parallel_batch bypass the
-/// pool and run on the calling thread; for CountConditionalCoverage that
-/// inline path is bit-identical to the serial backend (both count with the
-/// stream Rng(base seed)), while GeneratePool is only statistically
-/// equivalent (the serial backend generates from the caller's stream
-/// directly, the inline path from one reseeded draw).
+/// CSR pool in worker order (RRCollection::AppendShard); counting jobs give
+/// every worker a private per-query counter shard merged by summation in
+/// worker order — so merged pools, batch counts, and aggregated edge counts
+/// are all deterministic for a fixed (seed, num_threads) pair. Queries
+/// below min_parallel_batch bypass the pool and run on the calling thread;
+/// for the counting paths that inline path is bit-identical to the serial
+/// backend (both count with the stream Rng(base seed)), while GeneratePool
+/// is only statistically equivalent (the serial backend generates from the
+/// caller's stream directly, the inline path from one reseeded draw).
 class ParallelSamplingEngine final : public SamplingEngine {
  public:
   explicit ParallelSamplingEngine(
@@ -170,10 +265,9 @@ class ParallelSamplingEngine final : public SamplingEngine {
 
   RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
                              uint64_t count, Rng* rng) override;
-  uint64_t CountConditionalCoverageSeeded(NodeId u, const BitVector* base,
-                                          const BitVector* removed,
-                                          uint32_t num_alive, uint64_t theta,
-                                          uint64_t seed) override;
+  void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                const BitVector* removed, uint32_t num_alive,
+                                uint64_t theta, uint64_t seed) override;
 
   RRCollection& pool() override { return pool_; }
   void ResetPool() override;
@@ -190,7 +284,8 @@ class ParallelSamplingEngine final : public SamplingEngine {
   struct Worker {
     std::unique_ptr<RRSetGenerator> generator;
     uint64_t quota = 0;
-    uint64_t count_result = 0;
+    /// Per-query hit counters of the current batch job (counter shard).
+    std::vector<uint64_t> hit_shard;
     uint64_t edges_result = 0;
     std::vector<NodeId> shard_nodes;
     std::vector<uint32_t> shard_sizes;

@@ -74,7 +74,7 @@ TEST(AddAtpTest, BudgetExhaustionReturnsOutOfBudget) {
   const Graph g = MakeStarGraph(400, 0.5);
   ProfitProblem problem = MakeProblem(g, {0}, {200.5});
   AddAtpOptions options;
-  options.max_rr_sets_per_decision = 64;  // absurdly small
+  options.sampling.max_rr_sets_per_decision = 64;  // absurdly small
   options.fail_on_budget_exhausted = true;
   AddAtpPolicy policy(options);
   AdaptiveEnvironment env = MakeEnv(g, 1);
@@ -88,7 +88,7 @@ TEST(AddAtpTest, ForcedDecisionModeCompletes) {
   const Graph g = MakeStarGraph(400, 0.5);
   ProfitProblem problem = MakeProblem(g, {0}, {200.5});
   AddAtpOptions options;
-  options.max_rr_sets_per_decision = 2048;
+  options.sampling.max_rr_sets_per_decision = 2048;
   options.fail_on_budget_exhausted = false;
   AddAtpPolicy policy(options);
   AdaptiveEnvironment env = MakeEnv(g, 1);
@@ -155,7 +155,7 @@ TEST(AddAtpTest, MultiThreadedRunMatchesQuality) {
   ProfitProblem problem =
       MakeProblem(g, {0, 3, 4}, {10.0, 20.0, 0.2});
   AddAtpOptions options;
-  options.num_threads = 4;
+  options.sampling.num_threads = 4;
   AddAtpPolicy policy(options);
   AdaptiveEnvironment env = MakeEnv(g, 5);
   Rng rng(6);

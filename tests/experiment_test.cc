@@ -83,7 +83,7 @@ TEST(ExperimentRunnerTest, OutOfBudgetIsFlaggedNotFatal) {
   // is marked like the paper's OOM triangle.
   ProfitProblem problem = MakeProblem(g, {0}, 150.5);
   HatpOptions options;
-  options.max_rr_sets_per_decision = 128;
+  options.sampling.max_rr_sets_per_decision = 128;
   options.fail_on_budget_exhausted = true;
   HatpPolicy policy(options);
   ExperimentRunner runner(problem, 3, 8);

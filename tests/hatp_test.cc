@@ -106,7 +106,7 @@ TEST(HatpTest, BudgetCapForcesDecisionByDefault) {
   const Graph g = MakeStarGraph(200, 0.5);
   ProfitProblem problem = MakeProblem(g, {0}, {100.5});
   HatpOptions options;
-  options.max_rr_sets_per_decision = 512;
+  options.sampling.max_rr_sets_per_decision = 512;
   HatpPolicy policy(options);
   AdaptiveEnvironment env = MakeEnv(g, 1);
   Rng rng(2);
@@ -119,7 +119,7 @@ TEST(HatpTest, BudgetCapCanFailLikeAddAtp) {
   const Graph g = MakeStarGraph(200, 0.5);
   ProfitProblem problem = MakeProblem(g, {0}, {100.5});
   HatpOptions options;
-  options.max_rr_sets_per_decision = 512;
+  options.sampling.max_rr_sets_per_decision = 512;
   options.fail_on_budget_exhausted = true;
   HatpPolicy policy(options);
   AdaptiveEnvironment env = MakeEnv(g, 1);
@@ -212,7 +212,7 @@ TEST(HatpTest, UsesFarFewerSamplesThanAddAtpOnBorderlineNodes) {
   ProfitProblem problem = MakeProblem(g, {0}, {32.0});
 
   HatpOptions hatp_options;
-  hatp_options.max_rr_sets_per_decision = 1ull << 22;
+  hatp_options.sampling.max_rr_sets_per_decision = 1ull << 22;
   HatpPolicy hatp(hatp_options);
   AdaptiveEnvironment env_h = MakeEnv(g, 13);
   Rng rng_h(14);
@@ -220,7 +220,7 @@ TEST(HatpTest, UsesFarFewerSamplesThanAddAtpOnBorderlineNodes) {
   ASSERT_TRUE(run_h.ok());
 
   AddAtpOptions add_options;
-  add_options.max_rr_sets_per_decision = 1ull << 22;
+  add_options.sampling.max_rr_sets_per_decision = 1ull << 22;
   add_options.fail_on_budget_exhausted = false;
   AddAtpPolicy addatp(add_options);
   AdaptiveEnvironment env_a = MakeEnv(g, 13);

@@ -70,7 +70,7 @@ TEST(HntpTest, BudgetFailureMode) {
   const Graph g = MakeStarGraph(200, 0.5);
   ProfitProblem problem = MakeProblem(g, {0}, {100.5});
   HatpOptions options;
-  options.max_rr_sets_per_decision = 256;
+  options.sampling.max_rr_sets_per_decision = 256;
   options.fail_on_budget_exhausted = true;
   Rng rng(4);
   Result<HntpResult> result = RunHntp(problem, options, &rng);

@@ -58,8 +58,8 @@ TEST_F(PipelineTest, CostCalibrationMakesTargetProfitNonnegative) {
 TEST_F(PipelineTest, HatpBeatsArsAndBaseline) {
   ExperimentRunner runner(selection_->problem, 4, 22);
   HatpOptions hatp_options;
-  hatp_options.max_rr_sets_per_decision = 1ull << 17;
-  hatp_options.num_threads = 4;
+  hatp_options.sampling.max_rr_sets_per_decision = 1ull << 17;
+  hatp_options.sampling.num_threads = 4;
   HatpPolicy hatp(hatp_options);
   ArsPolicy ars;
 
@@ -93,8 +93,8 @@ TEST_F(PipelineTest, AdaptiveBeatsItsNonadaptiveTailoring) {
   // Averaged over few worlds this can be noisy, so assert with slack.
   ExperimentRunner runner(selection_->problem, 6, 24);
   HatpOptions options;
-  options.max_rr_sets_per_decision = 1ull << 17;
-  options.num_threads = 4;
+  options.sampling.max_rr_sets_per_decision = 1ull << 17;
+  options.sampling.num_threads = 4;
   HatpPolicy hatp(options);
   Result<AlgoStats> hatp_stats = runner.RunAdaptive(&hatp);
   ASSERT_TRUE(hatp_stats.ok());
@@ -110,8 +110,8 @@ TEST_F(PipelineTest, AdaptiveBeatsItsNonadaptiveTailoring) {
 TEST_F(PipelineTest, AllSeedsComeFromTargetSet) {
   ExperimentRunner runner(selection_->problem, 2, 25);
   HatpOptions options;
-  options.max_rr_sets_per_decision = 1ull << 16;
-  options.num_threads = 4;
+  options.sampling.max_rr_sets_per_decision = 1ull << 16;
+  options.sampling.num_threads = 4;
   HatpPolicy hatp(options);
 
   BitVector in_targets(dataset_->graph.num_nodes());
@@ -139,8 +139,8 @@ TEST_F(PipelineTest, PredefinedCostPipelineRunsEndToEnd) {
 
   ExperimentRunner runner(sel.value().problem, 2, 26);
   HatpOptions options;
-  options.max_rr_sets_per_decision = 1ull << 16;
-  options.num_threads = 4;
+  options.sampling.max_rr_sets_per_decision = 1ull << 16;
+  options.sampling.num_threads = 4;
   HatpPolicy hatp(options);
   Result<AlgoStats> stats = runner.RunAdaptive(&hatp);
   ASSERT_TRUE(stats.ok());

@@ -213,7 +213,7 @@ TEST(LtEndToEndTest, HatpRunsUnderLinearThreshold) {
       Realization::Sample(g, &world_rng, DiffusionModel::kLinearThreshold));
   HatpOptions options;
   options.model = DiffusionModel::kLinearThreshold;
-  options.max_rr_sets_per_decision = 1ull << 16;
+  options.sampling.max_rr_sets_per_decision = 1ull << 16;
   HatpPolicy policy(options);
   Rng rng(14);
   Result<AdaptiveRunResult> run = policy.Run(problem, &env, &rng);

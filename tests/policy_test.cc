@@ -48,10 +48,10 @@ struct PolicyFixture {
     policies.push_back(
         std::make_unique<AdgPolicy>(oracle.get(), /*randomized=*/true));
     HatpOptions hatp_options;
-    hatp_options.max_rr_sets_per_decision = 1ull << 15;
+    hatp_options.sampling.max_rr_sets_per_decision = 1ull << 15;
     policies.push_back(std::make_unique<HatpPolicy>(hatp_options));
     AddAtpOptions addatp_options;
-    addatp_options.max_rr_sets_per_decision = 1ull << 15;
+    addatp_options.sampling.max_rr_sets_per_decision = 1ull << 15;
     addatp_options.fail_on_budget_exhausted = false;
     policies.push_back(std::make_unique<AddAtpPolicy>(addatp_options));
     AddAtpOptions dynamic_options = addatp_options;

@@ -242,6 +242,71 @@ TEST(SamplingEngineAgreementTest, PoolCoverageAcrossBackends) {
   EXPECT_NEAR(f_serial, f_parallel, 5.0 * sigma + 1e-9);
 }
 
+// (d) Batched vs unbatched estimates: a one-query CoverageQueryBatch is the
+// same code path as CountConditionalCoverage (bit-identity on the serial
+// backend), and a two-query batch agrees with per-query sampling within
+// concentration bounds on every backend (±3σ).
+
+TEST(SamplingEngineBatchTest, OneQueryBatchBitIdenticalOnSerialBackend) {
+  const Graph g = TestGraph(400);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 10; v < 40; ++v) base.Set(v);
+  const uint64_t theta = 30000;
+
+  SerialSamplingEngine engine(g);
+  Rng batch_rng(55);
+  CoverageQueryBatch batch;
+  batch.Add(0, &base);
+  engine.CountCoverageBatch(&batch, nullptr, g.num_nodes(), theta,
+                            &batch_rng);
+
+  Rng query_rng(55);
+  const uint64_t unbatched = engine.CountConditionalCoverage(
+      0, &base, nullptr, g.num_nodes(), theta, &query_rng);
+
+  EXPECT_EQ(batch.hits(0), unbatched);
+  EXPECT_EQ(batch_rng.Next(), query_rng.Next());  // same caller stream use
+}
+
+TEST(SamplingEngineBatchTest, BatchedEstimatesAgreeAcrossBackends) {
+  const Graph g = TestGraph(1000);
+  BitVector front(g.num_nodes());
+  for (NodeId v = 10; v < 25; ++v) front.Set(v);
+  BitVector rear(g.num_nodes());
+  for (NodeId v = 60; v < 200; ++v) rear.Set(v);
+  const uint64_t theta = 200000;
+
+  // Serial batched estimate vs parallel unbatched per-query estimates: the
+  // batch layer must not move the estimand, only the sampling layout.
+  SerialSamplingEngine serial(g);
+  CoverageQueryBatch batch;
+  batch.Add(0, &front);
+  batch.Add(0, &rear);
+  Rng serial_rng(808);
+  serial.CountCoverageBatch(&batch, nullptr, g.num_nodes(), theta,
+                            &serial_rng);
+
+  ParallelSamplingEngine parallel(g, DiffusionModel::kIndependentCascade, 4);
+  Rng parallel_rng(909);
+  const uint64_t front_hits = parallel.CountConditionalCoverage(
+      0, &front, nullptr, g.num_nodes(), theta, &parallel_rng);
+  const uint64_t rear_hits = parallel.CountConditionalCoverage(
+      0, &rear, nullptr, g.num_nodes(), theta, &parallel_rng);
+
+  const uint64_t unbatched[2] = {front_hits, rear_hits};
+  for (int q = 0; q < 2; ++q) {
+    const double p_batched =
+        static_cast<double>(batch.hits(q)) / static_cast<double>(theta);
+    const double p_unbatched =
+        static_cast<double>(unbatched[q]) / static_cast<double>(theta);
+    const double p_hat = 0.5 * (p_batched + p_unbatched);
+    const double sigma =
+        std::sqrt(2.0 * p_hat * (1.0 - p_hat) / static_cast<double>(theta));
+    EXPECT_GT(p_hat, 0.0) << "query " << q;
+    EXPECT_NEAR(p_batched, p_unbatched, 3.0 * sigma + 1e-9) << "query " << q;
+  }
+}
+
 // Factory / knob resolution.
 
 TEST(CreateSamplingEngineTest, AutoResolvesByThreadCount) {
