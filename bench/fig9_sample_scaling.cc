@@ -11,6 +11,13 @@
 // the two is reported. Results are also emitted as BENCH_batching.json
 // (override the path with ATPM_BENCH_OUT) so the perf trajectory of the
 // batching layer is machine-readable.
+//
+// A third HATP run enables speculative cross-candidate pipelining
+// (lookahead_window > 0): each round's pool also answers the first-round
+// queries of upcoming candidates, so decisions whose epoch never moved
+// start with a free round. The pipelined-vs-batched count-pools-per-
+// decision ratio and the speculation hit rate are emitted as
+// BENCH_pipelining.json (override with ATPM_BENCH_PIPELINE_OUT).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -32,9 +39,12 @@ namespace {
 // Per-mode HATP sampling-effort summary derived from the run telemetry.
 struct HatpEffort {
   uint64_t total_rr_sets = 0;
-  uint64_t decisions = 0;  // examined candidates that actually sampled
+  uint64_t decisions = 0;  // examined candidates (sampled or served free)
   uint64_t coverage_queries = 0;
   uint64_t count_pools = 0;
+  uint64_t speculation_hits = 0;
+  uint64_t speculation_misses = 0;
+  uint64_t speculation_discarded = 0;
   double seconds = 0.0;
   double profit = 0.0;
 
@@ -42,6 +52,17 @@ struct HatpEffort {
     return decisions == 0 ? 0.0
                           : static_cast<double>(total_rr_sets) /
                                 static_cast<double>(decisions);
+  }
+  double PoolsPerDecision() const {
+    return decisions == 0 ? 0.0
+                          : static_cast<double>(count_pools) /
+                                static_cast<double>(decisions);
+  }
+  double SpeculationHitRate() const {
+    const uint64_t attempts = speculation_hits + speculation_misses;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(speculation_hits) /
+                               static_cast<double>(attempts);
   }
   double ReuseRatio() const {
     return count_pools == 0 ? 0.0
@@ -55,10 +76,15 @@ HatpEffort SummarizeHatp(const atpm::AdaptiveRunResult& run, double seconds) {
   effort.total_rr_sets = run.total_rr_sets;
   effort.coverage_queries = run.total_coverage_queries;
   effort.count_pools = run.total_count_pools;
+  effort.speculation_hits = run.speculation_hits;
+  effort.speculation_misses = run.speculation_misses;
+  effort.speculation_discarded = run.speculation_discarded;
   effort.seconds = seconds;
   effort.profit = run.realized_profit;
   for (const atpm::AdaptiveStepRecord& step : run.steps) {
-    if (step.rr_sets_used > 0) ++effort.decisions;
+    if (step.rr_sets_used > 0 || step.first_round_speculative) {
+      ++effort.decisions;
+    }
   }
   return effort;
 }
@@ -68,14 +94,22 @@ void PrintEffortJson(std::FILE* out, const char* key,
   std::fprintf(out,
                "    \"%s\": {\"total_rr_sets\": %llu, \"decisions\": %llu, "
                "\"rr_sets_per_decision\": %.1f, \"coverage_queries\": %llu, "
-               "\"count_pools\": %llu, \"reuse_ratio\": %.3f, "
+               "\"count_pools\": %llu, \"pools_per_decision\": %.3f, "
+               "\"reuse_ratio\": %.3f, \"speculation_hits\": %llu, "
+               "\"speculation_misses\": %llu, "
+               "\"speculation_discarded\": %llu, "
+               "\"speculation_hit_rate\": %.3f, "
                "\"seconds\": %.3f, \"profit\": %.2f}",
                key, static_cast<unsigned long long>(effort.total_rr_sets),
                static_cast<unsigned long long>(effort.decisions),
                effort.RrSetsPerDecision(),
                static_cast<unsigned long long>(effort.coverage_queries),
                static_cast<unsigned long long>(effort.count_pools),
-               effort.ReuseRatio(), effort.seconds, effort.profit);
+               effort.PoolsPerDecision(), effort.ReuseRatio(),
+               static_cast<unsigned long long>(effort.speculation_hits),
+               static_cast<unsigned long long>(effort.speculation_misses),
+               static_cast<unsigned long long>(effort.speculation_discarded),
+               effort.SpeculationHitRate(), effort.seconds, effort.profit);
 }
 
 }  // namespace
@@ -117,12 +151,17 @@ int main() {
   hatp_options.sampling.max_rr_sets_per_decision = std::max<uint64_t>(
       config.hatp_rr_cap, atpm::SamplingOptions{}.max_rr_sets_per_decision);
   hatp_options.sampling.num_threads = config.threads;
-  HatpEffort efforts[2];
+  constexpr uint32_t kLookaheadWindow = 4;
+  // Modes: 0 = batched rounds, 1 = the literal two pools per round,
+  // 2 = batched + speculative cross-candidate pipelining.
+  constexpr int kNumModes = 3;
+  const char* mode_names[kNumModes] = {"batched", "unbatched", "pipelined"};
+  HatpEffort efforts[kNumModes];
   atpm::AdaptiveRunResult batched_run;
-  for (int mode = 0; mode < 2; ++mode) {
-    const bool batched = mode == 0;
+  for (int mode = 0; mode < kNumModes; ++mode) {
     atpm::HatpOptions options = hatp_options;
-    options.sampling.batched_rounds = batched;
+    options.sampling.batched_rounds = mode != 1;
+    options.sampling.lookahead_window = mode == 2 ? kLookaheadWindow : 0;
     atpm::HatpPolicy hatp(options);
     atpm::AdaptiveEnvironment env{atpm::Realization(runner.worlds()[0])};
     atpm::Rng rng(runner.WorldSeed(0));
@@ -130,37 +169,47 @@ int main() {
     atpm::Result<atpm::AdaptiveRunResult> run =
         hatp.Run(problem, &env, &rng);
     if (!run.ok()) {
-      std::fprintf(stderr, "HATP (%s) failed: %s\n",
-                   batched ? "batched" : "unbatched",
+      std::fprintf(stderr, "HATP (%s) failed: %s\n", mode_names[mode],
                    run.status().ToString().c_str());
       return 1;
     }
     efforts[mode] = SummarizeHatp(run.value(), timer.ElapsedSeconds());
-    if (batched) batched_run = std::move(run).value();
+    if (mode == 0) batched_run = std::move(run).value();
   }
   const double per_decision_ratio =
       efforts[0].RrSetsPerDecision() > 0.0
           ? efforts[1].RrSetsPerDecision() / efforts[0].RrSetsPerDecision()
           : 0.0;
+  const double pools_per_decision_ratio =
+      efforts[2].PoolsPerDecision() > 0.0
+          ? efforts[0].PoolsPerDecision() / efforts[2].PoolsPerDecision()
+          : 0.0;
 
   std::printf("=== Batched coverage-query layer: HATP RR-set effort ===\n");
   atpm::TablePrinter effort_table(
       {"mode", "RR sets", "decisions", "RR/decision", "queries", "pools",
-       "reuse", "time(s)"});
-  const char* mode_names[2] = {"batched", "unbatched"};
-  for (int mode = 0; mode < 2; ++mode) {
+       "pools/dec", "reuse", "spec hit", "time(s)"});
+  for (int mode = 0; mode < kNumModes; ++mode) {
     effort_table.AddRow(
         {mode_names[mode], std::to_string(efforts[mode].total_rr_sets),
          std::to_string(efforts[mode].decisions),
          atpm::FormatDouble(efforts[mode].RrSetsPerDecision(), 1),
          std::to_string(efforts[mode].coverage_queries),
          std::to_string(efforts[mode].count_pools),
+         atpm::FormatDouble(efforts[mode].PoolsPerDecision(), 2),
          atpm::FormatDouble(efforts[mode].ReuseRatio(), 2),
+         atpm::FormatDouble(efforts[mode].SpeculationHitRate(), 2),
          atpm::FormatSeconds(efforts[mode].seconds)});
   }
   effort_table.Print(std::cout);
-  std::printf("RR sets per decision: unbatched/batched = %.2fx\n\n",
+  std::printf("RR sets per decision: unbatched/batched = %.2fx\n",
               per_decision_ratio);
+  std::printf(
+      "Count pools per decision: batched/pipelined = %.2fx "
+      "(lookahead %u, hit rate %.2f, discarded %llu)\n\n",
+      pools_per_decision_ratio, kLookaheadWindow,
+      efforts[2].SpeculationHitRate(),
+      static_cast<unsigned long long>(efforts[2].speculation_discarded));
 
   // Baseline sample size: HATP's largest per-iteration spend on one world
   // (the paper's NSG/NDG sizing rule; shared-pool units under batching),
@@ -263,5 +312,27 @@ int main() {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
+
+  // --- Pipelining trajectory: pipelined vs plain batched rounds.
+  const char* pipeline_path = std::getenv("ATPM_BENCH_PIPELINE_OUT");
+  if (pipeline_path == nullptr) pipeline_path = "BENCH_pipelining.json";
+  std::FILE* pipeline_out = std::fopen(pipeline_path, "w");
+  if (pipeline_out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", pipeline_path);
+    return 1;
+  }
+  std::fprintf(pipeline_out, "{\n  \"benchmark\": \"fig9_pipelining\",\n");
+  std::fprintf(pipeline_out,
+               "  \"dataset\": \"Epinions\",\n  \"k\": %u,\n"
+               "  \"lookahead_window\": %u,\n  \"hatp\": {\n",
+               k, kLookaheadWindow);
+  PrintEffortJson(pipeline_out, "batched", efforts[0]);
+  std::fprintf(pipeline_out, ",\n");
+  PrintEffortJson(pipeline_out, "pipelined", efforts[2]);
+  std::fprintf(pipeline_out,
+               ",\n    \"count_pools_per_decision_ratio\": %.3f\n  }\n}\n",
+               pools_per_decision_ratio);
+  std::fclose(pipeline_out);
+  std::printf("wrote %s\n", pipeline_path);
   return 0;
 }

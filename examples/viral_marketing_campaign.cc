@@ -30,6 +30,8 @@ const char* DecisionName(atpm::SeedDecision decision) {
       return "skip   ";
     case atpm::SeedDecision::kSkippedActivated:
       return "reached";
+    case atpm::SeedDecision::kBudgetExhausted:
+      return "no data";
   }
   return "?";
 }

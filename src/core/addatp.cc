@@ -34,11 +34,10 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
     return Status::InvalidArgument(
         "ADDATP: sampling engine bound to a different graph/model");
   }
-  const bool batched = options_.sampling.batched_rounds;
 
   AdaptiveRunResult result;
   result.steps.reserve(k);
-  CoverageQueryBatch round_batch;
+  SpeculativeRoundPlanner planner(options_.sampling, problem.targets);
 
   // Selected seeds (all activated, so never present in residual RR sets —
   // kept as a bitmap to evaluate Cov(u | S_{i-1}) by the paper's formula).
@@ -51,7 +50,8 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
   // accumulates the bars η̃_j of iterations that stopped via C2.
   double eta_sum = 0.0;
 
-  for (NodeId u : problem.targets) {
+  for (size_t pos = 0; pos < problem.targets.size(); ++pos) {
+    const NodeId u = problem.targets[pos];
     AdaptiveStepRecord step;
     step.node = u;
     candidates.Clear(u);  // u is under examination; rear base is T \ {u}
@@ -66,6 +66,7 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
     const double nd = static_cast<double>(ni);
     const double cost = problem.CostOf(u);
     const BitVector& removed = env->activated();
+    const uint64_t epoch = env->residual_epoch();
 
     double zeta =
         Clamp(options_.initial_spread_error / nd, 1.0 / nd, 0.5);
@@ -88,35 +89,49 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
     uint64_t used_this_iter = 0;
     bool decided = false;
     bool stopped_via_c2 = false;
+    bool budget_exhausted = false;
 
     while (!decided) {
       const uint64_t theta = AddAtpSampleSize(zeta, delta);
-      // Batched rounds: one shared pool answers both queries; the literal
-      // Algorithm 3 pays two independent pools R1, R2.
-      const uint64_t round_rr_sets = RoundRrSets(theta, batched);
-      if (used_this_iter + round_rr_sets >
-          options_.sampling.max_rr_sets_per_decision) {
+      if (step.rounds == 0) planner.Begin(pos, u, epoch, theta);
+      // One round: served from a stored speculative answer (free, estimates
+      // scale by the answering pool's size), or sampled — batched rounds
+      // share one pool across both queries, the literal Algorithm 3 pays
+      // two independent pools R1, R2.
+      FrontRearHits hits;
+      const SpeculativeRoundPlanner::RoundStep round_step = planner.NextRound(
+          engine, u, seed_bitmap, candidates, &removed, ni, theta, epoch,
+          options_.sampling.max_rr_sets_per_decision - used_this_iter, rng,
+          &hits);
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kOverBudget) {
         if (options_.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
               "ADDATP: deciding node " + std::to_string(u) + " needs " +
-              std::to_string(round_rr_sets) + " more RR sets (budget " +
+              std::to_string(RoundRrSets(theta, planner.batched())) +
+              " more RR sets (budget " +
               std::to_string(options_.sampling.max_rr_sets_per_decision) +
               ")");
         }
-        decided = true;  // force the decision with current estimates
+        // No completed round means no estimate at all: mark the decision
+        // explicitly instead of selecting on ρ̃f = ρ̃r = 0. With at least
+        // one round, the decision is forced from the last estimates.
+        budget_exhausted = step.rounds == 0;
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
         break;
       }
-
-      used_this_iter += round_rr_sets;
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kSampled) {
+        used_this_iter += RoundRrSets(theta, planner.batched());
+      } else if (step.rounds == 0) {
+        step.first_round_speculative = true;
+      }
       ++step.rounds;
-      step.coverage_queries += 2;
-
-      // Front/rear conditional coverage, counted on the fly (no storage).
-      const FrontRearHits hits =
-          SampleFrontRearRound(engine, &round_batch, u, seed_bitmap,
-                               candidates, &removed, ni, theta, batched, rng);
+      step.coverage_queries += hits.queries;
       result.total_count_pools += hits.pools;
-      const double scale = nd / static_cast<double>(theta);
+      const double scale = nd / static_cast<double>(hits.theta);
       rho_f = static_cast<double>(hits.front) * scale - cost;
       rho_r = -static_cast<double>(hits.rear) * scale + cost;
 
@@ -140,7 +155,9 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
     result.max_rr_sets_per_iteration =
         std::max(result.max_rr_sets_per_iteration, used_this_iter);
 
-    if (rho_f >= rho_r) {
+    if (budget_exhausted) {
+      step.decision = SeedDecision::kBudgetExhausted;
+    } else if (rho_f >= rho_r) {
       const std::vector<NodeId>& activated = env->SeedAndObserve(u);
       step.decision = SeedDecision::kSelected;
       step.newly_activated = static_cast<uint32_t>(activated.size());
@@ -155,6 +172,7 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
     result.steps.push_back(step);
   }
 
+  planner.ExportStats(&result);
   FinalizeAdaptiveResult(problem, *env, &result);
   return result;
 }

@@ -41,17 +41,17 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
     return Status::InvalidArgument(
         "HATP: sampling engine bound to a different graph/model");
   }
-  const bool batched = options_.sampling.batched_rounds;
 
   AdaptiveRunResult result;
   result.steps.reserve(k);
-  CoverageQueryBatch round_batch;
+  SpeculativeRoundPlanner planner(options_.sampling, problem.targets);
 
   BitVector seed_bitmap(n);
   BitVector candidates(n);
   for (NodeId t : problem.targets) candidates.Set(t);
 
-  for (NodeId u : problem.targets) {
+  for (size_t pos = 0; pos < problem.targets.size(); ++pos) {
+    const NodeId u = problem.targets[pos];
     AdaptiveStepRecord step;
     step.node = u;
     candidates.Clear(u);
@@ -66,6 +66,7 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
     const double nd = static_cast<double>(ni);
     const double cost = problem.CostOf(u);
     const BitVector& removed = env->activated();
+    const uint64_t epoch = env->residual_epoch();
 
     double eps = options_.initial_relative_error;
     double zeta = Clamp(options_.initial_spread_error / nd, 1.0 / nd, 0.5);
@@ -75,36 +76,50 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
     double rest = 0.0;
     uint64_t used_this_iter = 0;
     bool decided = false;
+    bool budget_exhausted = false;
 
     while (!decided) {
       const uint64_t theta = HatpSampleSize(eps, zeta, delta);
-      // Batched rounds: one shared pool answers the front and rear queries
-      // (and thereby the Lines 19–23 error-tuning probes reading them); the
-      // literal Algorithm 4 pays two independent pools R1, R2.
-      const uint64_t round_rr_sets = RoundRrSets(theta, batched);
-      if (used_this_iter + round_rr_sets >
-          options_.sampling.max_rr_sets_per_decision) {
+      if (step.rounds == 0) planner.Begin(pos, u, epoch, theta);
+      // One round: served from a stored speculative answer (free, estimates
+      // scale by the answering pool's size), or sampled — batched rounds
+      // share one pool across the front and rear queries (and thereby the
+      // Lines 19–23 error-tuning probes reading them), the literal
+      // Algorithm 4 pays two independent pools R1, R2.
+      FrontRearHits hits;
+      const SpeculativeRoundPlanner::RoundStep round_step = planner.NextRound(
+          engine, u, seed_bitmap, candidates, &removed, ni, theta, epoch,
+          options_.sampling.max_rr_sets_per_decision - used_this_iter, rng,
+          &hits);
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kOverBudget) {
         if (options_.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
               "HATP: deciding node " + std::to_string(u) + " needs " +
-              std::to_string(round_rr_sets) + " more RR sets (budget " +
+              std::to_string(RoundRrSets(theta, planner.batched())) +
+              " more RR sets (budget " +
               std::to_string(options_.sampling.max_rr_sets_per_decision) +
               ")");
         }
-        decided = true;
+        // No completed round means no estimate at all — mark the decision
+        // explicitly instead of comparing fest = rest = 0 against the
+        // cost. With at least one round, decide from its estimates.
+        budget_exhausted = step.rounds == 0;
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
         break;
       }
-
-      used_this_iter += round_rr_sets;
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kSampled) {
+        used_this_iter += RoundRrSets(theta, planner.batched());
+      } else if (step.rounds == 0) {
+        step.first_round_speculative = true;
+      }
       ++step.rounds;
-      step.coverage_queries += 2;
-
-      // Front/rear conditional coverage, counted on the fly (no storage).
-      const FrontRearHits hits =
-          SampleFrontRearRound(engine, &round_batch, u, seed_bitmap,
-                               candidates, &removed, ni, theta, batched, rng);
+      step.coverage_queries += hits.queries;
       result.total_count_pools += hits.pools;
-      const double scale = nd / static_cast<double>(theta);
+      const double scale = nd / static_cast<double>(hits.theta);
       fest = static_cast<double>(hits.front) * scale;
       rest = static_cast<double>(hits.rear) * scale;
 
@@ -150,8 +165,10 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
     result.max_rr_sets_per_iteration =
         std::max(result.max_rr_sets_per_iteration, used_this_iter);
 
-    // Line 13: select iff fest + rest >= 2 c(u) (equivalently ρ̃f >= ρ̃r).
-    if (fest + rest >= 2.0 * cost) {
+    if (budget_exhausted) {
+      step.decision = SeedDecision::kBudgetExhausted;
+    } else if (fest + rest >= 2.0 * cost) {
+      // Line 13: select iff fest + rest >= 2 c(u) (equivalently ρ̃f >= ρ̃r).
       const std::vector<NodeId>& activated = env->SeedAndObserve(u);
       step.decision = SeedDecision::kSelected;
       step.newly_activated = static_cast<uint32_t>(activated.size());
@@ -166,6 +183,7 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
     result.steps.push_back(step);
   }
 
+  planner.ExportStats(&result);
   FinalizeAdaptiveResult(problem, *env, &result);
   return result;
 }

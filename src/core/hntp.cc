@@ -7,6 +7,7 @@
 #include "common/bit_vector.h"
 #include "common/math_util.h"
 #include "core/concentration.h"
+#include "core/policy.h"
 #include "rris/coverage_batch.h"
 #include "rris/sampling_engine.h"
 
@@ -43,8 +44,12 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
   const uint32_t k = problem.k();
   HntpResult result;
   if (k == 0) return result;
-  const bool batched = options.sampling.batched_rounds;
-  CoverageQueryBatch round_batch;
+  SpeculativeRoundPlanner planner(options.sampling, problem.targets);
+  // HNTP has no environment: the bases a speculative answer depends on
+  // (seed bitmap, T \ examined) only change shape on a SELECTION (abandons
+  // are exactly the progressive clears the planner models), so the
+  // staleness epoch is simply the number of selections so far.
+  uint64_t selection_epoch = 0;
 
   // S_{i-1}: selected so far (stays in the graph — nonadaptive).
   BitVector seed_bitmap(n);
@@ -52,7 +57,8 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
   BitVector t_bitmap(n);
   for (NodeId t : problem.targets) t_bitmap.Set(t);
 
-  for (NodeId u : problem.targets) {
+  for (size_t pos = 0; pos < problem.targets.size(); ++pos) {
+    const NodeId u = problem.targets[pos];
     t_bitmap.Clear(u);  // rear base excludes the node under examination
 
     const double cost = problem.CostOf(u);
@@ -63,34 +69,48 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
     double fest = 0.0;
     double rest = 0.0;
     uint64_t used_this_iter = 0;
+    uint32_t rounds = 0;
     bool decided = false;
+    bool budget_exhausted = false;
 
     while (!decided) {
       const uint64_t theta = HatpSampleSize(eps, zeta, delta);
-      const uint64_t round_rr_sets = RoundRrSets(theta, batched);
-      if (used_this_iter + round_rr_sets >
-          options.sampling.max_rr_sets_per_decision) {
+      if (rounds == 0) planner.Begin(pos, u, selection_epoch, theta);
+      // One round: served from a stored speculative answer, or front/rear
+      // conditional coverage on one shared pool (batched) / two independent
+      // pools R1, R2 (the literal Section VI-A tailoring).
+      FrontRearHits hits;
+      const SpeculativeRoundPlanner::RoundStep round_step = planner.NextRound(
+          engine, u, seed_bitmap, t_bitmap, /*removed=*/nullptr, n, theta,
+          selection_epoch,
+          options.sampling.max_rr_sets_per_decision - used_this_iter, rng,
+          &hits);
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kOverBudget) {
         if (options.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
               "HNTP: deciding node " + std::to_string(u) + " needs " +
-              std::to_string(round_rr_sets) + " more RR sets (budget " +
+              std::to_string(RoundRrSets(theta, planner.batched())) +
+              " more RR sets (budget " +
               std::to_string(options.sampling.max_rr_sets_per_decision) +
               ")");
         }
-        decided = true;
+        // No completed round: nothing to decide from — do not select on
+        // fest = rest = 0, count the abort explicitly.
+        budget_exhausted = rounds == 0;
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
         break;
       }
-
-      used_this_iter += round_rr_sets;
-      result.total_coverage_queries += 2;
-
-      // Front/rear conditional coverage on one shared pool (batched) or on
-      // two independent pools R1, R2 (the literal Section VI-A tailoring).
-      const FrontRearHits hits = SampleFrontRearRound(
-          engine, &round_batch, u, seed_bitmap, t_bitmap,
-          /*removed=*/nullptr, n, theta, batched, rng);
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kSampled) {
+        used_this_iter += RoundRrSets(theta, planner.batched());
+      }
+      ++rounds;
+      result.total_coverage_queries += hits.queries;
       result.total_count_pools += hits.pools;
-      const double scale = nd / static_cast<double>(theta);
+      const double scale = nd / static_cast<double>(hits.theta);
       fest = static_cast<double>(hits.front) * scale;
       rest = static_cast<double>(hits.rear) * scale;
 
@@ -129,12 +149,15 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
     result.max_rr_sets_per_iteration =
         std::max(result.max_rr_sets_per_iteration, used_this_iter);
 
-    if (fest + rest >= 2.0 * cost) {
+    if (!budget_exhausted && fest + rest >= 2.0 * cost) {
       result.seeds.push_back(u);
       seed_bitmap.Set(u);
       t_bitmap.Set(u);  // selected nodes remain in T (Alg 1 semantics)
+      ++selection_epoch;
     }
   }
+
+  planner.ExportStats(&result);
   return result;
 }
 

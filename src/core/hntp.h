@@ -20,12 +20,26 @@ struct HntpResult {
   std::vector<NodeId> seeds;
   /// Total RR sets generated.
   uint64_t total_rr_sets = 0;
-  /// Coverage queries answered (2 per halving round).
+  /// Coverage queries answered (2 per sampled halving round, plus
+  /// speculative cross-candidate queries riding those pools).
   uint64_t total_coverage_queries = 0;
-  /// Throwaway pools sampled (1 per round batched, 2 unbatched).
+  /// Throwaway pools sampled (1 per round batched, 2 unbatched; rounds
+  /// served from speculative answers sample none).
   uint64_t total_count_pools = 0;
   /// Largest RR-set spend on a single candidate decision.
   uint64_t max_rr_sets_per_iteration = 0;
+  /// Decisions aborted by the per-decision RR budget before one halving
+  /// round completed (the candidate is conservatively not selected).
+  uint64_t budget_exhausted_decisions = 0;
+  /// Decisions whose error schedule was cut short by the budget after at
+  /// least one completed round (decided from the last round's estimates).
+  uint64_t budget_truncated_decisions = 0;
+  /// Speculative pipelining telemetry; see AdaptiveRunResult.
+  uint64_t speculation_hits = 0;
+  uint64_t speculation_rounds_served = 0;
+  uint64_t speculation_misses = 0;
+  uint64_t speculation_discarded = 0;
+  uint64_t speculative_queries = 0;
 };
 
 /// HNTP — the nonadaptive tailoring of HATP (Section VI-A). Identical

@@ -15,29 +15,147 @@ void FinalizeAdaptiveResult(const ProfitProblem& problem,
       static_cast<double>(result->realized_spread) - result->seed_cost;
 }
 
-FrontRearHits SampleFrontRearRound(SamplingEngine* engine,
-                                   CoverageQueryBatch* batch, NodeId u,
-                                   const BitVector& front_base,
-                                   const BitVector& rear_base,
-                                   const BitVector* removed,
-                                   uint32_t num_alive, uint64_t theta,
-                                   bool batched, Rng* rng) {
+SpeculativeRoundPlanner::SpeculativeRoundPlanner(
+    const SamplingOptions& sampling, std::span<const NodeId> targets)
+    : batched_(sampling.batched_rounds),
+      // Speculation shares a round's pool, so it needs batched rounds; the
+      // literal two-pool sampling ignores the window.
+      window_(sampling.batched_rounds ? sampling.lookahead_window : 0),
+      targets_(targets) {
+  if (window_ > 0) {
+    entries_.resize(targets.size());
+    rear_bases_.resize(window_);
+  }
+}
+
+void SpeculativeRoundPlanner::Begin(size_t position, NodeId u, uint64_t epoch,
+                                    uint64_t min_theta) {
+  position_ = position;
+  active_.reset();
+  if (window_ == 0) return;
+  ATPM_DCHECK(position < targets_.size() && targets_[position] == u);
+  Entry& entry = entries_[position];
+  if (!entry.valid) {
+    ++stats_.misses;
+    return;
+  }
+  entry.valid = false;  // one-shot either way
+  if (entry.epoch != epoch || entry.theta < min_theta) {
+    ++stats_.discarded;
+    ++stats_.misses;
+    return;
+  }
+  ++stats_.hits;
+  active_ = FirstRoundAnswer{entry.front_hits, entry.rear_hits, entry.theta};
+}
+
+SpeculativeRoundPlanner::RoundStep SpeculativeRoundPlanner::NextRound(
+    SamplingEngine* engine, NodeId u, const BitVector& front_base,
+    const BitVector& rear_base, const BitVector* removed, uint32_t num_alive,
+    uint64_t theta, uint64_t epoch, uint64_t budget_remaining, Rng* rng,
+    FrontRearHits* hits) {
+  if (std::optional<FirstRoundAnswer> served = Serve(theta)) {
+    hits->front = served->front_hits;
+    hits->rear = served->rear_hits;
+    hits->theta = served->theta;
+    hits->pools = 0;
+    hits->queries = 0;
+    return RoundStep::kServed;
+  }
+  if (RoundRrSets(theta, batched_) > budget_remaining) {
+    return RoundStep::kOverBudget;
+  }
+  *hits = SampleRound(engine, u, front_base, rear_base, removed, num_alive,
+                      theta, epoch, rng);
+  return RoundStep::kSampled;
+}
+
+std::optional<SpeculativeRoundPlanner::FirstRoundAnswer>
+SpeculativeRoundPlanner::Serve(uint64_t theta) {
+  if (!active_.has_value()) return std::nullopt;
+  if (active_->theta < theta) {
+    // θ_r grows strictly round over round, so once outgrown the answer can
+    // never serve this candidate again.
+    active_.reset();
+    return std::nullopt;
+  }
+  ++stats_.rounds_served;
+  return active_;
+}
+
+void SpeculativeRoundPlanner::AddSpeculativeQueries(
+    const BitVector& front_base, const BitVector& rear_base, uint64_t epoch,
+    uint64_t theta) {
+  // The rear base candidate c_j sees natively is the current candidate set
+  // minus every intermediate candidate: each examination clears its node
+  // whether it ends skipped or abandoned (a selection would bump the epoch
+  // and void the answer anyway). Build those bases progressively off one
+  // running copy.
+  size_t covered = 0;
+  running_rear_ = rear_base;
+  for (size_t i = position_ + 1;
+       i < targets_.size() && covered < window_; ++i) {
+    const NodeId c = targets_[i];
+    // An upcoming candidate absent from the rear base is already activated
+    // (activation clears it the moment it is observed): it will be skipped
+    // without sampling, and its native clear-on-examination is a no-op, so
+    // it neither consumes a window slot nor shadows later rear bases.
+    if (!rear_base.Test(c)) continue;
+    running_rear_.Clear(c);
+    const Entry& entry = entries_[i];
+    if (entry.valid && entry.epoch == epoch && entry.theta >= theta) {
+      // Already covered at least this well by an earlier round of this
+      // epoch; its clear above still shadows the rear bases of the
+      // candidates behind it. A bigger pool instead REFRESHES the entry so
+      // the consumer can serve deeper into its own schedule.
+      ++covered;
+      continue;
+    }
+    BitVector& snapshot = rear_bases_[pending_.size()];
+    snapshot = running_rear_;
+    PendingAnswer pending;
+    pending.position = i;
+    pending.front_index = batch_.Add(c, &front_base);
+    pending.rear_index = batch_.Add(c, &snapshot);
+    pending_.push_back(pending);
+    ++covered;
+  }
+  stats_.speculative_queries += 2 * pending_.size();
+}
+
+FrontRearHits SpeculativeRoundPlanner::SampleRound(
+    SamplingEngine* engine, NodeId u, const BitVector& front_base,
+    const BitVector& rear_base, const BitVector* removed, uint32_t num_alive,
+    uint64_t theta, uint64_t epoch, Rng* rng) {
   FrontRearHits hits;
-  if (batched) {
-    batch->Clear();
-    const uint32_t front = batch->Add(u, &front_base);
-    const uint32_t rear = batch->Add(u, &rear_base);
-    engine->CountCoverageBatch(batch, removed, num_alive, theta, rng);
-    hits.front = batch->hits(front);
-    hits.rear = batch->hits(rear);
-    hits.pools = 1;
-  } else {
+  hits.theta = theta;
+  if (!batched_) {
     hits.front = engine->CountConditionalCoverage(u, &front_base, removed,
-                                                  num_alive, theta, rng);
+                                                 num_alive, theta, rng);
     hits.rear = engine->CountConditionalCoverage(u, &rear_base, removed,
                                                  num_alive, theta, rng);
     hits.pools = 2;
+    hits.queries = 2;
+    return hits;
   }
+  batch_.Clear();
+  pending_.clear();
+  const uint32_t front = batch_.Add(u, &front_base);
+  const uint32_t rear = batch_.Add(u, &rear_base);
+  if (window_ > 0) AddSpeculativeQueries(front_base, rear_base, epoch, theta);
+  engine->CountCoverageBatch(&batch_, removed, num_alive, theta, rng);
+  for (const PendingAnswer& pending : pending_) {
+    Entry& entry = entries_[pending.position];
+    entry.epoch = epoch;
+    entry.theta = theta;
+    entry.front_hits = batch_.hits(pending.front_index);
+    entry.rear_hits = batch_.hits(pending.rear_index);
+    entry.valid = true;
+  }
+  hits.front = batch_.hits(front);
+  hits.rear = batch_.hits(rear);
+  hits.pools = 1;
+  hits.queries = batch_.size();
   return hits;
 }
 

@@ -159,7 +159,7 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
     worker.shard_sizes.clear();
     worker.edges_result = 0;
     Rng local(SplitSeed(base_seed, w));
-    std::vector<NodeId> buffer;
+    std::vector<NodeId>& buffer = worker.rr_buffer;
     for (uint64_t i = 0; i < worker.quota; ++i) {
       worker.edges_result +=
           worker.generator->Generate(removed, num_alive, &local, &buffer);
@@ -201,7 +201,9 @@ void ParallelSamplingEngine::CountCoverageBatchSeeded(
   AssignQuotas(theta);
   RunOnPool([&](uint32_t w) {
     Worker& worker = workers_[w];
-    worker.hit_shard.assign(num_queries, 0);
+    // Size-only adjustment: CountCoveringBatch zeroes the counters itself,
+    // so re-zeroing here (the old `assign`) would touch every entry twice.
+    worker.hit_shard.resize(num_queries);
     Rng local(SplitSeed(seed, w));
     worker.edges_result = worker.generator->CountCoveringBatch(
         removed, num_alive, worker.quota, batch->queries(),
@@ -234,6 +236,13 @@ std::unique_ptr<SamplingEngine> CreateSamplingEngine(
   if (backend == SamplingBackend::kAuto) {
     backend =
         threads > 1 ? SamplingBackend::kParallel : SamplingBackend::kSerial;
+  }
+  // An explicit kParallel request with one resolved thread degrades to the
+  // serial backend: every query would take the one-worker inline path (which
+  // is bit-identical to serial for the counting kernels), so building the
+  // worker-thread + condvar machinery buys nothing.
+  if (backend == SamplingBackend::kParallel && threads <= 1) {
+    backend = SamplingBackend::kSerial;
   }
   if (backend == SamplingBackend::kParallel) {
     return std::make_unique<ParallelSamplingEngine>(

@@ -65,6 +65,16 @@ struct SamplingOptions {
   /// restores the literal two-independent-pools sampling of Algorithms 3/4
   /// (bit-identical to the pre-batching code paths for a fixed seed).
   bool batched_rounds = true;
+  /// Speculative cross-candidate pipelining: every batched halving round's
+  /// pool additionally answers the first-round front/rear queries of the
+  /// next `lookahead_window` undecided candidates, tagged with the
+  /// residual-graph epoch. When the decision loop reaches such a candidate
+  /// and the epoch is unchanged (only seedings bump it — skipped and
+  /// abandoned candidates do not), the stored answer serves its first round
+  /// without sampling a pool; stale answers are discarded unread. 0 (the
+  /// default) disables speculation and is bit-identical to plain batched
+  /// rounds for a fixed seed. Requires batched_rounds; ignored otherwise.
+  uint32_t lookahead_window = 0;
 
   /// Engine-construction view of these knobs.
   SamplingEngineOptions EngineOptions() const {
@@ -289,6 +299,9 @@ class ParallelSamplingEngine final : public SamplingEngine {
     uint64_t edges_result = 0;
     std::vector<NodeId> shard_nodes;
     std::vector<uint32_t> shard_sizes;
+    /// Scratch for one RR set during pool generation (persists across jobs
+    /// so the hot loop never reallocates).
+    std::vector<NodeId> rr_buffer;
   };
 
   /// Runs `body(worker_index)` on every pool thread and blocks until all
@@ -321,7 +334,13 @@ class ParallelSamplingEngine final : public SamplingEngine {
 
 /// Builds the backend selected by `options` for (graph, model). kAuto
 /// resolves to kParallel iff the resolved thread count (num_threads, with 0
-/// meaning hardware concurrency) exceeds 1.
+/// meaning hardware concurrency) exceeds 1. An explicit kParallel request
+/// whose resolved thread count is 1 also degrades to the serial backend:
+/// a one-worker pool would route every query through its inline serial path
+/// anyway, so the worker thread + condvar machinery would be pure overhead.
+/// Consequently engine->name() (and anything logging it next to
+/// SamplingBackendName(options.backend)) reports "serial" for that
+/// configuration.
 std::unique_ptr<SamplingEngine> CreateSamplingEngine(
     const Graph& graph,
     DiffusionModel model = DiffusionModel::kIndependentCascade,

@@ -330,6 +330,26 @@ TEST(CreateSamplingEngineTest, AutoResolvesByThreadCount) {
             "serial");
 }
 
+TEST(CreateSamplingEngineTest, ExplicitParallelWithOneThreadDegradesToSerial) {
+  // A one-worker pool routes every query through its inline serial path, so
+  // the factory skips the worker-thread + condvar machinery entirely. The
+  // engine consequently reports name() == "serial" even though the option
+  // said kParallel.
+  const Graph g = TestGraph(100);
+  SamplingEngineOptions options;
+  options.backend = SamplingBackend::kParallel;
+  options.num_threads = 1;
+  EXPECT_EQ(CreateSamplingEngine(g, DiffusionModel::kIndependentCascade,
+                                 options)
+                ->name(),
+            "serial");
+  options.num_threads = 2;
+  EXPECT_EQ(CreateSamplingEngine(g, DiffusionModel::kIndependentCascade,
+                                 options)
+                ->name(),
+            "parallel");
+}
+
 TEST(SamplingBackendTest, Names) {
   EXPECT_STREQ(SamplingBackendName(SamplingBackend::kSerial), "serial");
   EXPECT_STREQ(SamplingBackendName(SamplingBackend::kParallel), "parallel");
