@@ -31,6 +31,29 @@ Graph BenchGraph(NodeId n) {
   return g;
 }
 
+// Weighting schemes for the kernel benches: 0 = weighted cascade,
+// 1 = trivalency, 2 = uniform-random (the general-class fallback).
+Graph KernelBenchGraph(NodeId n, int weighting) {
+  Rng rng(7);
+  BarabasiAlbertOptions options;
+  options.num_nodes = n;
+  options.edges_per_node = 3;
+  Graph g = GenerateBarabasiAlbert(options, &rng).value();
+  Rng wrng(99);
+  switch (weighting) {
+    case 0:
+      ApplyWeightedCascade(&g);
+      break;
+    case 1:
+      ApplyTrivalency(&g, &wrng);
+      break;
+    default:
+      ApplyUniformRandomProbability(&g, 0.01, 0.5, &wrng);
+      break;
+  }
+  return g;
+}
+
 void BM_GraphBuildCsr(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));
   Rng rng(3);
@@ -124,19 +147,29 @@ void BM_RrCountCovering(benchmark::State& state) {
 }
 BENCHMARK(BM_RrCountCovering)->Arg(1 << 10)->Arg(1 << 13);
 
-void BM_ParallelCountCovering(benchmark::State& state) {
+// Counting through the policies' engine slot (SamplingEngineHandle): the
+// persistent worker pool replaces the retired ParallelCountCovering
+// wrapper, which paid a full thread-pool spin-up per query.
+void BM_HandleCountCovering(benchmark::State& state) {
   const Graph g = BenchGraph(1 << 14);
   BitVector base(g.num_nodes());
   for (NodeId v = 100; v < 200; ++v) base.Set(v);
   const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  SamplingEngineOptions options;
+  options.backend =
+      threads > 1 ? SamplingBackend::kParallel : SamplingBackend::kSerial;
+  options.num_threads = threads;
+  SamplingEngineHandle handle;
   uint64_t salt = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ParallelCountCovering(
-        g, nullptr, g.num_nodes(), 1 << 15, 0, &base, ++salt, threads));
+    SamplingEngine* engine =
+        handle.Get(g, DiffusionModel::kIndependentCascade, options);
+    benchmark::DoNotOptimize(engine->CountConditionalCoverageSeeded(
+        0, &base, nullptr, g.num_nodes(), 1 << 15, ++salt));
   }
   state.SetItemsProcessed(state.iterations() * (1 << 15));
 }
-BENCHMARK(BM_ParallelCountCovering)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_HandleCountCovering)->Arg(1)->Arg(4)->Arg(8);
 
 // Sampler-scaling series: the two SamplingEngine operations across thread
 // counts, sized so the parallel backend is actually engaged. The acceptance
@@ -277,6 +310,87 @@ BENCHMARK(BM_SamplingEnginePoolScaling)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
 
+// ---- RR-generation kernel series (emitted as BENCH_kernel.json by the CI
+// --benchmark_filter=Kernel run): RR sets/sec and RNG draws per edge
+// examined, per weighting class x kernel. The acceptance bar of the
+// geometric-jump substrate is draws_per_edge(per-edge) >= 2x
+// draws_per_edge(jump) on weighted cascade and trivalency, with a
+// measurably higher sets/sec throughput.
+
+void BM_KernelRrGeneration(benchmark::State& state) {
+  const Graph g = KernelBenchGraph(1 << 14, static_cast<int>(state.range(0)));
+  const SamplingKernel kernel = state.range(1) == 0
+                                    ? SamplingKernel::kPerEdge
+                                    : SamplingKernel::kGeometricJump;
+  RRSetGenerator generator(g, DiffusionModel::kIndependentCascade, kernel);
+  Rng rng(17);
+  std::vector<NodeId> rr;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    edges += generator.Generate(nullptr, g.num_nodes(), &rng, &rr);
+    benchmark::DoNotOptimize(rr.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["draws_per_edge"] =
+      edges == 0 ? 0.0
+                 : static_cast<double>(generator.rng_draws()) /
+                       static_cast<double>(edges);
+  state.counters["jumpable_edge_fraction"] =
+      g.InWeightClassProfile().JumpableEdgeFraction();
+}
+BENCHMARK(BM_KernelRrGeneration)
+    ->ArgNames({"weighting", "jump"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
+
+void BM_KernelLtRrGeneration(benchmark::State& state) {
+  const Graph g = KernelBenchGraph(1 << 14, static_cast<int>(state.range(0)));
+  const SamplingKernel kernel = state.range(1) == 0
+                                    ? SamplingKernel::kPerEdge
+                                    : SamplingKernel::kGeometricJump;
+  RRSetGenerator generator(g, DiffusionModel::kLinearThreshold, kernel);
+  Rng rng(19);
+  std::vector<NodeId> rr;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    edges += generator.Generate(nullptr, g.num_nodes(), &rng, &rr);
+    benchmark::DoNotOptimize(rr.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["draws_per_edge"] =
+      edges == 0 ? 0.0
+                 : static_cast<double>(generator.rng_draws()) /
+                       static_cast<double>(edges);
+}
+BENCHMARK(BM_KernelLtRrGeneration)
+    ->ArgNames({"weighting", "jump"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
+// Counting path at fig9-smoke magnitude: one θ-pool conditional-coverage
+// query per iteration, reporting the engine-level draw accounting.
+void BM_KernelCountCovering(benchmark::State& state) {
+  const Graph g = KernelBenchGraph(1 << 13, static_cast<int>(state.range(0)));
+  const SamplingKernel kernel = state.range(1) == 0
+                                    ? SamplingKernel::kPerEdge
+                                    : SamplingKernel::kGeometricJump;
+  SerialSamplingEngine engine(g, DiffusionModel::kIndependentCascade,
+                              kernel);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 100; v < 200; ++v) base.Set(v);
+  Rng rng(23);
+  const uint64_t theta = 1 << 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.CountConditionalCoverage(
+        0, &base, nullptr, g.num_nodes(), theta, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(theta));
+  state.counters["draws_per_edge"] = engine.stats().DrawsPerEdge();
+  state.counters["rr_sets_generated"] =
+      static_cast<double>(engine.stats().rr_sets_generated);
+}
+BENCHMARK(BM_KernelCountCovering)
+    ->ArgNames({"weighting", "jump"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
 void BM_CoverageQueries(benchmark::State& state) {
   const Graph g = BenchGraph(1 << 13);
   RRSetGenerator generator(g);
@@ -309,7 +423,8 @@ BENCHMARK(BM_RealizationSpreadQuery);
 // Custom main: unless the caller overrides it, benchmark JSON goes to
 // BENCH_sampling.json so the sampler-scaling series is machine-readable by
 // default (run with --benchmark_filter=SamplingEngine for just that
-// series).
+// series, or --benchmark_filter=Kernel with --benchmark_out=
+// BENCH_kernel.json for the RR-kernel series, as the CI job does).
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -329,6 +444,17 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
     return 1;
   }
+  // Build type of the *timed* code (this binary). The stock
+  // "library_build_type" context reports how the google-benchmark library
+  // was compiled — Debian's packaged libbenchmark ships without NDEBUG and
+  // thus always says "debug", which is about the harness, not the kernels
+  // being measured. CI asserts on this field to reject accidentally
+  // unoptimized benchmark records.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("atpm_build_type", "release");
+#else
+  benchmark::AddCustomContext("atpm_build_type", "debug");
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

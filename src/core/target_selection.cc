@@ -38,6 +38,7 @@ std::unique_ptr<SamplingEngine> PipelineEngine(
   SamplingEngineOptions engine_options;
   engine_options.backend = options.engine;
   engine_options.num_threads = options.num_threads;
+  engine_options.kernel = options.kernel;
   return CreateSamplingEngine(graph, DiffusionModel::kIndependentCascade,
                               engine_options);
 }

@@ -35,6 +35,8 @@ struct TargetSelectionOptions {
   SamplingBackend engine = SamplingBackend::kAuto;
   /// Worker threads for the parallel backend (0 = hardware concurrency).
   uint32_t num_threads = 1;
+  /// RR-generation kernel shared by every stage of the pipeline.
+  SamplingKernel kernel = SamplingKernel::kGeometricJump;
 };
 
 /// A fully-specified TPM instance plus calibration metadata.

@@ -1,17 +1,115 @@
 #include "diffusion/realization.h"
 
+#include "graph/geometric_scan.h"
+
 namespace atpm {
 
-Realization Realization::Sample(const Graph& graph, Rng* rng,
-                                DiffusionModel model) {
-  BitVector live(graph.num_edges());
-  if (model == DiffusionModel::kIndependentCascade) {
-    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-      const auto probs = graph.OutProbs(u);
-      for (uint32_t j = 0; j < probs.size(); ++j) {
-        if (rng->Bernoulli(probs[j])) live.Set(graph.OutEdgeIndex(u, j));
+namespace {
+
+// Jump-kernel IC world: flip each node's in-edge vector through the
+// weight-class index, paying one draw per live edge on uniform /
+// few-distinct vectors. Every edge appears in exactly one node's in-list,
+// so this covers the same independent flips as the per-edge forward sweep
+// — identical world distribution, different RNG stream.
+void SampleIcJump(const Graph& graph, Rng* rng, BitVector* live) {
+  uint64_t draws = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    switch (graph.InWeightClass(v)) {
+      case NodeWeightClass::kEmpty:
+        break;
+      case NodeWeightClass::kUniform: {
+        GeometricSegmentScan(graph.InProbSegments(v), rng, &draws,
+                             [&](uint32_t j) {
+                               live->Set(graph.InEdgeIndex(v, j));
+                               return true;
+                             });
+        break;
+      }
+      case NodeWeightClass::kFewDistinct: {
+        const auto slots = graph.JumpInSlots(v);
+        GeometricSegmentScan(
+            graph.InProbSegments(v), rng, &draws, [&](uint32_t j) {
+              live->Set(graph.InEdgeIndex(v, slots[j]));
+              return true;
+            });
+        break;
+      }
+      case NodeWeightClass::kGeneral: {
+        const auto probs = graph.InProbs(v);
+        for (uint32_t j = 0; j < probs.size(); ++j) {
+          if (rng->Bernoulli(probs[j])) live->Set(graph.InEdgeIndex(v, j));
+        }
+        break;
       }
     }
+  }
+}
+
+// Jump-kernel LT triggering sets: O(1) per-node picks via the LT plans,
+// landing on the original reverse-CSR slot so the live-edge bitmap is
+// addressed identically to the prefix scan.
+void SampleLtJump(const Graph& graph, Rng* rng, BitVector* live) {
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    switch (graph.LtInPlan(v)) {
+      case LtPickPlan::kNone:
+        break;
+      case LtPickPlan::kUniform: {
+        const ProbSegment seg = graph.InProbSegments(v)[0];
+        const double p = static_cast<double>(seg.prob);
+        if (p <= 0.0) break;
+        const double j = rng->UniformDouble() / p;
+        if (j < static_cast<double>(seg.length)) {
+          live->Set(graph.InEdgeIndex(v, static_cast<uint32_t>(j)));
+        }
+        break;
+      }
+      case LtPickPlan::kAlias: {
+        const auto slots = graph.LtAliasSlots(v);
+        const double x =
+            rng->UniformDouble() * static_cast<double>(slots.size());
+        uint32_t i = static_cast<uint32_t>(x);
+        if (i >= slots.size()) i = static_cast<uint32_t>(slots.size()) - 1;
+        if (x - static_cast<double>(i) >= slots[i].threshold) {
+          i = slots[i].alias;
+        }
+        if (i + 1 < slots.size()) live->Set(graph.InEdgeIndex(v, i));
+        break;
+      }
+      case LtPickPlan::kPrefix: {
+        const auto probs = graph.InProbs(v);
+        double r = rng->UniformDouble();
+        for (uint32_t j = 0; j < probs.size(); ++j) {
+          if (r < probs[j]) {
+            live->Set(graph.InEdgeIndex(v, j));
+            break;
+          }
+          r -= probs[j];
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Realization Realization::Sample(const Graph& graph, Rng* rng,
+                                DiffusionModel model, SamplingKernel kernel) {
+  BitVector live(graph.num_edges());
+  const bool jump = kernel == SamplingKernel::kGeometricJump;
+  if (model == DiffusionModel::kIndependentCascade) {
+    if (jump) {
+      SampleIcJump(graph, rng, &live);
+    } else {
+      for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+        const auto probs = graph.OutProbs(u);
+        for (uint32_t j = 0; j < probs.size(); ++j) {
+          if (rng->Bernoulli(probs[j])) live.Set(graph.OutEdgeIndex(u, j));
+        }
+      }
+    }
+  } else if (jump) {
+    SampleLtJump(graph, rng, &live);
   } else {
     // LT triggering sets: node v keeps in-edge j with probability
     // InProbs(v)[j]; with probability 1 - Σ it keeps none.

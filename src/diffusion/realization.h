@@ -25,9 +25,19 @@ class Realization {
   ///   * IC: each edge is live independently with its probability.
   ///   * LT: each node keeps at most one incoming edge, edge <u, v> with
   ///     probability p(u, v) (the triggering-set characterization).
+  ///
+  /// `kernel` selects the flip strategy. The default per-edge kernel is
+  /// bit-stable across releases — worlds are the experimental ground truth
+  /// that fixed-seed runs are compared on, so recorded experiment tables
+  /// stay reproducible. kGeometricJump flips each node's in-edge vector
+  /// through the graph's weight-class index (one draw per *live* edge on
+  /// uniform / few-distinct vectors, O(1) LT picks): the same world
+  /// distribution from a different RNG stream, for large-scale world
+  /// generation where the O(m)-draw sweep dominates.
   static Realization Sample(
       const Graph& graph, Rng* rng,
-      DiffusionModel model = DiffusionModel::kIndependentCascade);
+      DiffusionModel model = DiffusionModel::kIndependentCascade,
+      SamplingKernel kernel = SamplingKernel::kPerEdge);
 
   /// Builds a world with an explicit live-edge mask (tests, enumeration).
   static Realization FromLiveEdges(const Graph& graph, BitVector live_edges);

@@ -1,0 +1,123 @@
+#ifndef ATPM_GRAPH_GEOMETRIC_SCAN_H_
+#define ATPM_GRAPH_GEOMETRIC_SCAN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace atpm {
+
+/// Samples independent Bernoulli(prob) trials over a node's jump-ordered
+/// segment view: visit(i) is called for every successful global index i
+/// (the position in the concatenation of all segments), in order.
+///
+/// Maximal runs of jump-enabled segments (log1p_neg != 0) are sampled with
+/// a cross-segment geometric walk: each uniform draw U is turned into the
+/// position of the run's next success by walking the per-segment
+/// log-survival ledger until the cumulative mass crosses log1p(-U) — one
+/// draw and one log1p per success for the WHOLE run, and the common
+/// no-success case resolved by the same single draw (the ledger never
+/// crosses the threshold, so no edge is touched). This is exact
+/// inverse-CDF sampling of the next-success index across heterogeneous
+/// probabilities, which is what lets a trivalency node's three probability
+/// classes share one draw instead of paying one geometric terminal each.
+///
+/// Degenerate segments are drawless (p <= 0 never fires, p >= 1 fires
+/// every index — exactly matching a per-trial Bernoulli loop, which is
+/// what makes the jump kernels *exactly* equivalent to per-edge sampling
+/// on {0, 1} edges), and gate-rejected segments (log1p_neg == 0, where the
+/// log would cost more than it saves) fall back to one Bernoulli per edge.
+///
+/// `*draws` accumulates the uniform draws consumed (the SamplingStats
+/// rng_draws measure). Returns false iff a visit callback aborted the
+/// scan.
+template <typename Visit>
+bool GeometricSegmentScan(std::span<const ProbSegment> segments, Rng* rng,
+                          uint64_t* draws, Visit&& visit) {
+  const size_t num_segments = segments.size();
+  uint32_t base = 0;  // global index where segments[s] starts
+  size_t s = 0;
+  while (s < num_segments) {
+    const ProbSegment& seg = segments[s];
+    if (seg.log1p_neg == 0.0) {
+      if (seg.prob >= 1.0f) {  // everything fires, no draws
+        for (uint32_t j = 0; j < seg.length; ++j) {
+          if (!visit(base + j)) return false;
+        }
+      } else if (seg.prob > 0.0f) {  // gated: linear Bernoulli scan
+        for (uint32_t j = 0; j < seg.length; ++j) {
+          ++*draws;
+          if (rng->Bernoulli(seg.prob) && !visit(base + j)) return false;
+        }
+      }  // p <= 0: nothing ever fires, no draws
+      base += seg.length;
+      ++s;
+      continue;
+    }
+
+    // Maximal run of jump segments [s, e).
+    size_t e = s;
+    uint32_t run_length = 0;
+    while (e < num_segments && segments[e].log1p_neg != 0.0) {
+      run_length += segments[e].length;
+      ++e;
+    }
+    // Walk state: current segment cs, local index cj, global start of cs.
+    size_t cs = s;
+    uint32_t cj = 0;
+    uint32_t seg_base = base;
+    for (;;) {
+      if (cs >= e) break;  // a success consumed the run's last edge
+      ++*draws;
+      const double u = rng->UniformDouble();
+      // At a segment boundary the remaining suffix is exactly what the
+      // precomputed run_any_prob covers: U >= P(any success) resolves the
+      // common nothing-fires case with one compare and no log, coupled to
+      // the same U the ledger walk below would consume.
+      if (cj == 0 && segments[cs].run_any_prob > 0.0 &&
+          u >= segments[cs].run_any_prob) {
+        break;
+      }
+      // First success of the remaining run is where the cumulative
+      // log-survival ledger crosses log1p(-U); U = 1 - survival quantile.
+      const double target = std::log1p(-u);  // <= 0
+      double cum = 0.0;
+      bool found = false;
+      while (cs < e) {
+        const ProbSegment& cur = segments[cs];
+        const uint32_t remaining = cur.length - cj;
+        const double seg_mass =
+            static_cast<double>(remaining) * cur.log1p_neg;  // <= 0
+        if (cum + seg_mass <= target) {
+          uint32_t k =
+              static_cast<uint32_t>((target - cum) / cur.log1p_neg);
+          if (k >= remaining) k = remaining - 1;  // FP boundary clamp
+          if (!visit(seg_base + cj + k)) return false;
+          cj += k + 1;
+          if (cj >= cur.length) {
+            seg_base += cur.length;
+            ++cs;
+            cj = 0;
+          }
+          found = true;
+          break;
+        }
+        cum += seg_mass;
+        seg_base += cur.length;
+        ++cs;
+        cj = 0;
+      }
+      if (!found) break;  // no further success in the run
+    }
+    base += run_length;
+    s = e;
+  }
+  return true;
+}
+
+}  // namespace atpm
+
+#endif  // ATPM_GRAPH_GEOMETRIC_SCAN_H_

@@ -1,6 +1,19 @@
 #include "graph/graph.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace atpm {
+
+const char* SamplingKernelName(SamplingKernel kernel) {
+  switch (kernel) {
+    case SamplingKernel::kGeometricJump:
+      return "geometric-jump";
+    case SamplingKernel::kPerEdge:
+      return "per-edge";
+  }
+  return "?";
+}
 
 std::vector<WeightedEdge> Graph::CollectEdges() const {
   std::vector<WeightedEdge> edges;
@@ -13,6 +26,255 @@ std::vector<WeightedEdge> Graph::CollectEdges() const {
     }
   }
   return edges;
+}
+
+namespace {
+
+// Relative cost of one log() against one Bernoulli trial (RNG step +
+// multiply + compare) on commodity x86 — the break-even constant of the
+// jump gate below. Erring low only forfeits upside on marginal segments;
+// erring high regresses short low-probability runs.
+constexpr double kGeometricLogCost = 3.0;
+
+// log1p(-p) for the geometric inverse CDF — or 0 when the segment should
+// be scanned per-edge instead. Under the cross-segment walk
+// (GeometricSegmentScan) a run of jump segments costs roughly one log per
+// *success* plus half a terminal draw, against one Bernoulli per edge for
+// the linear scan: jump iff length * prob * kGeometricLogCost + 0.5 <=
+// length. High-probability short segments (p = 0.5 pairs) stay linear;
+// everything in the weighted-cascade / trivalency regime jumps.
+// Degenerate probs are always drawless and also encode as 0 (the scan
+// special-cases them before reading the factor).
+double JumpFactor(uint32_t length, float prob) {
+  const double p = static_cast<double>(prob);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  const double expected_logs = static_cast<double>(length) * p;
+  if (expected_logs * kGeometricLogCost + 0.5 > static_cast<double>(length)) {
+    return 0.0;
+  }
+  return std::log1p(-p);
+}
+
+// Walker/Vose alias construction over `weights` (need not sum to 1; the
+// table realizes weights[i] / Σ weights). Appends weights.size() slots.
+void BuildAliasTable(const std::vector<double>& weights,
+                     std::vector<LtAliasSlot>* out) {
+  const uint32_t k = static_cast<uint32_t>(weights.size());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  const size_t base = out->size();
+  out->resize(base + k);
+  LtAliasSlot* slots = out->data() + base;
+  if (total <= 0.0) {
+    // Degenerate: make every slot resolve to the last outcome ("no pick"
+    // in the LT usage); callers never hit this for real LT nodes because
+    // the "none" weight is positive whenever the edge mass is 0.
+    for (uint32_t i = 0; i < k; ++i) slots[i] = LtAliasSlot{0.0, k - 1};
+    return;
+  }
+  // Scaled weights; <1 goes to `small`, >=1 to `large`.
+  std::vector<double> scaled(k);
+  std::vector<uint32_t> small, large;
+  for (uint32_t i = 0; i < k; ++i) {
+    scaled[i] = weights[i] * k / total;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    slots[s] = LtAliasSlot{scaled[s], l};
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t l : large) slots[l] = LtAliasSlot{1.0, l};
+  for (uint32_t s : small) slots[s] = LtAliasSlot{1.0, s};
+}
+
+}  // namespace
+
+void Graph::RebuildInWeightIndex() {
+  const NodeId n = n_;
+  in_class_.assign(n, NodeWeightClass::kEmpty);
+  seg_offsets_.assign(n + 1, 0);
+  in_segments_.clear();
+  jump_offsets_.assign(n + 1, 0);
+  jump_in_arcs_.clear();
+  jump_in_slots_.clear();
+  lt_plan_.assign(n, static_cast<uint8_t>(LtPickPlan::kNone));
+  lt_alias_offsets_.assign(n + 1, 0);
+  lt_alias_.clear();
+
+  // LT mass within [1, 1 + eps] is treated as exactly 1: float rounding of
+  // per-edge probs (e.g. weighted cascade's indeg * float(1/indeg)) must
+  // not demote an O(1) pick to the linear prefix scan.
+  constexpr double kLtMassEps = 1e-6;
+
+  float values[kMaxDistinctInProbs];
+  uint32_t counts[kMaxDistinctInProbs];
+  std::vector<double> alias_weights;
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto neigh = InNeighbors(v);
+    const auto probs = InProbs(v);
+    const uint32_t deg = static_cast<uint32_t>(neigh.size());
+    if (deg == 0) {
+      seg_offsets_[v + 1] = in_segments_.size();
+      jump_offsets_[v + 1] = jump_in_arcs_.size();
+      lt_alias_offsets_[v + 1] = lt_alias_.size();
+      continue;
+    }
+
+    // Distinct-value census, capped at kMaxDistinctInProbs.
+    uint32_t num_distinct = 0;
+    bool overflow = false;
+    double mass = 0.0;
+    for (uint32_t j = 0; j < deg; ++j) {
+      const float p = probs[j];
+      mass += static_cast<double>(p);
+      uint32_t d = 0;
+      while (d < num_distinct && values[d] != p) ++d;
+      if (d == num_distinct) {
+        if (num_distinct == kMaxDistinctInProbs) {
+          overflow = true;
+          break;
+        }
+        values[num_distinct] = p;
+        counts[num_distinct] = 0;
+        ++num_distinct;
+      }
+      ++counts[d];
+    }
+    if (overflow) {
+      // Re-total the mass for the LT plan (the census loop broke early).
+      mass = 0.0;
+      for (uint32_t j = 0; j < deg; ++j) mass += static_cast<double>(probs[j]);
+    }
+
+    // All-distinct vectors (every edge its own probability, the
+    // uniform-random weighting on low-degree nodes) have no same-p runs to
+    // jump over: grouping them into length-1 segments would only add
+    // dispatch overhead, so they take the general per-edge path too.
+    // General nodes materialize nothing — the kernels run the historical
+    // per-edge loop over the original CSR for them.
+    if (overflow || (num_distinct > 1 && num_distinct == deg)) {
+      in_class_[v] = NodeWeightClass::kGeneral;
+    } else if (num_distinct == 1) {
+      in_class_[v] = NodeWeightClass::kUniform;
+      in_segments_.push_back(
+          ProbSegment{deg, values[0], JumpFactor(deg, values[0]), 0.0});
+    } else {
+      in_class_[v] = NodeWeightClass::kFewDistinct;
+      // Group the in-edges into contiguous same-p runs, descending by
+      // probability (order is statistically irrelevant for independent
+      // trials; descending keeps the near-certain edges in the first
+      // cache lines).
+      uint32_t order[kMaxDistinctInProbs];
+      for (uint32_t d = 0; d < num_distinct; ++d) order[d] = d;
+      std::sort(order, order + num_distinct, [&](uint32_t a, uint32_t b) {
+        return values[a] > values[b];
+      });
+      for (uint32_t oi = 0; oi < num_distinct; ++oi) {
+        const uint32_t d = order[oi];
+        in_segments_.push_back(ProbSegment{
+            counts[d], values[d], JumpFactor(counts[d], values[d]), 0.0});
+        for (uint32_t j = 0; j < deg; ++j) {
+          if (probs[j] == values[d]) {
+            jump_in_arcs_.push_back(InArc{neigh[j], values[d]});
+            jump_in_slots_.push_back(j);
+          }
+        }
+      }
+    }
+
+    // LT pick plan. The closed-form / alias picks select an edge by its
+    // own probability and nullify removed picks afterwards, which matches
+    // the historical skip-removed prefix scan only while no probability
+    // mass is truncated — hence the mass <= 1 (+eps) gate.
+    // An alias pick replaces an O(deg) prefix scan with one draw plus a
+    // table lookup; for short in-lists the scan is already a handful of
+    // float compares in one cache line, so the table only pays off above
+    // this degree.
+    constexpr uint32_t kMinAliasDegree = 8;
+    if (in_class_[v] == NodeWeightClass::kUniform) {
+      const double uniform_mass =
+          static_cast<double>(deg) * static_cast<double>(values[0]);
+      lt_plan_[v] = static_cast<uint8_t>(uniform_mass <= 1.0 + kLtMassEps
+                                             ? LtPickPlan::kUniform
+                                             : LtPickPlan::kPrefix);
+    } else if (mass <= 1.0 + kLtMassEps && deg >= kMinAliasDegree) {
+      lt_plan_[v] = static_cast<uint8_t>(LtPickPlan::kAlias);
+      alias_weights.assign(deg + 1, 0.0);
+      for (uint32_t j = 0; j < deg; ++j) {
+        alias_weights[j] = static_cast<double>(probs[j]);
+      }
+      alias_weights[deg] = std::max(0.0, 1.0 - mass);
+      BuildAliasTable(alias_weights, &lt_alias_);
+    } else {
+      lt_plan_[v] = static_cast<uint8_t>(LtPickPlan::kPrefix);
+    }
+
+    // Suffix any-success probabilities within each maximal run of jump
+    // segments, back to front: run_any_prob of a segment covers the run
+    // from it to the run's end, which is exactly what the scan's remaining
+    // suffix is whenever it sits at a segment boundary.
+    {
+      const size_t seg_begin = seg_offsets_[v];
+      const size_t seg_end = in_segments_.size();
+      double suffix_ln = 0.0;
+      for (size_t i = seg_end; i-- > seg_begin;) {
+        ProbSegment& seg = in_segments_[i];
+        if (seg.log1p_neg == 0.0) {
+          suffix_ln = 0.0;  // run boundary
+          continue;
+        }
+        suffix_ln += static_cast<double>(seg.length) * seg.log1p_neg;
+        seg.run_any_prob = -std::expm1(suffix_ln);
+      }
+    }
+
+    seg_offsets_[v + 1] = in_segments_.size();
+    jump_offsets_[v + 1] = jump_in_arcs_.size();
+    lt_alias_offsets_[v + 1] = lt_alias_.size();
+  }
+}
+
+WeightClassProfile Graph::InWeightClassProfile() const {
+  WeightClassProfile profile;
+  profile.total_edges = num_edges();
+  for (NodeId v = 0; v < n_; ++v) {
+    switch (InWeightClass(v)) {
+      case NodeWeightClass::kEmpty:
+        ++profile.empty_nodes;
+        break;
+      case NodeWeightClass::kUniform:
+        ++profile.uniform_nodes;
+        break;
+      case NodeWeightClass::kFewDistinct:
+        ++profile.few_distinct_nodes;
+        break;
+      case NodeWeightClass::kGeneral:
+        ++profile.general_nodes;
+        break;
+    }
+    // Count what the jump kernel actually avoids paying per-edge draws
+    // for: jump-enabled segments plus the drawless degenerate ones.
+    // Gate-rejected segments run the linear Bernoulli scan and are NOT
+    // jumpable, even on uniform/few-distinct nodes.
+    for (const ProbSegment& seg : InProbSegments(v)) {
+      if (seg.log1p_neg != 0.0 || seg.prob <= 0.0f || seg.prob >= 1.0f) {
+        profile.jumpable_edges += seg.length;
+      }
+    }
+    const LtPickPlan plan = LtInPlan(v);
+    if (plan == LtPickPlan::kUniform || plan == LtPickPlan::kAlias) {
+      ++profile.lt_fast_nodes;
+    }
+  }
+  return profile;
 }
 
 }  // namespace atpm

@@ -20,6 +20,131 @@ struct WeightedEdge {
   float prob = 0.0f;
 };
 
+/// Which low-level edge-sampling kernel the stochastic substrates (RR-set
+/// generation, possible-world sampling) should use.
+enum class SamplingKernel : uint8_t {
+  /// Weight-class-aware fast kernel: one geometric draw skips directly to
+  /// the next successful in-edge on uniform / few-distinct probability
+  /// vectors (weighted cascade, constant-p, trivalency), and the LT reverse
+  /// step is an O(1) pick (closed form for uniform weights, alias table
+  /// otherwise). Statistically equivalent to kPerEdge — identical success
+  /// distributions per edge — but consumes a *different RNG stream*, so
+  /// fixed-seed runs differ sample-by-sample while agreeing in expectation.
+  /// General weight vectors fall back to the per-edge loop (over an
+  /// interleaved (neighbor, prob) layout for cache locality).
+  kGeometricJump,
+  /// The historical kernel: one Bernoulli draw per alive unvisited in-edge
+  /// (IC) and a linear prefix scan (LT). Bit-compatible with pre-kernel
+  /// releases for a fixed seed; keep for reproducing recorded runs.
+  kPerEdge,
+};
+
+/// Human-readable kernel name ("geometric-jump" / "per-edge").
+const char* SamplingKernelName(SamplingKernel kernel);
+
+/// Classification of one node's in-edge probability vector, computed at
+/// graph build / weighting time (RebuildInWeightIndex). The classes are
+/// what make geometric-jump sampling possible: within a run of equal-
+/// probability edges, the index of the next successful edge is geometric,
+/// so one draw replaces one Bernoulli per edge.
+enum class NodeWeightClass : uint8_t {
+  /// In-degree 0 — nothing to sample.
+  kEmpty,
+  /// Every in-edge has the same probability (weighted cascade: p = 1/indeg;
+  /// constant-p). One segment over the reverse CSR in its original order.
+  kUniform,
+  /// At most kMaxDistinctInProbs distinct probabilities (trivalency's
+  /// {0.1, 0.01, 0.001}). The jump view groups the in-edges by probability
+  /// into contiguous same-p segments.
+  kFewDistinct,
+  /// Anything else — the per-edge Bernoulli loop is used (over the
+  /// interleaved jump view for cache locality).
+  kGeneral,
+};
+
+/// Distinct-value cap for NodeWeightClass::kFewDistinct.
+inline constexpr uint32_t kMaxDistinctInProbs = 8;
+
+/// One maximal group of same-probability in-edges in the jump-ordered view
+/// of a node's reverse adjacency.
+struct ProbSegment {
+  /// Number of edges in the segment.
+  uint32_t length = 0;
+  /// Shared activation probability of the segment's edges.
+  float prob = 0.0f;
+  /// Precomputed log1p(-prob) for geometric jumps (negative). 0 when the
+  /// segment should be scanned per-edge instead: the degenerate probs
+  /// {0, 1} (handled without drawing) and segments where the jump gate
+  /// judged the log() not worth it (see JumpFactor in graph.cc).
+  double log1p_neg = 0.0;
+  /// Probability that at least one edge fires in the maximal run of jump
+  /// segments starting here (1 - Π (1-p)^len over the run suffix). Lets
+  /// the scan resolve the common nothing-fires case with one compare and
+  /// no log at all; 0 for non-jump segments (the scan then skips the
+  /// pre-test and pays the log).
+  double run_any_prob = 0.0;
+};
+
+/// Interleaved (neighbor, probability) reverse-CSR slot — one cache stream
+/// instead of two for kernels that touch both fields per edge.
+struct InArc {
+  NodeId src = 0;
+  float prob = 0.0f;
+};
+
+/// How the LT reverse step should pick a node's (at most one) in-neighbor.
+enum class LtPickPlan : uint8_t {
+  /// In-degree 0: no pick, no draw.
+  kNone,
+  /// Uniform in-probs with indeg * p <= 1 (+eps): closed-form O(1) pick
+  /// j = floor(r / p) from one uniform draw.
+  kUniform,
+  /// Non-uniform probs summing to <= 1 (+eps) on a long enough in-list:
+  /// Walker/Vose alias table over indeg + 1 outcomes (the extra outcome is
+  /// "no pick"), one draw.
+  kAlias,
+  /// The linear prefix scan — either because the probability mass exceeds
+  /// 1 (the scan's prefix truncation is then semantically significant), or
+  /// because the in-list is too short for an alias table to beat a few
+  /// in-cache float compares.
+  kPrefix,
+};
+
+/// One alias-table slot (Vose). A pick draws x in [0, outcomes), splits it
+/// into slot i = floor(x) and fraction f = x - i, and resolves to i if
+/// f < threshold, else to alias.
+struct LtAliasSlot {
+  double threshold = 0.0;
+  uint32_t alias = 0;
+};
+
+/// Aggregate weight-class census of a graph's reverse CSR — what fraction
+/// of the edge mass the geometric-jump kernel can actually accelerate.
+/// Exposed to the diffusion oracles and the bench layer via
+/// Graph::InWeightClassProfile().
+struct WeightClassProfile {
+  NodeId empty_nodes = 0;
+  NodeId uniform_nodes = 0;
+  NodeId few_distinct_nodes = 0;
+  NodeId general_nodes = 0;
+  /// Edges the jump kernel samples without per-edge draws: jump-enabled
+  /// segments plus the drawless degenerate (p in {0, 1}) ones. Edges of
+  /// gate-rejected segments (short / high-probability runs that keep the
+  /// linear Bernoulli scan even on uniform / few-distinct nodes) and of
+  /// kGeneral nodes are excluded.
+  uint64_t jumpable_edges = 0;
+  uint64_t total_edges = 0;
+  /// Nodes whose LT reverse pick is O(1) (kUniform or kAlias plan).
+  NodeId lt_fast_nodes = 0;
+
+  double JumpableEdgeFraction() const {
+    return total_edges == 0
+               ? 1.0
+               : static_cast<double>(jumpable_edges) /
+                     static_cast<double>(total_edges);
+  }
+};
+
 /// Immutable probabilistic digraph in CSR form, with both forward (out) and
 /// reverse (in) adjacency. The reverse view exists because reverse influence
 /// sampling traverses incoming edges; keeping both directions materialized
@@ -101,8 +226,10 @@ class Graph {
   }
 
   /// Replaces every arc probability using `prob_fn(src, dst)`. Both the
-  /// forward and reverse views are updated consistently. Used by the
-  /// weighting module; see weighting.h for the standard schemes.
+  /// forward and reverse views are updated consistently, and the weight-
+  /// class index is rebuilt so the jump kernels always see fresh
+  /// classifications. Used by the weighting module; see weighting.h for the
+  /// standard schemes.
   template <typename ProbFn>
   void AssignProbabilities(ProbFn prob_fn) {
     for (NodeId u = 0; u < n_; ++u) {
@@ -119,7 +246,74 @@ class Graph {
             static_cast<float>(prob_fn(neigh[j], v));
       }
     }
+    RebuildInWeightIndex();
   }
+
+  // ---- Weight-class index over the reverse CSR (the geometric-jump
+  // substrate). Built by GraphBuilder::Build and AssignProbabilities; all
+  // accessors are valid on any constructed graph.
+
+  /// Classification of v's in-edge probability vector.
+  NodeWeightClass InWeightClass(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return in_class_[v];
+  }
+
+  /// Same-probability segments of v's jump-ordered in-edge view. One
+  /// segment for kUniform (the original CSR order), up to
+  /// kMaxDistinctInProbs for kFewDistinct (grouped by descending
+  /// probability), empty for kEmpty / kGeneral.
+  std::span<const ProbSegment> InProbSegments(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return {in_segments_.data() + seg_offsets_[v],
+            static_cast<size_t>(seg_offsets_[v + 1] - seg_offsets_[v])};
+  }
+
+  /// Interleaved (neighbor, prob) in-edge view of v, grouped into
+  /// contiguous same-probability runs — one cache stream for the segment
+  /// jumps. Non-empty exactly for kFewDistinct nodes: kUniform kernels
+  /// read InNeighbors directly (no reorder needed, per-edge probabilities
+  /// redundant), and kEmpty / kGeneral nodes materialize nothing (the
+  /// general per-edge fallback walks the original CSR).
+  std::span<const InArc> JumpInArcs(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return {jump_in_arcs_.data() + jump_offsets_[v],
+            static_cast<size_t>(jump_offsets_[v + 1] - jump_offsets_[v])};
+  }
+
+  /// Original reverse-CSR slot of each JumpInArcs entry (same extent):
+  /// JumpInArcs(v)[i] is the in-edge at InNeighbors(v)[JumpInSlots(v)[i]].
+  /// Lets jump-ordered traversals address per-edge state keyed on the
+  /// original layout, e.g. live-edge bitmaps via InEdgeIndex.
+  std::span<const uint32_t> JumpInSlots(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return {jump_in_slots_.data() + jump_offsets_[v],
+            static_cast<size_t>(jump_offsets_[v + 1] - jump_offsets_[v])};
+  }
+
+  /// The O(1)-pick plan for v's LT reverse step.
+  LtPickPlan LtInPlan(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return static_cast<LtPickPlan>(lt_plan_[v]);
+  }
+
+  /// Alias slots of v (indeg + 1 outcomes; the last one means "no pick").
+  /// Non-empty exactly for LtPickPlan::kAlias nodes.
+  std::span<const LtAliasSlot> LtAliasSlots(NodeId v) const {
+    ATPM_DCHECK(v < n_);
+    return {lt_alias_.data() + lt_alias_offsets_[v],
+            static_cast<size_t>(lt_alias_offsets_[v + 1] -
+                                lt_alias_offsets_[v])};
+  }
+
+  /// Census of the weight classes (O(n) scan; cheap relative to any
+  /// sampling workload — callers that log it per decision should cache).
+  WeightClassProfile InWeightClassProfile() const;
+
+  /// Recomputes the weight-class index from the current in-edge
+  /// probabilities. Public for callers that mutate probabilities outside
+  /// AssignProbabilities; idempotent.
+  void RebuildInWeightIndex();
 
  private:
   friend class GraphBuilder;
@@ -135,6 +329,19 @@ class Graph {
   std::vector<float> in_prob_;
   // Forward edge index of each reverse slot (for InEdgeIndex).
   std::vector<uint64_t> in_edge_index_;
+
+  // Weight-class index (see RebuildInWeightIndex). seg/jump/alias arrays
+  // are CSR-addressed per node; nodes that need no entry have zero-length
+  // ranges, so the arrays stay proportional to what the kernels use.
+  std::vector<NodeWeightClass> in_class_;
+  std::vector<uint64_t> seg_offsets_{0};
+  std::vector<ProbSegment> in_segments_;
+  std::vector<uint64_t> jump_offsets_{0};
+  std::vector<InArc> jump_in_arcs_;
+  std::vector<uint32_t> jump_in_slots_;
+  std::vector<uint8_t> lt_plan_;
+  std::vector<uint64_t> lt_alias_offsets_{0};
+  std::vector<LtAliasSlot> lt_alias_;
 };
 
 }  // namespace atpm

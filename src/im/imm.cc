@@ -17,6 +17,7 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
   SamplingEngineOptions engine_options;
   engine_options.backend = options.engine;
   engine_options.num_threads = options.num_threads;
+  engine_options.kernel = options.kernel;
   std::unique_ptr<SamplingEngine> engine = CreateSamplingEngine(
       graph, DiffusionModel::kIndependentCascade, engine_options);
   return RunImm(graph, k, options, engine.get());

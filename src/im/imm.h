@@ -25,6 +25,9 @@ struct ImmOptions {
   SamplingBackend engine = SamplingBackend::kAuto;
   /// Worker threads for the parallel backend (0 = hardware concurrency).
   uint32_t num_threads = 1;
+  /// RR-generation kernel (geometric jumps by default; kPerEdge for
+  /// bit-compat reruns of recorded seeds).
+  SamplingKernel kernel = SamplingKernel::kGeometricJump;
 };
 
 /// Output of RunImm.

@@ -1,46 +1,85 @@
 #include "rris/rr_set.h"
 
-#include "rris/sampling_engine.h"
+#include <cmath>
+
+#include "graph/geometric_scan.h"
 
 namespace atpm {
 
-RRSetGenerator::RRSetGenerator(const Graph& graph, DiffusionModel model)
-    : graph_(&graph), model_(model), visited_(graph.num_nodes()) {}
+RRSetGenerator::RRSetGenerator(const Graph& graph, DiffusionModel model,
+                               SamplingKernel kernel)
+    : graph_(&graph),
+      model_(model),
+      kernel_(kernel),
+      visited_(graph.num_nodes()) {}
+
+void RRSetGenerator::RebuildAliveCache(const BitVector* removed,
+                                       uint32_t num_alive) {
+  alive_cache_.clear();
+  alive_cache_.reserve(num_alive);
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (!removed->Test(v)) alive_cache_.push_back(v);
+  }
+  // The historical linear scan tolerated num_alive below the true alive
+  // count (it indexed the first num_alive alive nodes), so the cache only
+  // requires "at least num_alive alive" to reproduce it.
+  ATPM_CHECK(alive_cache_.size() >= num_alive);
+  alive_cache_removed_ = removed;
+  alive_cache_num_alive_ = num_alive;
+  alive_cache_valid_ = true;
+}
 
 NodeId RRSetGenerator::SampleAliveRoot(const BitVector* removed,
-                                       uint32_t num_alive, Rng* rng) {
+                                       uint32_t num_alive, Rng* rng,
+                                       uint64_t* draws) {
   const NodeId n = graph_->num_nodes();
   ATPM_CHECK_GT(num_alive, 0u);
   if (removed == nullptr) {
+    ++*draws;
     return static_cast<NodeId>(rng->UniformInt(n));
   }
   // Rejection sampling; the alive fraction stays high in practice (adaptive
   // seeding removes a small part of the graph), so a handful of trials
-  // suffice. Fall back to a linear scan for heavily depleted graphs.
+  // suffice.
   const uint32_t kMaxRejections = 64;
   for (uint32_t t = 0; t < kMaxRejections; ++t) {
+    ++*draws;
     const NodeId v = static_cast<NodeId>(rng->UniformInt(n));
     if (!removed->Test(v)) return v;
   }
-  uint64_t target = rng->UniformInt(num_alive);
-  for (NodeId v = 0; v < n; ++v) {
-    if (!removed->Test(v)) {
-      if (target == 0) return v;
-      --target;
-    }
+  // Heavily depleted graph (alive fraction ≲ 2^-6): draw the target-th
+  // alive node from a cached alive list instead of re-scanning O(n) per
+  // draw, which went quadratic in counting loops on heavily seeded
+  // instances. Same single UniformInt consumption and same selected node
+  // as the historical scan, so the RNG stream and results are unchanged.
+  // The cache lives within ONE public kernel call (Generate /
+  // CountCoveringBatch invalidate it on entry, and the generator is not
+  // re-entrant, so the bitmap cannot change while it is live) — a
+  // counting loop's θ draws share one O(n) build, and no bitmap
+  // reallocated at a recycled address can ever serve a stale list.
+  if (!alive_cache_valid_ || alive_cache_removed_ != removed ||
+      alive_cache_num_alive_ != num_alive) {
+    RebuildAliveCache(removed, num_alive);
   }
-  ATPM_CHECK(false);  // num_alive inconsistent with `removed`
-  return 0;
+  ++*draws;
+  const uint64_t target = rng->UniformInt(num_alive);
+  const NodeId v = alive_cache_[target];
+  // A failure here means the caller mutated `removed` mid-call, violating
+  // the generator's non-reentrancy contract.
+  ATPM_CHECK(!removed->Test(v));
+  return v;
 }
 
 namespace {
 
-// LT reverse step: node v keeps at most one alive in-neighbor, in-edge j
-// with probability InProbs(v)[j] (edges from removed nodes do not exist,
-// their mass falls into "no pick"). Returns the picked neighbor or
-// n (= none).
-NodeId PickLtInNeighbor(const Graph& g, NodeId v, const BitVector* removed,
-                        Rng* rng) {
+// LT reverse step, historical kernel: node v keeps at most one alive
+// in-neighbor, in-edge j with probability InProbs(v)[j] (edges from removed
+// nodes do not exist, their mass falls into "no pick"). Returns the picked
+// neighbor or n (= none). Consumes exactly one uniform draw (counted by the
+// caller).
+NodeId PickLtPrefix(const Graph& g, NodeId v, const BitVector* removed,
+                    Rng* rng) {
   const auto neigh = g.InNeighbors(v);
   const auto probs = g.InProbs(v);
   double r = rng->UniformDouble();
@@ -52,6 +91,78 @@ NodeId PickLtInNeighbor(const Graph& g, NodeId v, const BitVector* removed,
   return g.num_nodes();
 }
 
+// LT reverse step, jump kernel: O(1) pick per the node's LtPickPlan. Picks
+// an in-edge by its own probability and nullifies removed picks afterwards
+// — the same distribution as the skip-removed prefix scan whenever no
+// probability mass is truncated, which the plan gate guarantees (mass > 1
+// nodes keep the prefix scan).
+NodeId PickLtFast(const Graph& g, NodeId v, const BitVector* removed,
+                  Rng* rng, uint64_t* draws) {
+  const NodeId n = g.num_nodes();
+  switch (g.LtInPlan(v)) {
+    case LtPickPlan::kNone:
+      return n;
+    case LtPickPlan::kUniform: {
+      const ProbSegment seg = g.InProbSegments(v)[0];
+      const double p = static_cast<double>(seg.prob);
+      if (p <= 0.0) return n;  // zero mass: no pick, no draw
+      ++*draws;
+      const double r = rng->UniformDouble();
+      const double j = r / p;
+      if (j >= static_cast<double>(seg.length)) return n;
+      const NodeId u = g.InNeighbors(v)[static_cast<uint32_t>(j)];
+      return (removed != nullptr && removed->Test(u)) ? n : u;
+    }
+    case LtPickPlan::kAlias: {
+      const auto slots = g.LtAliasSlots(v);
+      ++*draws;
+      const double x =
+          rng->UniformDouble() * static_cast<double>(slots.size());
+      uint32_t i = static_cast<uint32_t>(x);
+      if (i >= slots.size()) i = static_cast<uint32_t>(slots.size()) - 1;
+      if (x - static_cast<double>(i) >= slots[i].threshold) {
+        i = slots[i].alias;
+      }
+      if (i + 1 >= slots.size()) return n;  // the "no pick" outcome
+      const NodeId u = g.InNeighbors(v)[i];
+      return (removed != nullptr && removed->Test(u)) ? n : u;
+    }
+    case LtPickPlan::kPrefix:
+      ++*draws;
+      return PickLtPrefix(g, v, removed, rng);
+  }
+  return n;
+}
+
+// Expands a jump-class node's in-edges, calling visit(u) for every
+// successful in-neighbor u. The jump classes draw first and let visit
+// discard dead (visited/removed) successes, which is
+// distribution-identical to skip-then-draw for independent trials.
+// kGeneral nodes are NOT handled here: callers route them through the
+// historical per-edge loop, which is already the tuned fallback (and
+// skips dead endpoints before drawing). Returns false iff visit aborted.
+template <typename Visit>
+bool ExpandIcJump(const Graph& g, NodeId v, Rng* rng, uint64_t* draws,
+                  Visit&& visit) {
+  if (g.InWeightClass(v) == NodeWeightClass::kFewDistinct) {
+    const auto arcs = g.JumpInArcs(v);
+    return GeometricSegmentScan(
+        g.InProbSegments(v), rng, draws,
+        [&](uint32_t j) { return visit(arcs[j].src); });
+  }
+  const auto neigh = g.InNeighbors(v);
+  return GeometricSegmentScan(g.InProbSegments(v), rng, draws,
+                              [&](uint32_t j) { return visit(neigh[j]); });
+}
+
+// True iff the jump kernel has a fast path for v's class (kEmpty expands
+// to nothing either way; kGeneral keeps the per-edge loop).
+bool HasJumpPath(const Graph& g, NodeId v) {
+  const NodeWeightClass cls = g.InWeightClass(v);
+  return cls == NodeWeightClass::kUniform ||
+         cls == NodeWeightClass::kFewDistinct;
+}
+
 }  // namespace
 
 uint64_t RRSetGenerator::Generate(const BitVector* removed, uint32_t num_alive,
@@ -59,21 +170,43 @@ uint64_t RRSetGenerator::Generate(const BitVector* removed, uint32_t num_alive,
   out->clear();
   const Graph& g = *graph_;
   visited_.NextEpoch();
+  alive_cache_valid_ = false;  // the residual graph may have moved on
+  uint64_t draws = 0;
 
-  const NodeId root = SampleAliveRoot(removed, num_alive, rng);
+  const NodeId root = SampleAliveRoot(removed, num_alive, rng, &draws);
   visited_.Mark(root);
   out->push_back(root);
 
+  const bool jump = kernel_ == SamplingKernel::kGeometricJump;
   uint64_t edges_examined = 0;
+  const auto dead = [&](NodeId u) {
+    return visited_.IsMarked(u) ||
+           (removed != nullptr && removed->Test(u));
+  };
+  const auto admit = [&](NodeId u) {
+    if (!dead(u)) {
+      visited_.Mark(u);
+      out->push_back(u);
+    }
+    return true;
+  };
   for (size_t head = 0; head < out->size(); ++head) {
     const NodeId v = (*out)[head];
     if (model_ == DiffusionModel::kLinearThreshold) {
       edges_examined += g.InDegree(v);
-      const NodeId u = PickLtInNeighbor(g, v, removed, rng);
-      if (u < g.num_nodes() && !visited_.IsMarked(u)) {
-        visited_.Mark(u);
-        out->push_back(u);
+      NodeId u;
+      if (jump) {
+        u = PickLtFast(g, v, removed, rng, &draws);
+      } else {
+        ++draws;
+        u = PickLtPrefix(g, v, removed, rng);
       }
+      if (u < g.num_nodes()) admit(u);
+      continue;
+    }
+    if (jump && HasJumpPath(g, v)) {
+      edges_examined += g.InDegree(v);
+      ExpandIcJump(g, v, rng, &draws, admit);
       continue;
     }
     const auto neigh = g.InNeighbors(v);
@@ -83,11 +216,13 @@ uint64_t RRSetGenerator::Generate(const BitVector* removed, uint32_t num_alive,
       const NodeId u = neigh[j];
       if (visited_.IsMarked(u)) continue;
       if (removed != nullptr && removed->Test(u)) continue;
+      ++draws;
       if (!rng->Bernoulli(probs[j])) continue;
       visited_.Mark(u);
       out->push_back(u);
     }
   }
+  rng_draws_ += draws;
   return edges_examined;
 }
 
@@ -112,14 +247,42 @@ uint64_t RRSetGenerator::CountCoveringBatch(
   query_found_.resize(num_queries);
   uint8_t* dead = query_dead_.data();
   uint8_t* found = query_found_.data();
+  alive_cache_valid_ = false;  // the residual graph may have moved on
+  const bool jump = kernel_ == SamplingKernel::kGeometricJump;
   uint64_t edges_examined = 0;
+  uint64_t draws = 0;
+  size_t live = 0;
+
+  // Shared per-success handling for every kernel path: dead endpoints are
+  // ignored, base hits disqualify queries (aborting once all are dead),
+  // survivors are marked, enqueued, and matched against the query seeds.
+  const auto skip = [&](NodeId w) {
+    return visited_.IsMarked(w) ||
+           (removed != nullptr && removed->Test(w));
+  };
+  const auto process = [&](NodeId w) -> bool {
+    if (skip(w)) return true;
+    for (size_t q = 0; q < num_queries; ++q) {
+      if (!dead[q] && queries[q].base != nullptr && queries[q].base->Test(w)) {
+        dead[q] = 1;
+        --live;
+      }
+    }
+    if (live == 0) return false;  // the set is dead for every query: abort
+    visited_.Mark(w);
+    scratch_.push_back(w);
+    for (size_t q = 0; q < num_queries; ++q) {
+      if (!dead[q] && w == queries[q].node) found[q] = 1;
+    }
+    return true;
+  };
 
   for (uint64_t t = 0; t < theta; ++t) {
     visited_.NextEpoch();
     scratch_.clear();
 
-    const NodeId root = SampleAliveRoot(removed, num_alive, rng);
-    size_t live = num_queries;
+    const NodeId root = SampleAliveRoot(removed, num_alive, rng, &draws);
+    live = num_queries;
     for (size_t q = 0; q < num_queries; ++q) {
       const CoverageQuery& query = queries[q];
       const bool disqualified =
@@ -137,72 +300,45 @@ uint64_t RRSetGenerator::CountCoveringBatch(
       const NodeId v = scratch_[head];
       if (model_ == DiffusionModel::kLinearThreshold) {
         edges_examined += g.InDegree(v);
-        const NodeId w = PickLtInNeighbor(g, v, removed, rng);
-        if (w >= g.num_nodes() || visited_.IsMarked(w)) continue;
-        for (size_t q = 0; q < num_queries; ++q) {
-          if (!dead[q] && queries[q].base != nullptr &&
-              queries[q].base->Test(w)) {
-            dead[q] = 1;
-            --live;
-          }
+        NodeId w;
+        if (jump) {
+          w = PickLtFast(g, v, removed, rng, &draws);
+        } else {
+          ++draws;
+          w = PickLtPrefix(g, v, removed, rng);
         }
-        if (live == 0) break;  // the set is dead for every query: abort
-        visited_.Mark(w);
-        scratch_.push_back(w);
-        for (size_t q = 0; q < num_queries; ++q) {
-          if (!dead[q] && w == queries[q].node) found[q] = 1;
-        }
+        if (w >= g.num_nodes()) continue;
+        if (!process(w)) break;
+        continue;
+      }
+      if (jump && HasJumpPath(g, v)) {
+        edges_examined += g.InDegree(v);
+        if (!ExpandIcJump(g, v, rng, &draws, process)) break;
         continue;
       }
       const auto neigh = g.InNeighbors(v);
       const auto probs = g.InProbs(v);
       edges_examined += neigh.size();
+      bool abort = false;
       for (uint32_t j = 0; j < neigh.size(); ++j) {
         const NodeId w = neigh[j];
         if (visited_.IsMarked(w)) continue;
         if (removed != nullptr && removed->Test(w)) continue;
+        ++draws;
         if (!rng->Bernoulli(probs[j])) continue;
-        for (size_t q = 0; q < num_queries; ++q) {
-          if (!dead[q] && queries[q].base != nullptr &&
-              queries[q].base->Test(w)) {
-            dead[q] = 1;
-            --live;
-          }
-        }
-        if (live == 0) break;
-        visited_.Mark(w);
-        scratch_.push_back(w);
-        for (size_t q = 0; q < num_queries; ++q) {
-          if (!dead[q] && w == queries[q].node) found[q] = 1;
+        if (!process(w)) {
+          abort = true;
+          break;
         }
       }
-      if (live == 0) break;
+      if (abort) break;
     }
     for (size_t q = 0; q < num_queries; ++q) {
       if (found[q] && !dead[q]) ++hits[q];
     }
   }
+  rng_draws_ += draws;
   return edges_examined;
-}
-
-uint64_t ParallelCountCovering(const Graph& graph, const BitVector* removed,
-                               uint32_t num_alive, uint64_t theta, NodeId u,
-                               const BitVector* base, uint64_t seed,
-                               uint32_t num_threads, DiffusionModel model) {
-  // Keep this guard equal to the engine's default min_parallel_batch: it
-  // ensures the engine constructed below (one ephemeral worker pool per
-  // call, matching the historical cost of this wrapper) never immediately
-  // falls back to its inline serial path.
-  constexpr uint64_t kMinParallelTheta = 4096;
-  if (num_threads <= 1 || theta < kMinParallelTheta) {
-    RRSetGenerator generator(graph, model);
-    Rng rng(seed);
-    return generator.CountCovering(removed, num_alive, theta, u, base, &rng);
-  }
-  ParallelSamplingEngine engine(graph, model, num_threads,
-                                kMinParallelTheta);
-  return engine.CountConditionalCoverageSeeded(u, base, removed, num_alive,
-                                               theta, seed);
 }
 
 }  // namespace atpm

@@ -19,13 +19,17 @@ const char* SamplingBackendName(SamplingBackend backend) {
 // ------------------------------------------------------------------ serial
 
 SerialSamplingEngine::SerialSamplingEngine(const Graph& graph,
-                                           DiffusionModel model)
-    : model_(model), generator_(graph, model), pool_(graph.num_nodes()) {}
+                                           DiffusionModel model,
+                                           SamplingKernel kernel)
+    : model_(model),
+      generator_(graph, model, kernel),
+      pool_(graph.num_nodes()) {}
 
 RRCollection& SerialSamplingEngine::GeneratePool(const BitVector* removed,
                                                  uint32_t num_alive,
                                                  uint64_t count, Rng* rng) {
   uint64_t edges = 0;
+  const uint64_t draws_before = generator_.rng_draws();
   for (uint64_t i = 0; i < count; ++i) {
     edges += generator_.Generate(removed, num_alive, rng, &buffer_);
     pool_.AddSet(buffer_);
@@ -33,6 +37,7 @@ RRCollection& SerialSamplingEngine::GeneratePool(const BitVector* removed,
   edges_examined_ += edges;
   stats_.rr_sets_generated += count;
   stats_.edges_examined += edges;
+  stats_.rng_draws += generator_.rng_draws() - draws_before;
   return pool_;
 }
 
@@ -43,8 +48,10 @@ void SerialSamplingEngine::CountCoverageBatchSeeded(CoverageQueryBatch* batch,
                                                     uint64_t seed) {
   if (batch->empty()) return;
   Rng rng(seed);
+  const uint64_t draws_before = generator_.rng_draws();
   stats_.edges_examined += generator_.CountCoveringBatch(
       removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng);
+  stats_.rng_draws += generator_.rng_draws() - draws_before;
   stats_.rr_sets_generated += theta;
   stats_.count_pools += 1;
   stats_.coverage_queries += batch->size();
@@ -60,18 +67,19 @@ void SerialSamplingEngine::ResetPool() {
 ParallelSamplingEngine::ParallelSamplingEngine(const Graph& graph,
                                                DiffusionModel model,
                                                uint32_t num_threads,
-                                               uint64_t min_parallel_batch)
+                                               uint64_t min_parallel_batch,
+                                               SamplingKernel kernel)
     : graph_(&graph),
       model_(model),
       min_parallel_batch_(min_parallel_batch),
       pool_(graph.num_nodes()),
-      inline_generator_(graph, model) {
+      inline_generator_(graph, model, kernel) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.resize(num_threads);
   for (Worker& worker : workers_) {
-    worker.generator = std::make_unique<RRSetGenerator>(graph, model);
+    worker.generator = std::make_unique<RRSetGenerator>(graph, model, kernel);
   }
   threads_.reserve(num_threads);
   for (uint32_t w = 0; w < num_threads; ++w) {
@@ -141,6 +149,7 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
   if (workers_.size() <= 1 || count < min_parallel_batch_) {
     Rng local(base_seed);
     uint64_t edges = 0;
+    const uint64_t draws_before = inline_generator_.rng_draws();
     for (uint64_t i = 0; i < count; ++i) {
       edges += inline_generator_.Generate(removed, num_alive, &local,
                                           &buffer_);
@@ -149,6 +158,7 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
     edges_examined_ += edges;
     stats_.rr_sets_generated += count;
     stats_.edges_examined += edges;
+    stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
     return pool_;
   }
 
@@ -158,6 +168,7 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
     worker.shard_nodes.clear();
     worker.shard_sizes.clear();
     worker.edges_result = 0;
+    const uint64_t draws_before = worker.generator->rng_draws();
     Rng local(SplitSeed(base_seed, w));
     std::vector<NodeId>& buffer = worker.rr_buffer;
     for (uint64_t i = 0; i < worker.quota; ++i) {
@@ -167,6 +178,7 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
                                 buffer.end());
       worker.shard_sizes.push_back(static_cast<uint32_t>(buffer.size()));
     }
+    worker.draws_result = worker.generator->rng_draws() - draws_before;
   });
 
   // Merge in worker order: deterministic layout, and the EPT accounting
@@ -175,6 +187,7 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
   for (Worker& worker : workers_) {
     pool_.AppendShard(worker.shard_nodes, worker.shard_sizes);
     edges += worker.edges_result;
+    stats_.rng_draws += worker.draws_result;
   }
   edges_examined_ += edges;
   stats_.rr_sets_generated += count;
@@ -193,8 +206,10 @@ void ParallelSamplingEngine::CountCoverageBatchSeeded(
 
   if (workers_.size() <= 1 || theta < min_parallel_batch_) {
     Rng rng(seed);
+    const uint64_t draws_before = inline_generator_.rng_draws();
     stats_.edges_examined += inline_generator_.CountCoveringBatch(
         removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng);
+    stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
     return;
   }
 
@@ -204,10 +219,12 @@ void ParallelSamplingEngine::CountCoverageBatchSeeded(
     // Size-only adjustment: CountCoveringBatch zeroes the counters itself,
     // so re-zeroing here (the old `assign`) would touch every entry twice.
     worker.hit_shard.resize(num_queries);
+    const uint64_t draws_before = worker.generator->rng_draws();
     Rng local(SplitSeed(seed, w));
     worker.edges_result = worker.generator->CountCoveringBatch(
         removed, num_alive, worker.quota, batch->queries(),
         worker.hit_shard.data(), &local);
+    worker.draws_result = worker.generator->rng_draws() - draws_before;
   });
 
   // Deterministic merge: per-worker counter shards summed in worker order.
@@ -216,6 +233,7 @@ void ParallelSamplingEngine::CountCoverageBatchSeeded(
   for (const Worker& worker : workers_) {
     for (size_t q = 0; q < num_queries; ++q) hits[q] += worker.hit_shard[q];
     stats_.edges_examined += worker.edges_result;
+    stats_.rng_draws += worker.draws_result;
   }
 }
 
@@ -246,9 +264,9 @@ std::unique_ptr<SamplingEngine> CreateSamplingEngine(
   }
   if (backend == SamplingBackend::kParallel) {
     return std::make_unique<ParallelSamplingEngine>(
-        graph, model, threads, options.min_parallel_batch);
+        graph, model, threads, options.min_parallel_batch, options.kernel);
   }
-  return std::make_unique<SerialSamplingEngine>(graph, model);
+  return std::make_unique<SerialSamplingEngine>(graph, model, options.kernel);
 }
 
 SamplingEngine* SamplingEngineHandle::Get(const Graph& graph,
@@ -267,7 +285,8 @@ SamplingEngine* SamplingEngineHandle::Get(const Graph& graph,
       owned_->model() == model &&
       owned_options_.backend == options.backend &&
       owned_options_.num_threads == options.num_threads &&
-      owned_options_.min_parallel_batch == options.min_parallel_batch;
+      owned_options_.min_parallel_batch == options.min_parallel_batch &&
+      owned_options_.kernel == options.kernel;
   if (!reusable) {
     owned_ = CreateSamplingEngine(graph, model, options);
     owned_options_ = options;

@@ -42,6 +42,10 @@ struct SamplingEngineOptions {
   /// parallel backend — fan-out overhead dominates tiny jobs, and the
   /// adaptive policies issue plenty of them early in the error schedule.
   uint64_t min_parallel_batch = 4096;
+  /// RR-generation kernel of every generator the engine owns (see
+  /// SamplingKernel in graph/graph.h): geometric jumps where the weight
+  /// classes allow by default, kPerEdge for bit-compat reruns.
+  SamplingKernel kernel = SamplingKernel::kGeometricJump;
 };
 
 /// Sampling knobs shared by every RIS-driven decision loop (ADDATP, HATP,
@@ -75,12 +79,18 @@ struct SamplingOptions {
   /// default) disables speculation and is bit-identical to plain batched
   /// rounds for a fixed seed. Requires batched_rounds; ignored otherwise.
   uint32_t lookahead_window = 0;
+  /// RR-generation kernel. The default geometric-jump kernel is
+  /// statistically equivalent to the historical per-edge loop but consumes
+  /// a different RNG stream; set kPerEdge to reproduce pre-kernel decision
+  /// sequences bit for bit for a fixed seed.
+  SamplingKernel kernel = SamplingKernel::kGeometricJump;
 
   /// Engine-construction view of these knobs.
   SamplingEngineOptions EngineOptions() const {
     SamplingEngineOptions engine_options;
     engine_options.backend = engine;
     engine_options.num_threads = num_threads;
+    engine_options.kernel = kernel;
     return engine_options;
   }
 };
@@ -102,12 +112,25 @@ struct SamplingStats {
   /// historical one-pool-per-query sampling, 2.0 for batched front/rear
   /// rounds).
   uint64_t coverage_queries = 0;
+  /// RNG draws consumed by the generation kernels (root sampling + edge
+  /// trials + LT picks). The per-edge kernel pays ~1 draw per alive
+  /// unvisited edge; the geometric-jump kernel ~1 per successful edge —
+  /// rng_draws / edges_examined is the headline reduction of the
+  /// weight-class-aware kernel.
+  uint64_t rng_draws = 0;
 
   /// Queries answered per throwaway pool (0 if no counting ran).
   double ReuseRatio() const {
     return count_pools == 0 ? 0.0
                             : static_cast<double>(coverage_queries) /
                                   static_cast<double>(count_pools);
+  }
+
+  /// RNG draws per edge examined (0 if nothing ran).
+  double DrawsPerEdge() const {
+    return edges_examined == 0 ? 0.0
+                               : static_cast<double>(rng_draws) /
+                                     static_cast<double>(edges_examined);
   }
 };
 
@@ -203,6 +226,8 @@ class SamplingEngine {
   virtual const Graph& graph() const = 0;
   /// The bound diffusion model.
   virtual DiffusionModel model() const = 0;
+  /// The RR-generation kernel of the engine's generators.
+  virtual SamplingKernel kernel() const = 0;
   /// Worker count (1 for the serial backend).
   virtual uint32_t num_workers() const = 0;
   /// Backend identifier for logs and benchmarks.
@@ -218,14 +243,15 @@ class SamplingEngine {
 };
 
 /// Single-threaded backend: a persistent RRSetGenerator driven by the
-/// caller's Rng. For a fixed seed this reproduces the pre-engine code paths
-/// (raw generator + RRCollection::Generate / ParallelCountCovering with one
-/// thread) bit for bit.
+/// caller's Rng. For a fixed (seed, kernel) pair this reproduces the raw
+/// generator code paths (RRCollection::Generate / CountCoveringBatch with
+/// the stream Rng(seed)) bit for bit.
 class SerialSamplingEngine final : public SamplingEngine {
  public:
   explicit SerialSamplingEngine(
       const Graph& graph,
-      DiffusionModel model = DiffusionModel::kIndependentCascade);
+      DiffusionModel model = DiffusionModel::kIndependentCascade,
+      SamplingKernel kernel = SamplingKernel::kGeometricJump);
 
   RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
                              uint64_t count, Rng* rng) override;
@@ -238,6 +264,7 @@ class SerialSamplingEngine final : public SamplingEngine {
   uint64_t total_edges_examined() const override { return edges_examined_; }
   const Graph& graph() const override { return generator_.graph(); }
   DiffusionModel model() const override { return model_; }
+  SamplingKernel kernel() const override { return generator_.kernel(); }
   uint32_t num_workers() const override { return 1; }
   std::string_view name() const override { return "serial"; }
 
@@ -267,7 +294,8 @@ class ParallelSamplingEngine final : public SamplingEngine {
   explicit ParallelSamplingEngine(
       const Graph& graph,
       DiffusionModel model = DiffusionModel::kIndependentCascade,
-      uint32_t num_threads = 0, uint64_t min_parallel_batch = 4096);
+      uint32_t num_threads = 0, uint64_t min_parallel_batch = 4096,
+      SamplingKernel kernel = SamplingKernel::kGeometricJump);
   ~ParallelSamplingEngine() override;
 
   ParallelSamplingEngine(const ParallelSamplingEngine&) = delete;
@@ -284,6 +312,9 @@ class ParallelSamplingEngine final : public SamplingEngine {
   uint64_t total_edges_examined() const override { return edges_examined_; }
   const Graph& graph() const override { return *graph_; }
   DiffusionModel model() const override { return model_; }
+  SamplingKernel kernel() const override {
+    return inline_generator_.kernel();
+  }
   uint32_t num_workers() const override {
     return static_cast<uint32_t>(workers_.size());
   }
@@ -297,6 +328,10 @@ class ParallelSamplingEngine final : public SamplingEngine {
     /// Per-query hit counters of the current batch job (counter shard).
     std::vector<uint64_t> hit_shard;
     uint64_t edges_result = 0;
+    /// RNG draws consumed by this worker's generator during the current
+    /// job (delta of RRSetGenerator::rng_draws), merged into
+    /// SamplingStats::rng_draws after the barrier.
+    uint64_t draws_result = 0;
     std::vector<NodeId> shard_nodes;
     std::vector<uint32_t> shard_sizes;
     /// Scratch for one RR set during pool generation (persists across jobs

@@ -339,6 +339,11 @@ PolicyRuns RunBothModes(const Graph& g, const ProfitProblem& problem,
   PolicyRuns runs;
   for (int mode = 0; mode < 2; ++mode) {
     options.sampling.engine = SamplingBackend::kSerial;
+    // Batched-vs-unbatched decision equality relies on every decision of
+    // the pinned instance being clear-cut; the instances were calibrated
+    // under the historical per-edge stream, so pin the kernel (kernel
+    // equivalence has its own suite in rr_kernel_test.cc).
+    options.sampling.kernel = SamplingKernel::kPerEdge;
     options.sampling.batched_rounds = mode == 0;
     Policy policy(options);
     Rng world_rng(world_seed);
@@ -362,8 +367,10 @@ std::vector<SeedDecision> Decisions(const AdaptiveRunResult& run) {
 
 ProfitProblem QuickstartProblem(const Graph& g) {
   // Mirrors examples/quickstart.cc: top-20 IMM targets, degree-proportional
-  // costs calibrated to the spread lower bound.
+  // costs calibrated to the spread lower bound. Kernel pinned so the
+  // instance (and with it the decision margins) matches the calibration.
   TargetSelectionOptions options;
+  options.kernel = SamplingKernel::kPerEdge;
   Result<TargetSelectionResult> selection =
       BuildTopKTargetProblem(g, 20, CostScheme::kDegreeProportional, options);
   EXPECT_TRUE(selection.ok()) << selection.status().ToString();

@@ -26,6 +26,11 @@ class PipelineTest : public ::testing::Test {
 
     TargetSelectionOptions options;
     options.seed = 11;
+    // The qualitative profit orderings below (Fig. 2) hold with modest
+    // margins on this small instance; pin the kernel so the instance and
+    // the sample streams match the margins they were calibrated under
+    // (kernel equivalence has its own suite in rr_kernel_test.cc).
+    options.kernel = SamplingKernel::kPerEdge;
     Result<TargetSelectionResult> sel = BuildTopKTargetProblem(
         dataset_->graph, 15, CostScheme::kDegreeProportional, options);
     ASSERT_TRUE(sel.ok()) << sel.status().ToString();
@@ -60,6 +65,7 @@ TEST_F(PipelineTest, HatpBeatsArsAndBaseline) {
   HatpOptions hatp_options;
   hatp_options.sampling.max_rr_sets_per_decision = 1ull << 17;
   hatp_options.sampling.num_threads = 4;
+  hatp_options.sampling.kernel = SamplingKernel::kPerEdge;
   HatpPolicy hatp(hatp_options);
   ArsPolicy ars;
 

@@ -1,0 +1,678 @@
+// Tests for the weight-class-aware geometric-jump RR-generation kernel:
+// weight classification, the geometric-scan primitive (chi-square), exact
+// per-edge equivalence on degenerate probabilities, ±3σ statistical
+// agreement across weightings x models x backends, kPerEdge bit-compat
+// against golden values recorded from the pre-kernel tree, the depleted-
+// graph alive-root cache, and the rng_draws accounting behind the
+// draws-per-edge reduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "core/hatp.h"
+#include "core/target_selection.h"
+#include "diffusion/realization.h"
+#include "diffusion/spread_oracle.h"
+#include "graph/generators.h"
+#include "graph/geometric_scan.h"
+#include "graph/weighting.h"
+#include "rris/rr_set.h"
+#include "rris/sampling_engine.h"
+
+namespace atpm {
+namespace {
+
+enum class Weighting { kWeightedCascade, kTrivalency, kUniformRandom };
+
+Graph TestGraph(NodeId n, Weighting weighting,
+                uint32_t edges_per_node = 3) {
+  Rng rng(7);
+  BarabasiAlbertOptions options;
+  options.num_nodes = n;
+  options.edges_per_node = edges_per_node;
+  Graph g = GenerateBarabasiAlbert(options, &rng).value();
+  Rng wrng(99);
+  switch (weighting) {
+    case Weighting::kWeightedCascade:
+      ApplyWeightedCascade(&g);
+      break;
+    case Weighting::kTrivalency:
+      ApplyTrivalency(&g, &wrng);
+      break;
+    case Weighting::kUniformRandom:
+      ApplyUniformRandomProbability(&g, 0.01, 0.5, &wrng);
+      break;
+  }
+  return g;
+}
+
+// ---- Weight classification.
+
+TEST(WeightClassTest, WeightedCascadeIsUniformEverywhere) {
+  const Graph g = TestGraph(300, Weighting::kWeightedCascade);
+  const WeightClassProfile profile = g.InWeightClassProfile();
+  EXPECT_EQ(profile.few_distinct_nodes, 0u);
+  EXPECT_EQ(profile.general_nodes, 0u);
+  EXPECT_GT(profile.uniform_nodes, 0u);
+  // Every node is a single uniform segment, but jumpable_edges counts only
+  // what actually avoids per-edge draws: the gate keeps tiny
+  // high-probability vectors (indeg 2, p = 0.5) on the linear scan.
+  EXPECT_GT(profile.JumpableEdgeFraction(), 0.7);
+  EXPECT_LE(profile.jumpable_edges, g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) {
+      EXPECT_EQ(g.InWeightClass(v), NodeWeightClass::kEmpty);
+      continue;
+    }
+    ASSERT_EQ(g.InWeightClass(v), NodeWeightClass::kUniform);
+    const auto segs = g.InProbSegments(v);
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].length, g.InDegree(v));
+    EXPECT_FLOAT_EQ(segs[0].prob, 1.0f / g.InDegree(v));
+    // WC mass is 1 per node: the LT pick must take the O(1) closed form.
+    EXPECT_EQ(g.LtInPlan(v), LtPickPlan::kUniform);
+  }
+}
+
+TEST(WeightClassTest, TrivalencyIsMostlyJumpable) {
+  const Graph g = TestGraph(300, Weighting::kTrivalency);
+  const WeightClassProfile profile = g.InWeightClassProfile();
+  // Three possible values: multi-value nodes group into segments. Only
+  // low-degree nodes whose probs happen to be pairwise distinct (no runs
+  // at all) demote to the general per-edge path.
+  EXPECT_GT(profile.few_distinct_nodes, 0u);
+  EXPECT_GT(profile.JumpableEdgeFraction(), 0.75);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InWeightClass(v) != NodeWeightClass::kFewDistinct) continue;
+    // Segments partition the in-edges, descending by probability, and the
+    // jump view matches the original multiset of (neighbor, prob) pairs.
+    const auto segs = g.InProbSegments(v);
+    const auto arcs = g.JumpInArcs(v);
+    const auto slots = g.JumpInSlots(v);
+    ASSERT_EQ(arcs.size(), g.InDegree(v));
+    ASSERT_EQ(slots.size(), g.InDegree(v));
+    uint32_t total = 0;
+    uint32_t base = 0;
+    float prev = 2.0f;
+    for (const ProbSegment& seg : segs) {
+      EXPECT_LT(seg.prob, prev);
+      prev = seg.prob;
+      for (uint32_t j = 0; j < seg.length; ++j) {
+        EXPECT_EQ(arcs[base + j].prob, seg.prob);
+        EXPECT_EQ(g.InProbs(v)[slots[base + j]], seg.prob);
+        EXPECT_EQ(g.InNeighbors(v)[slots[base + j]], arcs[base + j].src);
+      }
+      base += seg.length;
+      total += seg.length;
+    }
+    EXPECT_EQ(total, g.InDegree(v));
+  }
+}
+
+TEST(WeightClassTest, UniformRandomWeightsFallBackToGeneral) {
+  const Graph g = TestGraph(400, Weighting::kUniformRandom);
+  const WeightClassProfile profile = g.InWeightClassProfile();
+  // Distinct float per edge: every node with indeg >= 2 has no same-p runs
+  // to jump over, so the whole graph takes the general per-edge fallback
+  // (all-distinct demotion below the cap, census overflow above it) and
+  // materializes no jump view.
+  EXPECT_GT(profile.general_nodes, 0u);
+  EXPECT_LT(profile.JumpableEdgeFraction(), 0.5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InWeightClass(v) != NodeWeightClass::kGeneral) continue;
+    EXPECT_TRUE(g.JumpInArcs(v).empty());
+    EXPECT_TRUE(g.InProbSegments(v).empty());
+  }
+}
+
+TEST(WeightClassTest, LtPlansMatchProbabilityMass) {
+  const Graph g = TestGraph(300, Weighting::kTrivalency);
+  uint32_t alias_nodes = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double mass = 0.0;
+    for (float p : g.InProbs(v)) mass += p;
+    switch (g.LtInPlan(v)) {
+      case LtPickPlan::kNone:
+        EXPECT_EQ(g.InDegree(v), 0u);
+        break;
+      case LtPickPlan::kUniform:
+        EXPECT_EQ(g.InWeightClass(v), NodeWeightClass::kUniform);
+        EXPECT_LE(mass, 1.0 + 1e-6);
+        break;
+      case LtPickPlan::kAlias:
+        ++alias_nodes;
+        EXPECT_LE(mass, 1.0 + 1e-6);
+        EXPECT_GE(g.InDegree(v), 8u);
+        EXPECT_EQ(g.LtAliasSlots(v).size(), g.InDegree(v) + 1u);
+        break;
+      case LtPickPlan::kPrefix:
+        // Mass-truncating nodes keep the scan for correctness; short
+        // non-uniform lists keep it because it is cheaper than a table.
+        EXPECT_TRUE(mass > 1.0 || g.InDegree(v) < 8u);
+        break;
+    }
+  }
+  EXPECT_GT(alias_nodes, 0u);
+}
+
+TEST(WeightClassTest, ProfileExposedThroughSpreadOracles) {
+  const Graph g = TestGraph(200, Weighting::kWeightedCascade);
+  SerialSamplingEngine engine(g);
+  RisSpreadOracle oracle(&engine);
+  const WeightClassProfile profile = oracle.InWeightClassProfile();
+  EXPECT_EQ(profile.total_edges, g.num_edges());
+  EXPECT_GT(profile.JumpableEdgeFraction(), 0.7);
+  EXPECT_EQ(engine.kernel(), SamplingKernel::kGeometricJump);
+}
+
+// ---- The geometric-scan primitive.
+
+// A jump segment as RebuildInWeightIndex would emit it: log factor plus
+// the any-success probability of the (here single-segment) run suffix.
+ProbSegment MakeJumpSegment(uint32_t length, float p) {
+  const double log_q = std::log1p(-static_cast<double>(p));
+  return ProbSegment{length, p, log_q, -std::expm1(length * log_q)};
+}
+
+TEST(GeometricScanTest, PerIndexHitRatesPassChiSquare) {
+  const uint32_t length = 32;
+  const float p = 0.1f;
+  const ProbSegment seg = MakeJumpSegment(length, p);
+  Rng rng(2026);
+  const int trials = 100000;
+  std::vector<uint64_t> hits(length, 0);
+  uint64_t draws = 0;
+  for (int t = 0; t < trials; ++t) {
+    GeometricSegmentScan({&seg, 1}, &rng, &draws, [&](uint32_t j) {
+      ++hits[j];
+      return true;
+    });
+  }
+  // Each index is an independent Bernoulli(p) per trial: standardized
+  // squared deviations sum to ~chi-square(32). 99.9% quantile ~= 62.5.
+  const double expected = trials * static_cast<double>(p);
+  const double variance = expected * (1.0 - static_cast<double>(p));
+  double chi2 = 0.0;
+  for (uint64_t h : hits) {
+    const double d = static_cast<double>(h) - expected;
+    chi2 += d * d / variance;
+  }
+  EXPECT_LT(chi2, 62.5) << "chi2 = " << chi2;
+  // Draw economy: ~1 draw per success + 1 terminal per scan, against 32
+  // Bernoullis per scan for the per-edge loop — >= 5x here.
+  EXPECT_LT(static_cast<double>(draws),
+            trials * (length * static_cast<double>(p) * 1.2 + 1.2));
+}
+
+TEST(GeometricScanTest, CrossSegmentRunsShareOneLedgerWalk) {
+  // Three heterogeneous jump segments in one run: per-index hit rates must
+  // match each segment's probability, with ~one draw per success + one
+  // terminal draw for the WHOLE run (not one per segment). Suffix
+  // any-success probabilities chained as the index builder would.
+  ProbSegment segs[3] = {MakeJumpSegment(8, 0.1f), MakeJumpSegment(8, 0.01f),
+                         MakeJumpSegment(8, 0.001f)};
+  double suffix_ln = 0.0;
+  for (int i = 3; i-- > 0;) {
+    suffix_ln += 8.0 * segs[i].log1p_neg;
+    segs[i].run_any_prob = -std::expm1(suffix_ln);
+  }
+  Rng rng(77);
+  const int trials = 200000;
+  std::vector<uint64_t> hits(24, 0);
+  uint64_t draws = 0;
+  for (int t = 0; t < trials; ++t) {
+    GeometricSegmentScan({segs, 3}, &rng, &draws, [&](uint32_t j) {
+      ++hits[j];
+      return true;
+    });
+  }
+  for (uint32_t j = 0; j < 24; ++j) {
+    const double p = static_cast<double>(segs[j / 8].prob);
+    const double sigma = std::sqrt(p * (1.0 - p) / trials);
+    EXPECT_NEAR(static_cast<double>(hits[j]) / trials, p, 4.0 * sigma + 1e-9)
+        << "index " << j;
+  }
+  // Expected successes per trial = 8 * (0.1 + 0.01 + 0.001) = 0.888; one
+  // terminal draw per trial on top. 24 Bernoullis for the per-edge loop.
+  EXPECT_LT(static_cast<double>(draws) / trials, 2.1);
+}
+
+TEST(GeometricScanTest, DegenerateProbabilitiesAreExactAndDrawless) {
+  Rng rng(1);
+  uint64_t draws = 0;
+  std::vector<uint32_t> visited;
+  const ProbSegment ones{5, 1.0f, 0.0};
+  GeometricSegmentScan({&ones, 1}, &rng, &draws, [&](uint32_t j) {
+    visited.push_back(j);
+    return true;
+  });
+  EXPECT_EQ(visited, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  const ProbSegment zeros{5, 0.0f, 0.0};
+  GeometricSegmentScan({&zeros, 1}, &rng, &draws, [&](uint32_t) {
+    ADD_FAILURE() << "p = 0 must never fire";
+    return true;
+  });
+  EXPECT_EQ(draws, 0u);
+}
+
+// ---- Exact kernel equivalence on degenerate probabilities: for p in
+// {0, 1} the only randomness is the root draw, which both kernels take
+// first, so per-set outputs match bit for bit from identical seeds.
+
+TEST(KernelEquivalenceTest, DegenerateEdgesProduceIdenticalSets) {
+  for (const Graph& g :
+       {MakePathGraph(6, 1.0), MakeCompleteGraph(6, 0.0)}) {
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+      RRSetGenerator jump(g, DiffusionModel::kIndependentCascade,
+                          SamplingKernel::kGeometricJump);
+      RRSetGenerator per_edge(g, DiffusionModel::kIndependentCascade,
+                              SamplingKernel::kPerEdge);
+      Rng rng_a(seed);
+      Rng rng_b(seed);
+      std::vector<NodeId> a;
+      std::vector<NodeId> b;
+      jump.Generate(nullptr, g.num_nodes(), &rng_a, &a);
+      per_edge.Generate(nullptr, g.num_nodes(), &rng_b, &b);
+      EXPECT_EQ(a, b) << "seed " << seed;
+    }
+  }
+}
+
+// ---- Statistical agreement: the two kernels estimate the same coverage
+// probability within ±3σ of the two-sample difference, for every weighting
+// x diffusion model x backend combination.
+
+class KernelAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KernelAgreementTest, CoverageEstimatesAgreeWithin3Sigma) {
+  const Weighting weighting = static_cast<Weighting>(std::get<0>(GetParam()));
+  const DiffusionModel model =
+      std::get<1>(GetParam()) == 0 ? DiffusionModel::kIndependentCascade
+                                   : DiffusionModel::kLinearThreshold;
+  const bool parallel = std::get<2>(GetParam()) == 1;
+
+  const Graph g = TestGraph(400, weighting);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 10; v < 30; ++v) base.Set(v);
+  const uint64_t theta = 120000;
+
+  SamplingEngineOptions options;
+  options.backend =
+      parallel ? SamplingBackend::kParallel : SamplingBackend::kSerial;
+  options.num_threads = parallel ? 4 : 1;
+
+  options.kernel = SamplingKernel::kPerEdge;
+  auto reference = CreateSamplingEngine(g, model, options);
+  const uint64_t ref_hits = reference->CountConditionalCoverageSeeded(
+      0, &base, nullptr, g.num_nodes(), theta, 1234);
+
+  options.kernel = SamplingKernel::kGeometricJump;
+  auto fast = CreateSamplingEngine(g, model, options);
+  const uint64_t fast_hits = fast->CountConditionalCoverageSeeded(
+      0, &base, nullptr, g.num_nodes(), theta, 5678);
+
+  const double p_ref = static_cast<double>(ref_hits) / theta;
+  const double p_fast = static_cast<double>(fast_hits) / theta;
+  const double p_hat = 0.5 * (p_ref + p_fast);
+  const double sigma = std::sqrt(2.0 * p_hat * (1.0 - p_hat) /
+                                 static_cast<double>(theta));
+  EXPECT_GT(p_hat, 0.0);
+  EXPECT_NEAR(p_ref, p_fast, 3.0 * sigma + 1e-9)
+      << "weighting " << std::get<0>(GetParam()) << " model "
+      << std::get<1>(GetParam()) << " backend "
+      << (parallel ? "parallel" : "serial");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KernelAgreementTest,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1)));
+
+// Pool-based agreement: per-node membership frequencies of stored pools
+// agree across kernels (the GeneratePool path, both models).
+
+TEST(KernelAgreementTest, PoolMembershipAgreesAcrossKernels) {
+  for (int m = 0; m < 2; ++m) {
+    const DiffusionModel model = m == 0 ? DiffusionModel::kIndependentCascade
+                                        : DiffusionModel::kLinearThreshold;
+    const Graph g = TestGraph(300, Weighting::kWeightedCascade);
+    const uint64_t count = 40000;
+
+    SerialSamplingEngine per_edge(g, model, SamplingKernel::kPerEdge);
+    Rng rng_a(10);
+    const RRCollection& pool_a =
+        per_edge.GeneratePool(nullptr, g.num_nodes(), count, &rng_a);
+
+    SerialSamplingEngine jump(g, model, SamplingKernel::kGeometricJump);
+    Rng rng_b(20);
+    const RRCollection& pool_b =
+        jump.GeneratePool(nullptr, g.num_nodes(), count, &rng_b);
+
+    for (NodeId u = 0; u < 20; ++u) {
+      const double f_a =
+          static_cast<double>(pool_a.CoverageOfNode(u)) / count;
+      const double f_b =
+          static_cast<double>(pool_b.CoverageOfNode(u)) / count;
+      const double p_hat = 0.5 * (f_a + f_b);
+      const double sigma = std::sqrt(2.0 * p_hat * (1.0 - p_hat) /
+                                     static_cast<double>(count));
+      EXPECT_NEAR(f_a, f_b, 3.0 * sigma + 1e-9)
+          << "model " << m << " node " << u;
+    }
+  }
+}
+
+// ---- kPerEdge bit-compat: golden values recorded from the pre-kernel
+// tree (seed commit bb4922a) with the historical per-edge sampling. The
+// kPerEdge knob must reproduce them exactly — RNG stream and all.
+
+Graph GoldenWcGraph() { return TestGraph(300, Weighting::kWeightedCascade); }
+
+uint64_t PoolHash(const RRCollection& pool) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t i = 0; i < pool.num_sets(); ++i) {
+    const auto s = pool.set(i);
+    h = (h ^ s.size()) * 1099511628211ull;
+    for (NodeId v : s) h = (h ^ v) * 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(PerEdgeGoldenTest, SerialIcCountMatchesPreKernelTree) {
+  const Graph g = GoldenWcGraph();
+  BitVector base(g.num_nodes());
+  for (NodeId v = 10; v < 30; ++v) base.Set(v);
+  Rng rng(5);
+  SerialSamplingEngine engine(g, DiffusionModel::kIndependentCascade,
+                              SamplingKernel::kPerEdge);
+  EXPECT_EQ(engine.CountConditionalCoverage(0, &base, nullptr, g.num_nodes(),
+                                            20000, &rng),
+            314u);
+}
+
+TEST(PerEdgeGoldenTest, SerialIcPoolMatchesPreKernelTree) {
+  const Graph g = GoldenWcGraph();
+  Rng rng(77);
+  SerialSamplingEngine engine(g, DiffusionModel::kIndependentCascade,
+                              SamplingKernel::kPerEdge);
+  const RRCollection& pool =
+      engine.GeneratePool(nullptr, g.num_nodes(), 2000, &rng);
+  EXPECT_EQ(pool.total_nodes(), 11288u);
+  EXPECT_EQ(PoolHash(pool), 8984351673573768080ull);
+}
+
+TEST(PerEdgeGoldenTest, SerialLtCountAndPoolMatchPreKernelTree) {
+  const Graph g = GoldenWcGraph();
+  BitVector base(g.num_nodes());
+  for (NodeId v = 10; v < 30; ++v) base.Set(v);
+  {
+    Rng rng(5);
+    SerialSamplingEngine engine(g, DiffusionModel::kLinearThreshold,
+                                SamplingKernel::kPerEdge);
+    EXPECT_EQ(engine.CountConditionalCoverage(0, &base, nullptr,
+                                              g.num_nodes(), 20000, &rng),
+              526u);
+  }
+  {
+    Rng rng(77);
+    SerialSamplingEngine engine(g, DiffusionModel::kLinearThreshold,
+                                SamplingKernel::kPerEdge);
+    const RRCollection& pool =
+        engine.GeneratePool(nullptr, g.num_nodes(), 1000, &rng);
+    EXPECT_EQ(PoolHash(pool), 1754442299263415209ull);
+  }
+}
+
+TEST(PerEdgeGoldenTest, SerialIcTrivalencyCountMatchesPreKernelTree) {
+  const Graph g = TestGraph(300, Weighting::kTrivalency);
+  BitVector base(g.num_nodes());
+  for (NodeId v = 10; v < 30; ++v) base.Set(v);
+  Rng rng(5);
+  SerialSamplingEngine engine(g, DiffusionModel::kIndependentCascade,
+                              SamplingKernel::kPerEdge);
+  EXPECT_EQ(engine.CountConditionalCoverage(0, &base, nullptr, g.num_nodes(),
+                                            20000, &rng),
+            146u);
+}
+
+TEST(PerEdgeGoldenTest, ParallelSeededCountMatchesPreKernelTree) {
+  const Graph g = GoldenWcGraph();
+  BitVector base(g.num_nodes());
+  for (NodeId v = 10; v < 30; ++v) base.Set(v);
+  ParallelSamplingEngine engine(g, DiffusionModel::kIndependentCascade, 4,
+                                4096, SamplingKernel::kPerEdge);
+  EXPECT_EQ(engine.CountConditionalCoverageSeeded(0, &base, nullptr,
+                                                  g.num_nodes(), 60000, 42),
+            997u);
+}
+
+TEST(PerEdgeGoldenTest, HatpDecisionSequenceMatchesPreKernelTree) {
+  // The acceptance bar: kernel = kPerEdge reproduces a pre-kernel HATP run
+  // — decision-for-decision and RR-set-for-RR-set — on the pipelining-test
+  // instance (BA n=300 epn=2, top-10 targets, serial engine, world seed
+  // 42, policy seed 1).
+  Rng grng(7);
+  BarabasiAlbertOptions options;
+  options.num_nodes = 300;
+  options.edges_per_node = 2;
+  Graph g = GenerateBarabasiAlbert(options, &grng).value();
+  ApplyWeightedCascade(&g);
+  TargetSelectionOptions sel;
+  sel.kernel = SamplingKernel::kPerEdge;
+  auto selection =
+      BuildTopKTargetProblem(g, 10, CostScheme::kDegreeProportional, sel);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  const ProfitProblem& problem = selection.value().problem;
+
+  HatpOptions hopt;
+  hopt.sampling.engine = SamplingBackend::kSerial;
+  hopt.sampling.kernel = SamplingKernel::kPerEdge;
+  HatpPolicy policy(hopt);
+  Rng world_rng(42);
+  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  Rng rng(1);
+  auto run = policy.Run(problem, &env, &rng);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().seeds, (std::vector<NodeId>{2, 7, 18, 17, 9}));
+  EXPECT_EQ(run.value().total_rr_sets, 780520u);
+  EXPECT_NEAR(run.value().realized_profit, 17.745389, 1e-4);
+}
+
+// ---- Depleted-graph root sampling: the cached alive list must be exactly
+// as correct (and as deterministic) as the retired per-draw linear scan.
+
+TEST(AliveRootCacheTest, DepletedGraphRootsAreUniformAndDeterministic) {
+  const Graph g = MakeCompleteGraph(512, 0.0);
+  BitVector removed(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) removed.Set(v);
+  const NodeId alive[3] = {5, 100, 200};
+  for (NodeId v : alive) removed.Clear(v);
+
+  RRSetGenerator generator(g);
+  Rng rng(9);
+  std::vector<NodeId> rr;
+  std::vector<NodeId> roots;
+  uint64_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    generator.Generate(&removed, 3, &rng, &rr);
+    ASSERT_EQ(rr.size(), 1u);
+    roots.push_back(rr[0]);
+    for (int a = 0; a < 3; ++a) {
+      if (rr[0] == alive[a]) ++counts[a];
+    }
+  }
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 3000u);
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 3000.0, 1.0 / 3.0, 0.05);
+  }
+  // Bit-determinism of the cached path: a fresh generator from the same
+  // seed reproduces the exact root sequence.
+  RRSetGenerator repeat(g);
+  Rng rng2(9);
+  for (int i = 0; i < 3000; ++i) {
+    repeat.Generate(&removed, 3, &rng2, &rr);
+    ASSERT_EQ(rr[0], roots[i]) << "draw " << i;
+  }
+}
+
+TEST(AliveRootCacheTest, SurvivesInPlaceResidualShrinkage) {
+  // The adaptive loop mutates `removed` in place between counting calls;
+  // the cache must follow (key change via num_alive) and keep excluding
+  // newly removed nodes.
+  const Graph g = MakeCompleteGraph(256, 0.0);
+  BitVector removed(g.num_nodes());
+  for (NodeId v = 4; v < g.num_nodes(); ++v) removed.Set(v);
+  RRSetGenerator generator(g);
+  Rng rng(11);
+  std::vector<NodeId> rr;
+  for (int i = 0; i < 500; ++i) {
+    generator.Generate(&removed, 4, &rng, &rr);
+    EXPECT_LT(rr[0], 4u);
+  }
+  removed.Set(2);  // epoch moves: one more seeding
+  for (int i = 0; i < 500; ++i) {
+    generator.Generate(&removed, 3, &rng, &rr);
+    EXPECT_LT(rr[0], 4u);
+    EXPECT_NE(rr[0], 2u);
+  }
+}
+
+// ---- Draw accounting: the headline draws-per-edge reduction, measured
+// end to end through SamplingStats.
+
+TEST(RngDrawStatsTest, GeometricJumpHalvesDrawsPerEdgeOnWeightedCascade) {
+  const Graph g = TestGraph(400, Weighting::kWeightedCascade);
+  const uint64_t theta = 20000;
+  double draws_per_edge[2];
+  for (int k = 0; k < 2; ++k) {
+    SerialSamplingEngine engine(g, DiffusionModel::kIndependentCascade,
+                                k == 0 ? SamplingKernel::kPerEdge
+                                       : SamplingKernel::kGeometricJump);
+    Rng rng(33);
+    engine.CountConditionalCoverage(0, nullptr, nullptr, g.num_nodes(),
+                                    theta, &rng);
+    const SamplingStats& stats = engine.stats();
+    EXPECT_GT(stats.rng_draws, 0u);
+    EXPECT_GT(stats.edges_examined, 0u);
+    draws_per_edge[k] = stats.DrawsPerEdge();
+  }
+  // Acceptance bar: >= 2x fewer draws per edge examined on WC weights.
+  EXPECT_GT(draws_per_edge[0], 2.0 * draws_per_edge[1])
+      << "per-edge " << draws_per_edge[0] << " vs jump " << draws_per_edge[1];
+}
+
+TEST(RngDrawStatsTest, ParallelBackendAggregatesWorkerDraws) {
+  const Graph g = TestGraph(400, Weighting::kWeightedCascade);
+  ParallelSamplingEngine engine(g, DiffusionModel::kIndependentCascade, 4);
+  const uint64_t theta = 20000;  // above min_parallel_batch
+  engine.CountConditionalCoverageSeeded(0, nullptr, nullptr, g.num_nodes(),
+                                        theta, 7);
+  EXPECT_GT(engine.stats().rng_draws, theta);  // >= 1 root draw per set
+}
+
+// ---- World sampling through the jump kernel: same distribution, and
+// exact equality on degenerate probabilities.
+
+TEST(RealizationKernelTest, DegenerateWorldsAreIdenticalAcrossKernels) {
+  for (double p : {0.0, 1.0}) {
+    const Graph g = MakeCompleteGraph(8, p);
+    for (int m = 0; m < 2; ++m) {
+      const DiffusionModel model = m == 0
+                                       ? DiffusionModel::kIndependentCascade
+                                       : DiffusionModel::kLinearThreshold;
+      if (m == 1 && p == 1.0) continue;  // LT needs mass <= 1
+      Rng rng_a(4);
+      Rng rng_b(4);
+      const Realization a =
+          Realization::Sample(g, &rng_a, model, SamplingKernel::kPerEdge);
+      const Realization b = Realization::Sample(g, &rng_b, model,
+                                                SamplingKernel::kGeometricJump);
+      EXPECT_EQ(a.NumLiveEdges(), b.NumLiveEdges());
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (uint32_t j = 0; j < g.OutDegree(u); ++j) {
+          EXPECT_EQ(a.IsLive(u, j), b.IsLive(u, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(RealizationKernelTest, LiveEdgeMassAgreesAcrossKernels) {
+  const Graph g = TestGraph(300, Weighting::kTrivalency);
+  double expected_mass = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (float p : g.InProbs(v)) expected_mass += p;
+  }
+  const int worlds = 300;
+  uint64_t live = 0;
+  Rng rng(6);
+  for (int w = 0; w < worlds; ++w) {
+    live += Realization::Sample(g, &rng, DiffusionModel::kIndependentCascade,
+                                SamplingKernel::kGeometricJump)
+                .NumLiveEdges();
+  }
+  const double mean = static_cast<double>(live) / worlds;
+  // Mean live edges = total probability mass; generous ±5σ of the
+  // Poisson-binomial spread (bounded by sqrt(mass)).
+  const double sigma = std::sqrt(expected_mass / worlds);
+  EXPECT_NEAR(mean, expected_mass, 5.0 * sigma);
+}
+
+TEST(RealizationKernelTest, LtJumpWorldsKeepAtMostOneInEdge) {
+  const Graph g = TestGraph(300, Weighting::kTrivalency);
+  Rng rng(12);
+  const Realization world = Realization::Sample(
+      g, &rng, DiffusionModel::kLinearThreshold,
+      SamplingKernel::kGeometricJump);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint32_t live_in = 0;
+    for (uint32_t j = 0; j < g.InDegree(v); ++j) {
+      const uint64_t edge = g.InEdgeIndex(v, j);
+      const NodeId u = g.InNeighbors(v)[j];
+      uint32_t slot = 0;
+      for (; slot < g.OutDegree(u); ++slot) {
+        if (g.OutEdgeIndex(u, slot) == edge) break;
+      }
+      if (world.IsLive(u, slot)) ++live_in;
+    }
+    EXPECT_LE(live_in, 1u) << "node " << v;
+  }
+}
+
+// ---- Engine plumbing of the kernel knob.
+
+TEST(KernelKnobTest, NamesAndEngineReporting) {
+  EXPECT_STREQ(SamplingKernelName(SamplingKernel::kGeometricJump),
+               "geometric-jump");
+  EXPECT_STREQ(SamplingKernelName(SamplingKernel::kPerEdge), "per-edge");
+  const Graph g = TestGraph(100, Weighting::kWeightedCascade);
+  SamplingEngineOptions options;
+  options.backend = SamplingBackend::kSerial;
+  options.kernel = SamplingKernel::kPerEdge;
+  EXPECT_EQ(CreateSamplingEngine(g, DiffusionModel::kIndependentCascade,
+                                 options)
+                ->kernel(),
+            SamplingKernel::kPerEdge);
+}
+
+TEST(KernelKnobTest, HandleRebuildsWhenKernelChanges) {
+  const Graph g = TestGraph(100, Weighting::kWeightedCascade);
+  SamplingEngineOptions options;
+  options.backend = SamplingBackend::kSerial;
+  SamplingEngineHandle handle;
+  SamplingEngine* jump =
+      handle.Get(g, DiffusionModel::kIndependentCascade, options);
+  EXPECT_EQ(jump->kernel(), SamplingKernel::kGeometricJump);
+  options.kernel = SamplingKernel::kPerEdge;
+  SamplingEngine* per_edge =
+      handle.Get(g, DiffusionModel::kIndependentCascade, options);
+  EXPECT_EQ(per_edge->kernel(), SamplingKernel::kPerEdge);
+  EXPECT_NE(jump, per_edge);
+}
+
+}  // namespace
+}  // namespace atpm

@@ -9,6 +9,7 @@
 
 #include "diffusion/spread_oracle.h"
 #include "graph/generators.h"
+#include "rris/sampling_engine.h"
 
 namespace atpm {
 namespace {
@@ -222,22 +223,43 @@ TEST(CountCoveringTest, EarlyAbortDoesNotBiasCounts) {
               static_cast<double>(expected) / theta, 0.01);
 }
 
-TEST(ParallelCountCoveringTest, DeterministicGivenSeedAndThreads) {
+// Parallel counting goes through a SamplingEngineHandle (the policies'
+// embedded slot); the legacy ParallelCountCovering wrapper — which spun up
+// a fresh thread pool per call — is gone.
+
+TEST(ParallelCountingTest, DeterministicGivenSeedAndThreads) {
   const Graph g = MakeStarGraph(20, 0.3);
-  const uint64_t a =
-      ParallelCountCovering(g, nullptr, 20, 50000, 0, nullptr, 42, 4);
-  const uint64_t b =
-      ParallelCountCovering(g, nullptr, 20, 50000, 0, nullptr, 42, 4);
+  SamplingEngineOptions options;
+  options.backend = SamplingBackend::kParallel;
+  options.num_threads = 4;
+  options.min_parallel_batch = 1024;  // engage the pool at this theta
+  SamplingEngineHandle handle;
+  SamplingEngine* engine =
+      handle.Get(g, DiffusionModel::kIndependentCascade, options);
+  const uint64_t a = engine->CountConditionalCoverageSeeded(
+      0, nullptr, nullptr, 20, 50000, 42);
+  const uint64_t b = engine->CountConditionalCoverageSeeded(
+      0, nullptr, nullptr, 20, 50000, 42);
   EXPECT_EQ(a, b);
 }
 
-TEST(ParallelCountCoveringTest, ThreadCountsAgreeStatistically) {
+TEST(ParallelCountingTest, ThreadCountsAgreeStatistically) {
   const Graph g = MakeStarGraph(20, 0.3);
   const uint64_t theta = 200000;
+  SamplingEngineHandle handle;
+  SamplingEngineOptions serial_options;
+  serial_options.backend = SamplingBackend::kSerial;
   const uint64_t single =
-      ParallelCountCovering(g, nullptr, 20, theta, 0, nullptr, 1, 1);
+      handle.Get(g, DiffusionModel::kIndependentCascade, serial_options)
+          ->CountConditionalCoverageSeeded(0, nullptr, nullptr, 20, theta,
+                                           1);
+  SamplingEngineOptions parallel_options;
+  parallel_options.backend = SamplingBackend::kParallel;
+  parallel_options.num_threads = 8;
   const uint64_t multi =
-      ParallelCountCovering(g, nullptr, 20, theta, 0, nullptr, 1, 8);
+      handle.Get(g, DiffusionModel::kIndependentCascade, parallel_options)
+          ->CountConditionalCoverageSeeded(0, nullptr, nullptr, 20, theta,
+                                           1);
   EXPECT_NEAR(static_cast<double>(single) / theta,
               static_cast<double>(multi) / theta, 0.01);
 }

@@ -89,16 +89,18 @@ TEST(SerialSamplingEngineTest, CountBitIdenticalToRawGenerator) {
   const uint64_t theta = 20000;
 
   // The engine draws one base seed from the caller's stream and counts
-  // with the stream Rng(base seed) — exactly the historical
-  // ParallelCountCovering(seed = rng.Next(), num_threads = 1) path.
+  // with the stream Rng(base seed) — exactly a raw generator driven by
+  // that reseeded stream.
   Rng engine_rng(5);
   SerialSamplingEngine engine(g);
   const uint64_t engine_count = engine.CountConditionalCoverage(
       0, &base, nullptr, g.num_nodes(), theta, &engine_rng);
 
   Rng reference_rng(5);
-  const uint64_t reference_count = ParallelCountCovering(
-      g, nullptr, g.num_nodes(), theta, 0, &base, reference_rng.Next(), 1);
+  RRSetGenerator reference_generator(g);
+  Rng reference_stream(reference_rng.Next());
+  const uint64_t reference_count = reference_generator.CountCovering(
+      nullptr, g.num_nodes(), theta, 0, &base, &reference_stream);
 
   EXPECT_EQ(engine_count, reference_count);
   // The caller streams advanced identically (one draw each).
