@@ -17,6 +17,7 @@
 #include "rris/rr_collection.h"
 #include "rris/rr_set.h"
 #include "rris/sampling_engine.h"
+#include "rris/sampling_stats.h"
 
 namespace atpm {
 namespace {
@@ -33,11 +34,14 @@ Graph BenchGraph(NodeId n) {
 
 // Weighting schemes for the kernel benches: 0 = weighted cascade,
 // 1 = trivalency, 2 = uniform-random (the general-class fallback).
-Graph KernelBenchGraph(NodeId n, int weighting) {
+// `edges_per_node` controls vector length: the reverse series keeps the
+// historical 3; the forward series uses 8, where probability vectors are
+// long enough for the inverse-CDF jump to amortize its per-vector draw.
+Graph KernelBenchGraph(NodeId n, int weighting, int edges_per_node = 3) {
   Rng rng(7);
   BarabasiAlbertOptions options;
   options.num_nodes = n;
-  options.edges_per_node = 3;
+  options.edges_per_node = edges_per_node;
   Graph g = GenerateBarabasiAlbert(options, &rng).value();
   Rng wrng(99);
   switch (weighting) {
@@ -390,6 +394,90 @@ void BM_KernelCountCovering(benchmark::State& state) {
 BENCHMARK(BM_KernelCountCovering)
     ->ArgNames({"weighting", "jump"})
     ->ArgsProduct({{0, 1}, {0, 1}});
+
+// ---- Forward-kernel series: the same draws-per-edge accounting as the
+// reverse RR benches, but over the out-CSR paths (IC cascade simulation
+// and whole-world realization sampling). World sampling picks the cheaper
+// traversal direction per graph, so this is where the out-edge weight
+// index pays off on weightings whose out-vectors are less regular than
+// their in-vectors (weighted cascade).
+
+void BM_KernelForwardSimulateIC(benchmark::State& state) {
+  const Graph g =
+      KernelBenchGraph(1 << 14, static_cast<int>(state.range(0)), 8);
+  const SamplingKernel kernel = state.range(1) == 0
+                                    ? SamplingKernel::kPerEdge
+                                    : SamplingKernel::kGeometricJump;
+  Rng rng(31);
+  std::vector<NodeId> seeds = {0, 1, 2, 3, 4, 5, 6, 7};
+  SamplingStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SimulateIC(g, seeds, &rng, nullptr, nullptr, kernel, &stats));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["draws_per_edge"] = stats.DrawsPerEdge();
+  state.counters["out_jumpable_edge_fraction"] =
+      g.OutWeightClassProfile().JumpableEdgeFraction();
+}
+BENCHMARK(BM_KernelForwardSimulateIC)
+    ->ArgNames({"weighting", "jump"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
+
+void BM_KernelWorldSample(benchmark::State& state) {
+  const Graph g =
+      KernelBenchGraph(1 << 14, static_cast<int>(state.range(0)), 8);
+  const SamplingKernel kernel = state.range(1) == 0
+                                    ? SamplingKernel::kPerEdge
+                                    : SamplingKernel::kGeometricJump;
+  Rng rng(37);
+  SamplingStats stats;
+  for (auto _ : state) {
+    Realization world = Realization::Sample(
+        g, &rng, DiffusionModel::kIndependentCascade, kernel, &stats);
+    benchmark::DoNotOptimize(world.NumLiveEdges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+  state.counters["draws_per_edge"] = stats.DrawsPerEdge();
+}
+BENCHMARK(BM_KernelWorldSample)
+    ->ArgNames({"weighting", "jump"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
+
+// Batched vs looped pool fill on a heavily depleted residual graph (alive
+// fraction below the root sampler's 2^-6 rejection cutoff, the late-round
+// shape of heavily seeded adaptive instances) — the regime where
+// GenerateBatch's single alive-root-cache build (vs one rebuild per
+// Generate call, by contract) dominates. Throughput acceptance: batched
+// items_per_second >= 1.3x the looped variant.
+void BM_KernelBatchGeneration(benchmark::State& state) {
+  // Trivalency reverse sets are tiny (mean prob ~0.04), so the per-call
+  // alive-list rebuild is the dominant loop cost the batch amortizes.
+  const Graph g = KernelBenchGraph(1 << 14, 1);
+  const bool batched = state.range(0) != 0;
+  BitVector removed(g.num_nodes());
+  const uint32_t num_alive = 128;
+  for (NodeId v = num_alive; v < g.num_nodes(); ++v) removed.Set(v);
+  RRSetGenerator generator(g);
+  Rng rng(43);
+  const uint64_t count = 1 << 10;
+  std::vector<NodeId> rr;
+  for (auto _ : state) {
+    RRCollection pool(g.num_nodes());
+    if (batched) {
+      pool.Generate(&generator, &removed, num_alive, count, &rng);
+    } else {
+      for (uint64_t i = 0; i < count; ++i) {
+        generator.Generate(&removed, num_alive, &rng, &rr);
+        pool.AddSet(rr);
+      }
+    }
+    benchmark::DoNotOptimize(pool.total_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
+}
+BENCHMARK(BM_KernelBatchGeneration)->ArgNames({"batched"})->Arg(0)->Arg(1);
 
 void BM_CoverageQueries(benchmark::State& state) {
   const Graph g = BenchGraph(1 << 13);

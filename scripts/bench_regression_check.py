@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Diff fresh kernel benchmark JSON against the checked-in baselines.
+
+Guards the geometric-jump substrate's two headline numbers:
+
+  * draws_per_edge — RNG draws per edge examined, a deterministic counter
+    (same graph, same seeds on every machine). Compared directly per
+    benchmark; a fresh value more than --tolerance above baseline fails.
+  * wall-clock — machine-dependent, so never compared across machines
+    directly. Instead the *ratio* between paired variants measured in the
+    same run (jump:1 vs jump:0 time, batched:1 vs batched:0 throughput) is
+    compared against the baseline's ratio, with the looser
+    --time-tolerance. The batched-generation speedup additionally has a
+    hard acceptance floor (>= 1.3x, --batch-floor).
+
+Inputs are the google-benchmark JSON written by
+  micro_substrates --benchmark_filter=Kernel  (BENCH_kernel.json)
+and the custom end-to-end record written by fig9_sample_scaling
+  (BENCH_kernel_e2e.json).
+
+Stdlib only; exit 0 = no regression, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+EPS = 1e-9
+
+
+class Checker:
+    def __init__(self):
+        self.failures = []
+        self.checks = 0
+
+    def expect(self, ok, message):
+        self.checks += 1
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {message}")
+        if not ok:
+            self.failures.append(message)
+
+
+def load_benchmarks(path):
+    """google-benchmark JSON -> {name: entry}, aggregates excluded."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def pair_key(name, knob):
+    """BM_Foo/weighting:1/jump:0 -> (BM_Foo/weighting:1, 0) for knob=jump."""
+    match = re.search(rf"/{knob}:(\d+)", name)
+    if match is None:
+        return None
+    return name.replace(f"/{knob}:{match.group(1)}", ""), int(match.group(1))
+
+
+def collect_pairs(benchmarks, knob):
+    """{family: {variant_index: entry}} for benches carrying `knob`."""
+    pairs = {}
+    for name, entry in benchmarks.items():
+        keyed = pair_key(name, knob)
+        if keyed is None:
+            continue
+        family, variant = keyed
+        pairs.setdefault(family, {})[variant] = entry
+    return {f: v for f, v in pairs.items() if len(v) == 2}
+
+
+def check_kernel(check, fresh, baseline, tolerance, time_tolerance,
+                 batch_floor):
+    print(f"BENCH_kernel: {len(baseline)} baseline series")
+    missing = sorted(set(baseline) - set(fresh))
+    check.expect(not missing,
+                 f"all baseline benchmarks present (missing: {missing})"
+                 if missing else "all baseline benchmarks present")
+
+    # Deterministic counter: draws per edge examined, compared directly.
+    for name in sorted(set(baseline) & set(fresh)):
+        base_draws = baseline[name].get("draws_per_edge")
+        fresh_draws = fresh[name].get("draws_per_edge")
+        if base_draws is None or fresh_draws is None:
+            continue
+        bound = base_draws * (1.0 + tolerance) + EPS
+        check.expect(
+            fresh_draws <= bound,
+            f"{name}: draws_per_edge {fresh_draws:.4f} "
+            f"<= {base_draws:.4f} * (1+{tolerance:g})")
+
+    # Same-run time ratio jump/per-edge per family, vs the baseline ratio.
+    fresh_jump = collect_pairs(fresh, "jump")
+    for family, base_pair in sorted(collect_pairs(baseline, "jump").items()):
+        if family not in fresh_jump:
+            continue  # absence already reported above
+        fresh_pair = fresh_jump[family]
+        base_ratio = base_pair[1]["cpu_time"] / max(base_pair[0]["cpu_time"],
+                                                    EPS)
+        ratio = fresh_pair[1]["cpu_time"] / max(fresh_pair[0]["cpu_time"],
+                                                EPS)
+        bound = base_ratio * (1.0 + time_tolerance)
+        check.expect(
+            ratio <= bound,
+            f"{family}: jump/per-edge time ratio {ratio:.3f} "
+            f"<= {base_ratio:.3f} * (1+{time_tolerance:g})")
+
+    # Batched-generation throughput: relative guard + hard acceptance floor.
+    fresh_batch = collect_pairs(fresh, "batched")
+    for family, base_pair in sorted(
+            collect_pairs(baseline, "batched").items()):
+        if family not in fresh_batch:
+            continue
+        fresh_pair = fresh_batch[family]
+        base_speedup = (base_pair[1]["items_per_second"] /
+                        max(base_pair[0]["items_per_second"], EPS))
+        speedup = (fresh_pair[1]["items_per_second"] /
+                   max(fresh_pair[0]["items_per_second"], EPS))
+        check.expect(
+            speedup >= batch_floor,
+            f"{family}: batched speedup {speedup:.2f}x >= "
+            f"{batch_floor:g}x floor")
+        bound = base_speedup * (1.0 - time_tolerance)
+        check.expect(
+            speedup >= bound,
+            f"{family}: batched speedup {speedup:.2f}x >= "
+            f"{base_speedup:.2f}x * (1-{time_tolerance:g})")
+
+
+def check_e2e(check, fresh, baseline, tolerance, time_tolerance):
+    fresh_hatp = fresh.get("hatp", {})
+    base_hatp = baseline.get("hatp", {})
+    print(f"BENCH_kernel_e2e: benchmark={fresh.get('benchmark')}")
+
+    # Per-kernel draws/edge are deterministic at fixed config; the jump
+    # kernel's figure is the one the substrate exists to keep low.
+    for kernel in ("geometric-jump", "per-edge"):
+        base_rec = base_hatp.get(kernel)
+        fresh_rec = fresh_hatp.get(kernel)
+        if base_rec is None or fresh_rec is None:
+            check.expect(False, f"e2e record for '{kernel}' present")
+            continue
+        base_draws = base_rec["draws_per_edge"]
+        fresh_draws = fresh_rec["draws_per_edge"]
+        bound = base_draws * (1.0 + tolerance) + EPS
+        check.expect(
+            fresh_draws <= bound,
+            f"e2e {kernel}: draws_per_edge {fresh_draws:.4f} "
+            f"<= {base_draws:.4f} * (1+{tolerance:g})")
+
+    base_ratio = base_hatp.get("draws_per_edge_ratio")
+    fresh_ratio = fresh_hatp.get("draws_per_edge_ratio")
+    if base_ratio is not None and fresh_ratio is not None:
+        bound = base_ratio * (1.0 - tolerance)
+        check.expect(
+            fresh_ratio >= bound,
+            f"e2e draws_per_edge_ratio {fresh_ratio:.1f}x >= "
+            f"{base_ratio:.1f}x * (1-{tolerance:g})")
+
+    # Wall-clock speedup is machine-dependent: same-run ratio, loose bound,
+    # and never below break-even.
+    base_speedup = base_hatp.get("kernel_speedup")
+    fresh_speedup = fresh_hatp.get("kernel_speedup")
+    if base_speedup is not None and fresh_speedup is not None:
+        bound = max(base_speedup * (1.0 - time_tolerance), 1.0)
+        check.expect(
+            fresh_speedup >= bound,
+            f"e2e kernel_speedup {fresh_speedup:.2f}x >= "
+            f"max({base_speedup:.2f}x * (1-{time_tolerance:g}), 1.0)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail CI when the kernel benchmarks regress vs the "
+                    "checked-in baselines.")
+    parser.add_argument("--fresh", help="BENCH_kernel.json from this run")
+    parser.add_argument("--baseline",
+                        help="checked-in baseline BENCH_kernel.json")
+    parser.add_argument("--fresh-e2e",
+                        help="BENCH_kernel_e2e.json from this run")
+    parser.add_argument("--baseline-e2e",
+                        help="checked-in baseline BENCH_kernel_e2e.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative slack for deterministic draw "
+                             "counters (default 0.20)")
+    parser.add_argument("--time-tolerance", type=float, default=0.50,
+                        help="relative slack for same-run wall-clock "
+                             "ratios, which are noisy on shared CI "
+                             "machines (default 0.50)")
+    parser.add_argument("--batch-floor", type=float, default=1.3,
+                        help="hard minimum batched-generation speedup "
+                             "(default 1.3)")
+    args = parser.parse_args()
+    if not args.fresh and not args.fresh_e2e:
+        parser.error("nothing to check: pass --fresh and/or --fresh-e2e")
+    if bool(args.fresh) != bool(args.baseline):
+        parser.error("--fresh and --baseline go together")
+    if bool(args.fresh_e2e) != bool(args.baseline_e2e):
+        parser.error("--fresh-e2e and --baseline-e2e go together")
+
+    check = Checker()
+    if args.fresh:
+        check_kernel(check, load_benchmarks(args.fresh),
+                     load_benchmarks(args.baseline), args.tolerance,
+                     args.time_tolerance, args.batch_floor)
+    if args.fresh_e2e:
+        with open(args.fresh_e2e) as f:
+            fresh_e2e = json.load(f)
+        with open(args.baseline_e2e) as f:
+            baseline_e2e = json.load(f)
+        check_e2e(check, fresh_e2e, baseline_e2e, args.tolerance,
+                  args.time_tolerance)
+
+    if check.failures:
+        print(f"\n{len(check.failures)}/{check.checks} checks FAILED")
+        return 1
+    print(f"\nall {check.checks} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in kernel benchmark baselines from a Release
+# build. Run after a kernel change that legitimately moves draw counters
+# or variant ratios, then commit the refreshed bench/baselines/ files.
+#
+# Usage: scripts/refresh_bench_baselines.sh [build_dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+baselines="$repo_root/bench/baselines"
+
+if [[ ! -x "$build_dir/micro_substrates" ]]; then
+  echo "error: $build_dir/micro_substrates not built (need a Release build)" >&2
+  exit 1
+fi
+mkdir -p "$baselines"
+
+"$build_dir/micro_substrates" \
+  --benchmark_filter='Kernel' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="$baselines/BENCH_kernel.json" \
+  --benchmark_out_format=json
+
+if ! grep -q '"atpm_build_type": "release"' "$baselines/BENCH_kernel.json"; then
+  echo "error: benchmarks were not built Release; baseline rejected" >&2
+  exit 1
+fi
+
+# Same scaled-down configuration as the CI fig9 smoke step.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+(cd "$tmp" && \
+  ATPM_BENCH_SCALE=0.02 \
+  ATPM_BENCH_REALIZATIONS=1 \
+  ATPM_BENCH_K_MAX=10 \
+  ATPM_BENCH_THREADS=2 \
+  ATPM_BENCH_KERNEL_OUT="$baselines/BENCH_kernel_e2e.json" \
+  "$build_dir/fig9_sample_scaling")
+
+echo "refreshed $baselines/BENCH_kernel.json and BENCH_kernel_e2e.json"

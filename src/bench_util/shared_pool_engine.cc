@@ -1,0 +1,61 @@
+#include "bench_util/shared_pool_engine.h"
+
+namespace atpm {
+
+namespace {
+
+// splitmix64 finalizer — the same mixer the Rng family builds on.
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+uint64_t HashBitmap(uint64_t h, const BitVector* bits) {
+  if (bits == nullptr) return Mix(h, 0x6e756c6cULL);  // "null" marker
+  h = Mix(h, bits->size());
+  for (uint64_t w : bits->words()) h = Mix(h, w);
+  return h;
+}
+
+}  // namespace
+
+void SharedRoundPoolEngine::CountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                                     const BitVector* removed,
+                                                     uint32_t num_alive,
+                                                     uint64_t theta,
+                                                     uint64_t seed) {
+  const std::span<const CoverageQuery> queries = batch->queries();
+  // The seed is deliberately NOT part of the key: two worlds asking the
+  // same round with different private streams share one pool.
+  uint64_t key = Mix(0x73686172ULL, num_alive);
+  key = Mix(key, theta);
+  key = HashBitmap(key, removed);
+  key = Mix(key, queries.size());
+  for (const CoverageQuery& query : queries) {
+    key = Mix(key, query.node);
+    key = HashBitmap(key, query.base);
+  }
+
+  const auto it = memo_.find(key);
+  if (it != memo_.end() && it->second.size() == queries.size()) {
+    uint64_t* hits = batch->hit_data();
+    for (size_t q = 0; q < queries.size(); ++q) hits[q] = it->second[q];
+    ++rounds_reused_;
+    return;
+  }
+
+  inner_->CountCoverageBatchSeeded(batch, removed, num_alive, theta, seed);
+  ++rounds_sampled_;
+  std::vector<uint64_t>& stored = memo_[key];
+  stored.assign(batch->hit_data(), batch->hit_data() + queries.size());
+}
+
+void SharedRoundPoolEngine::ClearMemo() {
+  memo_.clear();
+  rounds_sampled_ = 0;
+  rounds_reused_ = 0;
+}
+
+}  // namespace atpm

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/logging.h"
@@ -56,6 +57,10 @@ class BitVector {
     }
     return false;
   }
+
+  /// The backing 64-bit words (trailing bits beyond size() are zero) —
+  /// for content hashing / equality without bit-by-bit walks.
+  std::span<const uint64_t> words() const { return words_; }
 
  private:
   size_t n_ = 0;

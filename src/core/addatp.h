@@ -59,7 +59,7 @@ class AddAtpPolicy final : public AdaptivePolicy {
   /// Samples through `engine` (not owned; must be bound to the run's graph
   /// and options.model) instead of the policy's own backend. Pass nullptr
   /// to revert.
-  void set_engine(SamplingEngine* engine) { engine_.Use(engine); }
+  void set_engine(SamplingEngine* engine) override { engine_.Use(engine); }
 
   Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
                                 AdaptiveEnvironment* env, Rng* rng) override;

@@ -53,7 +53,7 @@ class HatpPolicy final : public AdaptivePolicy {
   /// Samples through `engine` (not owned; must be bound to the run's graph
   /// and options.model) instead of the policy's own backend — lets several
   /// policies share one warm worker pool. Pass nullptr to revert.
-  void set_engine(SamplingEngine* engine) { engine_.Use(engine); }
+  void set_engine(SamplingEngine* engine) override { engine_.Use(engine); }
 
   Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
                                 AdaptiveEnvironment* env, Rng* rng) override;

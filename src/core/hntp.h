@@ -40,6 +40,9 @@ struct HntpResult {
   uint64_t speculation_misses = 0;
   uint64_t speculation_discarded = 0;
   uint64_t speculative_queries = 0;
+  /// Lookahead window at each speculating examination (see
+  /// AdaptiveRunResult::lookahead_window_trace).
+  std::vector<uint32_t> lookahead_window_trace;
 };
 
 /// HNTP — the nonadaptive tailoring of HATP (Section VI-A). Identical

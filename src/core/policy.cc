@@ -1,5 +1,7 @@
 #include "core/policy.h"
 
+#include <algorithm>
+
 namespace atpm {
 
 void FinalizeAdaptiveResult(const ProfitProblem& problem,
@@ -21,10 +23,18 @@ SpeculativeRoundPlanner::SpeculativeRoundPlanner(
       // Speculation shares a round's pool, so it needs batched rounds; the
       // literal two-pool sampling ignores the window.
       window_(sampling.batched_rounds ? sampling.lookahead_window : 0),
+      adaptive_(sampling.adaptive_lookahead),
+      base_window_(window_),
+      discard_threshold_(sampling.lookahead_discard_threshold),
       targets_(targets) {
+  max_window_ = adaptive_
+                    ? std::max(window_, sampling.max_lookahead_window)
+                    : window_;
   if (window_ > 0) {
     entries_.resize(targets.size());
-    rear_bases_.resize(window_);
+    // Pre-sized to the widest window the adaptive controller may reach, so
+    // the batch's base pointers stay stable however far it widens.
+    rear_bases_.resize(max_window_);
   }
 }
 
@@ -34,6 +44,29 @@ void SpeculativeRoundPlanner::Begin(size_t position, NodeId u, uint64_t epoch,
   active_.reset();
   if (window_ == 0) return;
   ATPM_DCHECK(position < targets_.size() && targets_[position] == u);
+  if (adaptive_) {
+    if (!epoch_seen_ || epoch != last_epoch_) {
+      // A seeding just voided every in-flight answer; restart narrow so the
+      // next pools don't pay for speculation that cannot survive another
+      // imminent selection streak.
+      window_ = base_window_;
+      epoch_seen_ = true;
+      last_epoch_ = epoch;
+    } else if (window_ < max_window_) {
+      // The residual graph held still: widen while the realized discard
+      // rate says speculated answers are actually being consumed.
+      const uint64_t resolved = stats_.hits + stats_.misses;
+      const double rate =
+          resolved == 0
+              ? 0.0
+              : static_cast<double>(stats_.discarded) /
+                    static_cast<double>(resolved);
+      if (rate < discard_threshold_) {
+        window_ = std::min<uint32_t>(window_ * 2, max_window_);
+      }
+    }
+  }
+  window_trace_.push_back(window_);
   Entry& entry = entries_[position];
   if (!entry.valid) {
     ++stats_.misses;

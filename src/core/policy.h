@@ -104,6 +104,11 @@ struct AdaptiveRunResult {
   uint64_t speculation_discarded = 0;
   /// Speculative cross-candidate queries appended to round pools.
   uint64_t speculative_queries = 0;
+  /// Lookahead window in effect at each speculating candidate examination
+  /// (one entry per Begin while speculation is active; empty otherwise).
+  /// Under a fixed window this is constant; under adaptive_lookahead it
+  /// shows the widen/reset trajectory.
+  std::vector<uint32_t> lookahead_window_trace;
   /// Per-iteration telemetry (one record per examined candidate).
   std::vector<AdaptiveStepRecord> steps;
 };
@@ -125,6 +130,13 @@ class AdaptivePolicy {
   virtual Result<AdaptiveRunResult> Run(const ProfitProblem& problem,
                                         AdaptiveEnvironment* env,
                                         Rng* rng) = 0;
+
+  /// Injects an external SamplingEngine (not owned; nullptr restores the
+  /// policy's own). Default no-op: oracle-model and baseline policies don't
+  /// sample. RIS-backed policies (ADDATP, HATP) route all sampling through
+  /// it — the hook ExperimentRunner uses to share round pools across
+  /// worlds.
+  virtual void set_engine(SamplingEngine* /*engine*/) {}
 };
 
 /// Fills the realized spread/cost/profit fields of `result` from the final
@@ -266,6 +278,7 @@ class SpeculativeRoundPlanner {
     result->speculation_misses = stats_.misses;
     result->speculation_discarded = stats_.discarded;
     result->speculative_queries = stats_.speculative_queries;
+    result->lookahead_window_trace = window_trace_;
   }
 
  private:
@@ -301,7 +314,17 @@ class SpeculativeRoundPlanner {
                              uint64_t theta);
 
   bool batched_ = true;
+  /// Window in effect for the candidate under examination (fixed, or the
+  /// adaptive trajectory between base_window_ and max_window_).
   uint32_t window_ = 0;
+  bool adaptive_ = false;
+  uint32_t base_window_ = 0;
+  uint32_t max_window_ = 0;
+  double discard_threshold_ = 0.0;
+  /// Epoch seen by the previous speculating Begin (adaptive reset signal).
+  uint64_t last_epoch_ = 0;
+  bool epoch_seen_ = false;
+  std::vector<uint32_t> window_trace_;
   std::span<const NodeId> targets_;
   size_t position_ = 0;
   /// The answer activated by Begin for the candidate under examination.

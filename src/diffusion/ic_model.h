@@ -7,6 +7,7 @@
 #include "common/bit_vector.h"
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "rris/sampling_stats.h"
 
 namespace atpm {
 
@@ -18,13 +19,29 @@ namespace atpm {
 /// activated nor propagate — this is how residual graphs G_i of the adaptive
 /// process are simulated without copying the graph.
 ///
+/// `kernel` selects the edge-flip strategy, mirroring the reverse RR-set
+/// generator: the default geometric-jump kernel samples each expanded
+/// node's out-edge vector through the graph's out-direction weight-class
+/// index (one draw per successful edge on uniform / few-distinct /
+/// segmented-run vectors), which is statistically equivalent to — but a
+/// different RNG stream than — the historical one-Bernoulli-per-edge loop.
+/// Pass SamplingKernel::kPerEdge to reproduce pre-kernel spreads bit for
+/// bit for a fixed seed.
+///
+/// If `stats` is non-null, rng_draws and edges_examined accrue into it
+/// (each expanded node charges its full out-degree under both kernels, the
+/// same convention as the reverse generator), so DrawsPerEdge() is
+/// comparable across directions.
+///
 /// Returns the number of activated nodes (the spread I_G(S)); if
 /// `activated_out` is non-null, the activated nodes (including seeds) are
 /// appended to it in activation order. Seeds that are duplicated or lie in
 /// `removed` contribute nothing extra.
 uint32_t SimulateIC(const Graph& graph, std::span<const NodeId> seeds,
                     Rng* rng, const BitVector* removed = nullptr,
-                    std::vector<NodeId>* activated_out = nullptr);
+                    std::vector<NodeId>* activated_out = nullptr,
+                    SamplingKernel kernel = SamplingKernel::kGeometricJump,
+                    SamplingStats* stats = nullptr);
 
 /// Deterministic per-trial edge coin: edge `edge_index` is live in the trial
 /// identified by `salt` iff this returns true. Using a hash keyed on
@@ -57,10 +74,13 @@ uint32_t SpreadInHashedWorldLt(const Graph& graph,
 /// its activated in-neighbors reaches it. Equivalent to the live-edge
 /// process where each node keeps at most one incoming edge (Kempe et al.).
 /// Requires Σ_u p(u, v) <= 1 for every v (weighted cascade satisfies this
-/// with equality). Interface mirrors SimulateIC.
+/// with equality). Interface mirrors SimulateIC, except there is no kernel
+/// knob: the forward LT step draws one threshold per touched node, never
+/// per-edge coins, so there is nothing for a jump kernel to skip.
 uint32_t SimulateLT(const Graph& graph, std::span<const NodeId> seeds,
                     Rng* rng, const BitVector* removed = nullptr,
-                    std::vector<NodeId>* activated_out = nullptr);
+                    std::vector<NodeId>* activated_out = nullptr,
+                    SamplingStats* stats = nullptr);
 
 }  // namespace atpm
 

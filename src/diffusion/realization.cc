@@ -6,19 +6,23 @@ namespace atpm {
 
 namespace {
 
-// Jump-kernel IC world: flip each node's in-edge vector through the
-// weight-class index, paying one draw per live edge on uniform /
-// few-distinct vectors. Every edge appears in exactly one node's in-list,
-// so this covers the same independent flips as the per-edge forward sweep
-// — identical world distribution, different RNG stream.
-void SampleIcJump(const Graph& graph, Rng* rng, BitVector* live) {
-  uint64_t draws = 0;
+// Jump-kernel IC world, reverse sweep: flip each node's in-edge vector
+// through the weight-class index, paying one draw per live edge on
+// uniform / few-distinct vectors. Every edge appears in exactly one node's
+// in-list, so this covers the same independent flips as the per-edge
+// forward sweep — identical world distribution, different RNG stream.
+void SampleIcJumpReverse(const Graph& graph, Rng* rng, BitVector* live,
+                         uint64_t* draws) {
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     switch (graph.InWeightClass(v)) {
       case NodeWeightClass::kEmpty:
         break;
-      case NodeWeightClass::kUniform: {
-        GeometricSegmentScan(graph.InProbSegments(v), rng, &draws,
+      case NodeWeightClass::kUniform:
+      case NodeWeightClass::kSegmentedRuns: {
+        // Segment order is the original CSR order for both classes (the
+        // in-direction index never emits kSegmentedRuns today, but the
+        // handling is identical if it ever does).
+        GeometricSegmentScan(graph.InProbSegments(v), rng, draws,
                              [&](uint32_t j) {
                                live->Set(graph.InEdgeIndex(v, j));
                                return true;
@@ -28,7 +32,7 @@ void SampleIcJump(const Graph& graph, Rng* rng, BitVector* live) {
       case NodeWeightClass::kFewDistinct: {
         const auto slots = graph.JumpInSlots(v);
         GeometricSegmentScan(
-            graph.InProbSegments(v), rng, &draws, [&](uint32_t j) {
+            graph.InProbSegments(v), rng, draws, [&](uint32_t j) {
               live->Set(graph.InEdgeIndex(v, slots[j]));
               return true;
             });
@@ -37,7 +41,47 @@ void SampleIcJump(const Graph& graph, Rng* rng, BitVector* live) {
       case NodeWeightClass::kGeneral: {
         const auto probs = graph.InProbs(v);
         for (uint32_t j = 0; j < probs.size(); ++j) {
+          ++*draws;
           if (rng->Bernoulli(probs[j])) live->Set(graph.InEdgeIndex(v, j));
+        }
+        break;
+      }
+    }
+  }
+}
+
+// Jump-kernel IC world, forward sweep: the out-direction twin of the
+// above, over the forward weight-class index. Live bits are addressed by
+// OutEdgeIndex directly (the forward CSR owns the global edge numbering).
+void SampleIcJumpForward(const Graph& graph, Rng* rng, BitVector* live,
+                         uint64_t* draws) {
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    switch (graph.OutWeightClass(u)) {
+      case NodeWeightClass::kEmpty:
+        break;
+      case NodeWeightClass::kUniform:
+      case NodeWeightClass::kSegmentedRuns: {
+        GeometricSegmentScan(graph.OutProbSegments(u), rng, draws,
+                             [&](uint32_t j) {
+                               live->Set(graph.OutEdgeIndex(u, j));
+                               return true;
+                             });
+        break;
+      }
+      case NodeWeightClass::kFewDistinct: {
+        const auto slots = graph.JumpOutSlots(u);
+        GeometricSegmentScan(
+            graph.OutProbSegments(u), rng, draws, [&](uint32_t j) {
+              live->Set(graph.OutEdgeIndex(u, slots[j]));
+              return true;
+            });
+        break;
+      }
+      case NodeWeightClass::kGeneral: {
+        const auto probs = graph.OutProbs(u);
+        for (uint32_t j = 0; j < probs.size(); ++j) {
+          ++*draws;
+          if (rng->Bernoulli(probs[j])) live->Set(graph.OutEdgeIndex(u, j));
         }
         break;
       }
@@ -48,7 +92,8 @@ void SampleIcJump(const Graph& graph, Rng* rng, BitVector* live) {
 // Jump-kernel LT triggering sets: O(1) per-node picks via the LT plans,
 // landing on the original reverse-CSR slot so the live-edge bitmap is
 // addressed identically to the prefix scan.
-void SampleLtJump(const Graph& graph, Rng* rng, BitVector* live) {
+void SampleLtJump(const Graph& graph, Rng* rng, BitVector* live,
+                  uint64_t* draws) {
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     switch (graph.LtInPlan(v)) {
       case LtPickPlan::kNone:
@@ -57,6 +102,7 @@ void SampleLtJump(const Graph& graph, Rng* rng, BitVector* live) {
         const ProbSegment seg = graph.InProbSegments(v)[0];
         const double p = static_cast<double>(seg.prob);
         if (p <= 0.0) break;
+        ++*draws;
         const double j = rng->UniformDouble() / p;
         if (j < static_cast<double>(seg.length)) {
           live->Set(graph.InEdgeIndex(v, static_cast<uint32_t>(j)));
@@ -65,6 +111,7 @@ void SampleLtJump(const Graph& graph, Rng* rng, BitVector* live) {
       }
       case LtPickPlan::kAlias: {
         const auto slots = graph.LtAliasSlots(v);
+        ++*draws;
         const double x =
             rng->UniformDouble() * static_cast<double>(slots.size());
         uint32_t i = static_cast<uint32_t>(x);
@@ -77,6 +124,7 @@ void SampleLtJump(const Graph& graph, Rng* rng, BitVector* live) {
       }
       case LtPickPlan::kPrefix: {
         const auto probs = graph.InProbs(v);
+        ++*draws;
         double r = rng->UniformDouble();
         for (uint32_t j = 0; j < probs.size(); ++j) {
           if (r < probs[j]) {
@@ -94,27 +142,39 @@ void SampleLtJump(const Graph& graph, Rng* rng, BitVector* live) {
 }  // namespace
 
 Realization Realization::Sample(const Graph& graph, Rng* rng,
-                                DiffusionModel model, SamplingKernel kernel) {
+                                DiffusionModel model, SamplingKernel kernel,
+                                SamplingStats* stats) {
   BitVector live(graph.num_edges());
   const bool jump = kernel == SamplingKernel::kGeometricJump;
+  uint64_t draws = 0;
   if (model == DiffusionModel::kIndependentCascade) {
     if (jump) {
-      SampleIcJump(graph, rng, &live);
+      // Both sweeps flip every edge exactly once; take the direction whose
+      // index accelerates more edge mass (weighted cascade: the uniform
+      // in-vectors; trivalency / constant-p: either; hub-out-degree
+      // graphs: the forward segmented runs).
+      if (graph.OutJumpableEdges() >= graph.InJumpableEdges()) {
+        SampleIcJumpForward(graph, rng, &live, &draws);
+      } else {
+        SampleIcJumpReverse(graph, rng, &live, &draws);
+      }
     } else {
       for (NodeId u = 0; u < graph.num_nodes(); ++u) {
         const auto probs = graph.OutProbs(u);
         for (uint32_t j = 0; j < probs.size(); ++j) {
+          ++draws;
           if (rng->Bernoulli(probs[j])) live.Set(graph.OutEdgeIndex(u, j));
         }
       }
     }
   } else if (jump) {
-    SampleLtJump(graph, rng, &live);
+    SampleLtJump(graph, rng, &live, &draws);
   } else {
     // LT triggering sets: node v keeps in-edge j with probability
     // InProbs(v)[j]; with probability 1 - Σ it keeps none.
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
       const auto probs = graph.InProbs(v);
+      ++draws;
       double r = rng->UniformDouble();
       for (uint32_t j = 0; j < probs.size(); ++j) {
         if (r < probs[j]) {
@@ -124,6 +184,10 @@ Realization Realization::Sample(const Graph& graph, Rng* rng,
         r -= probs[j];
       }
     }
+  }
+  if (stats != nullptr) {
+    stats->rng_draws += draws;
+    stats->edges_examined += graph.num_edges();
   }
   return Realization(&graph, std::move(live));
 }

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "diffusion/diffusion_model.h"
 #include "graph/graph.h"
+#include "rris/sampling_stats.h"
 
 namespace atpm {
 
@@ -26,18 +27,30 @@ class Realization {
   ///   * LT: each node keeps at most one incoming edge, edge <u, v> with
   ///     probability p(u, v) (the triggering-set characterization).
   ///
-  /// `kernel` selects the flip strategy. The default per-edge kernel is
-  /// bit-stable across releases — worlds are the experimental ground truth
-  /// that fixed-seed runs are compared on, so recorded experiment tables
-  /// stay reproducible. kGeometricJump flips each node's in-edge vector
-  /// through the graph's weight-class index (one draw per *live* edge on
-  /// uniform / few-distinct vectors, O(1) LT picks): the same world
-  /// distribution from a different RNG stream, for large-scale world
-  /// generation where the O(m)-draw sweep dominates.
+  /// `kernel` selects the flip strategy. The default geometric-jump kernel
+  /// flips edges through the graph's weight-class index, paying roughly one
+  /// draw per *live* edge instead of one per edge (and O(1) LT picks). For
+  /// IC it scans whichever CSR direction indexes more jumpable edge mass —
+  /// every edge appears in exactly one node's list of either sweep, so the
+  /// direction is a pure implementation choice: the forward index wins on
+  /// trivalency / constant-p (and any graph with hub out-degrees), while
+  /// weighted cascade's in-vectors are uniform and keep the reverse sweep.
+  /// The same world distribution as kPerEdge, from a different RNG stream.
+  ///
+  /// kPerEdge is the bit-stable historical sweep — worlds are the
+  /// experimental ground truth fixed-seed runs are compared on, so recorded
+  /// tables from pre-jump releases need that knob to reproduce exactly
+  /// (the checked-in experiment artifacts were re-baselined when the
+  /// default flipped).
+  ///
+  /// If `stats` is non-null, rng_draws accrues into it and every edge
+  /// charges one edges_examined under either kernel, so DrawsPerEdge()
+  /// measures the sweep's draw reduction directly.
   static Realization Sample(
       const Graph& graph, Rng* rng,
       DiffusionModel model = DiffusionModel::kIndependentCascade,
-      SamplingKernel kernel = SamplingKernel::kPerEdge);
+      SamplingKernel kernel = SamplingKernel::kGeometricJump,
+      SamplingStats* stats = nullptr);
 
   /// Builds a world with an explicit live-edge mask (tests, enumeration).
   static Realization FromLiveEdges(const Graph& graph, BitVector live_edges);

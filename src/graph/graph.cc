@@ -94,6 +94,71 @@ void BuildAliasTable(const std::vector<double>& weights,
   for (uint32_t s : small) slots[s] = LtAliasSlot{1.0, s};
 }
 
+// Fills run_any_prob over segments [begin, end): suffix any-success
+// probabilities within each maximal run of jump segments, back to front.
+// run_any_prob of a segment covers the run from it to the run's end, which
+// is exactly what the scan's remaining suffix is whenever it sits at a
+// segment boundary.
+void FillRunAnyProb(std::vector<ProbSegment>* segments, size_t begin) {
+  double suffix_ln = 0.0;
+  for (size_t i = segments->size(); i-- > begin;) {
+    ProbSegment& seg = (*segments)[i];
+    if (seg.log1p_neg == 0.0) {
+      suffix_ln = 0.0;  // run boundary
+      continue;
+    }
+    suffix_ln += static_cast<double>(seg.length) * seg.log1p_neg;
+    seg.run_any_prob = -std::expm1(suffix_ln);
+  }
+}
+
+// Decides whether an irregular (all-distinct or overflowed) probability
+// vector is still worth segmenting as one length-1 segment per edge in the
+// original CSR order, so the cross-segment geometric walk can share draws
+// across runs of consecutive low-probability edges. The walk costs about
+// one draw per success plus one terminal draw per maximal jump run (gated
+// and degenerate edges cost what they cost per-edge); require a clear 2x
+// draw advantage over the per-edge loop before paying the extra segment
+// storage and dispatch.
+bool SegmentedRunsProfitable(std::span<const float> probs) {
+  const uint32_t deg = static_cast<uint32_t>(probs.size());
+  if (deg < 3) return false;
+  double per_edge_draws = 0.0;
+  double segmented_draws = 0.0;
+  bool in_run = false;
+  for (float pf : probs) {
+    const double p = static_cast<double>(pf);
+    if (p <= 0.0 || p >= 1.0) {
+      in_run = false;  // degenerate: drawless under both kernels
+      continue;
+    }
+    per_edge_draws += 1.0;
+    if (JumpFactor(1, pf) != 0.0) {
+      if (!in_run) {
+        segmented_draws += 1.0;  // the run's terminal no-more-success draw
+        in_run = true;
+      }
+      segmented_draws += p;  // one draw per success
+    } else {
+      segmented_draws += 1.0;  // gate-rejected: linear Bernoulli either way
+      in_run = false;
+    }
+  }
+  return segmented_draws * 2.0 <= per_edge_draws;
+}
+
+// Edges sampled without per-edge draws: jump-enabled segments plus the
+// drawless degenerate ones — the WeightClassProfile jumpable criterion.
+uint64_t CountJumpableEdges(const std::vector<ProbSegment>& segments) {
+  uint64_t jumpable = 0;
+  for (const ProbSegment& seg : segments) {
+    if (seg.log1p_neg != 0.0 || seg.prob <= 0.0f || seg.prob >= 1.0f) {
+      jumpable += seg.length;
+    }
+  }
+  return jumpable;
+}
+
 }  // namespace
 
 void Graph::RebuildInWeightIndex() {
@@ -217,29 +282,103 @@ void Graph::RebuildInWeightIndex() {
       lt_plan_[v] = static_cast<uint8_t>(LtPickPlan::kPrefix);
     }
 
-    // Suffix any-success probabilities within each maximal run of jump
-    // segments, back to front: run_any_prob of a segment covers the run
-    // from it to the run's end, which is exactly what the scan's remaining
-    // suffix is whenever it sits at a segment boundary.
-    {
-      const size_t seg_begin = seg_offsets_[v];
-      const size_t seg_end = in_segments_.size();
-      double suffix_ln = 0.0;
-      for (size_t i = seg_end; i-- > seg_begin;) {
-        ProbSegment& seg = in_segments_[i];
-        if (seg.log1p_neg == 0.0) {
-          suffix_ln = 0.0;  // run boundary
-          continue;
-        }
-        suffix_ln += static_cast<double>(seg.length) * seg.log1p_neg;
-        seg.run_any_prob = -std::expm1(suffix_ln);
-      }
-    }
+    FillRunAnyProb(&in_segments_, seg_offsets_[v]);
 
     seg_offsets_[v + 1] = in_segments_.size();
     jump_offsets_[v + 1] = jump_in_arcs_.size();
     lt_alias_offsets_[v + 1] = lt_alias_.size();
   }
+  in_jumpable_edges_ = CountJumpableEdges(in_segments_);
+}
+
+void Graph::RebuildOutWeightIndex() {
+  const NodeId n = n_;
+  out_class_.assign(n, NodeWeightClass::kEmpty);
+  out_seg_offsets_.assign(n + 1, 0);
+  out_segments_.clear();
+  out_jump_offsets_.assign(n + 1, 0);
+  jump_out_arcs_.clear();
+  jump_out_slots_.clear();
+
+  float values[kMaxDistinctInProbs];
+  uint32_t counts[kMaxDistinctInProbs];
+
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neigh = OutNeighbors(u);
+    const auto probs = OutProbs(u);
+    const uint32_t deg = static_cast<uint32_t>(neigh.size());
+    if (deg == 0) {
+      out_seg_offsets_[u + 1] = out_segments_.size();
+      out_jump_offsets_[u + 1] = jump_out_arcs_.size();
+      continue;
+    }
+
+    // Distinct-value census, capped at kMaxDistinctInProbs (same census as
+    // the in-direction; no LT mass needed — forward LT has no edge picks).
+    uint32_t num_distinct = 0;
+    bool overflow = false;
+    for (uint32_t j = 0; j < deg; ++j) {
+      const float p = probs[j];
+      uint32_t d = 0;
+      while (d < num_distinct && values[d] != p) ++d;
+      if (d == num_distinct) {
+        if (num_distinct == kMaxDistinctInProbs) {
+          overflow = true;
+          break;
+        }
+        values[num_distinct] = p;
+        counts[num_distinct] = 0;
+        ++num_distinct;
+      }
+      ++counts[d];
+    }
+
+    if (!overflow && num_distinct == 1) {
+      out_class_[u] = NodeWeightClass::kUniform;
+      out_segments_.push_back(
+          ProbSegment{deg, values[0], JumpFactor(deg, values[0]), 0.0});
+    } else if (!overflow && num_distinct < deg) {
+      out_class_[u] = NodeWeightClass::kFewDistinct;
+      // Contiguous same-p runs, descending by probability — mirrors the
+      // in-direction grouping (order is statistically irrelevant for
+      // independent trials).
+      uint32_t order[kMaxDistinctInProbs];
+      for (uint32_t d = 0; d < num_distinct; ++d) order[d] = d;
+      std::sort(order, order + num_distinct, [&](uint32_t a, uint32_t b) {
+        return values[a] > values[b];
+      });
+      for (uint32_t oi = 0; oi < num_distinct; ++oi) {
+        const uint32_t d = order[oi];
+        out_segments_.push_back(ProbSegment{
+            counts[d], values[d], JumpFactor(counts[d], values[d]), 0.0});
+        for (uint32_t j = 0; j < deg; ++j) {
+          if (probs[j] == values[d]) {
+            jump_out_arcs_.push_back(OutArc{neigh[j], values[d]});
+            jump_out_slots_.push_back(j);
+          }
+        }
+      }
+    } else if (SegmentedRunsProfitable(probs)) {
+      // Irregular vector, but predominantly low-probability: one length-1
+      // segment per edge in the ORIGINAL CSR order. Runs of consecutive
+      // jump-enabled edges then share draws in the cross-segment walk —
+      // the weighted-cascade forward case (p(u, v) = 1/indeg(v), almost
+      // always all-distinct, almost always tiny on hub-heavy graphs).
+      out_class_[u] = NodeWeightClass::kSegmentedRuns;
+      for (uint32_t j = 0; j < deg; ++j) {
+        out_segments_.push_back(
+            ProbSegment{1, probs[j], JumpFactor(1, probs[j]), 0.0});
+      }
+    } else {
+      out_class_[u] = NodeWeightClass::kGeneral;
+    }
+
+    FillRunAnyProb(&out_segments_, out_seg_offsets_[u]);
+
+    out_seg_offsets_[u + 1] = out_segments_.size();
+    out_jump_offsets_[u + 1] = jump_out_arcs_.size();
+  }
+  out_jumpable_edges_ = CountJumpableEdges(out_segments_);
 }
 
 WeightClassProfile Graph::InWeightClassProfile() const {
@@ -259,6 +398,9 @@ WeightClassProfile Graph::InWeightClassProfile() const {
       case NodeWeightClass::kGeneral:
         ++profile.general_nodes;
         break;
+      case NodeWeightClass::kSegmentedRuns:
+        ++profile.segmented_nodes;
+        break;
     }
     // Count what the jump kernel actually avoids paying per-edge draws
     // for: jump-enabled segments plus the drawless degenerate ones.
@@ -273,6 +415,38 @@ WeightClassProfile Graph::InWeightClassProfile() const {
     if (plan == LtPickPlan::kUniform || plan == LtPickPlan::kAlias) {
       ++profile.lt_fast_nodes;
     }
+  }
+  return profile;
+}
+
+WeightClassProfile Graph::OutWeightClassProfile() const {
+  WeightClassProfile profile;
+  profile.total_edges = num_edges();
+  for (NodeId u = 0; u < n_; ++u) {
+    switch (OutWeightClass(u)) {
+      case NodeWeightClass::kEmpty:
+        ++profile.empty_nodes;
+        break;
+      case NodeWeightClass::kUniform:
+        ++profile.uniform_nodes;
+        break;
+      case NodeWeightClass::kFewDistinct:
+        ++profile.few_distinct_nodes;
+        break;
+      case NodeWeightClass::kGeneral:
+        ++profile.general_nodes;
+        break;
+      case NodeWeightClass::kSegmentedRuns:
+        ++profile.segmented_nodes;
+        break;
+    }
+    for (const ProbSegment& seg : OutProbSegments(u)) {
+      if (seg.log1p_neg != 0.0 || seg.prob <= 0.0f || seg.prob >= 1.0f) {
+        profile.jumpable_edges += seg.length;
+      }
+    }
+    // lt_fast_nodes stays 0: the forward LT step draws one threshold per
+    // node, there is no out-direction edge pick to plan.
   }
   return profile;
 }

@@ -42,24 +42,35 @@ enum class SamplingKernel : uint8_t {
 /// Human-readable kernel name ("geometric-jump" / "per-edge").
 const char* SamplingKernelName(SamplingKernel kernel);
 
-/// Classification of one node's in-edge probability vector, computed at
-/// graph build / weighting time (RebuildInWeightIndex). The classes are
-/// what make geometric-jump sampling possible: within a run of equal-
-/// probability edges, the index of the next successful edge is geometric,
-/// so one draw replaces one Bernoulli per edge.
+/// Classification of one node's edge probability vector, computed at
+/// graph build / weighting time (RebuildWeightIndex) for both CSR
+/// directions. The classes are what make geometric-jump sampling possible:
+/// within a run of equal-probability edges, the index of the next
+/// successful edge is geometric, so one draw replaces one Bernoulli per
+/// edge.
 enum class NodeWeightClass : uint8_t {
-  /// In-degree 0 — nothing to sample.
+  /// Degree 0 — nothing to sample.
   kEmpty,
-  /// Every in-edge has the same probability (weighted cascade: p = 1/indeg;
-  /// constant-p). One segment over the reverse CSR in its original order.
+  /// Every edge has the same probability (weighted cascade in-vectors:
+  /// p = 1/indeg; constant-p). One segment over the CSR in its original
+  /// order.
   kUniform,
   /// At most kMaxDistinctInProbs distinct probabilities (trivalency's
-  /// {0.1, 0.01, 0.001}). The jump view groups the in-edges by probability
+  /// {0.1, 0.01, 0.001}). The jump view groups the edges by probability
   /// into contiguous same-p segments.
   kFewDistinct,
   /// Anything else — the per-edge Bernoulli loop is used (over the
   /// interleaved jump view for cache locality).
   kGeneral,
+  /// Irregular vector (all-distinct or more than kMaxDistinctInProbs
+  /// values) whose probabilities are nonetheless low enough that splitting
+  /// it into per-edge length-1 segments — in the ORIGINAL CSR order, so no
+  /// arc/slot reorder view is materialized — lets the cross-segment
+  /// geometric walk share one draw per success across whole runs. This is
+  /// what accelerates weighted-cascade OUT-vectors, where p(u, v) =
+  /// 1/indeg(v) differs per target; only the out-direction index emits
+  /// this class today (the in-direction census is kept bit-stable).
+  kSegmentedRuns,
 };
 
 /// Distinct-value cap for NodeWeightClass::kFewDistinct.
@@ -92,6 +103,12 @@ struct InArc {
   float prob = 0.0f;
 };
 
+/// Forward-CSR counterpart of InArc for the forward jump kernels.
+struct OutArc {
+  NodeId dst = 0;
+  float prob = 0.0f;
+};
+
 /// How the LT reverse step should pick a node's (at most one) in-neighbor.
 enum class LtPickPlan : uint8_t {
   /// In-degree 0: no pick, no draw.
@@ -118,15 +135,19 @@ struct LtAliasSlot {
   uint32_t alias = 0;
 };
 
-/// Aggregate weight-class census of a graph's reverse CSR — what fraction
-/// of the edge mass the geometric-jump kernel can actually accelerate.
+/// Aggregate weight-class census of one CSR direction — what fraction of
+/// the edge mass the geometric-jump kernel can actually accelerate.
 /// Exposed to the diffusion oracles and the bench layer via
-/// Graph::InWeightClassProfile().
+/// Graph::InWeightClassProfile() / Graph::OutWeightClassProfile().
 struct WeightClassProfile {
   NodeId empty_nodes = 0;
   NodeId uniform_nodes = 0;
   NodeId few_distinct_nodes = 0;
   NodeId general_nodes = 0;
+  /// Nodes whose irregular vector is split into per-edge segments
+  /// (NodeWeightClass::kSegmentedRuns). Only the out-direction census can
+  /// be nonzero today.
+  NodeId segmented_nodes = 0;
   /// Edges the jump kernel samples without per-edge draws: jump-enabled
   /// segments plus the drawless degenerate (p in {0, 1}) ones. Edges of
   /// gate-rejected segments (short / high-probability runs that keep the
@@ -246,7 +267,7 @@ class Graph {
             static_cast<float>(prob_fn(neigh[j], v));
       }
     }
-    RebuildInWeightIndex();
+    RebuildWeightIndex();
   }
 
   // ---- Weight-class index over the reverse CSR (the geometric-jump
@@ -310,10 +331,72 @@ class Graph {
   /// sampling workload — callers that log it per decision should cache).
   WeightClassProfile InWeightClassProfile() const;
 
+  // ---- Weight-class index over the forward CSR — the same substrate for
+  // the forward direction (SimulateIC, Realization::Sample). Built by the
+  // same hooks, so it can never go stale relative to the in-direction one.
+
+  /// Classification of u's out-edge probability vector.
+  NodeWeightClass OutWeightClass(NodeId u) const {
+    ATPM_DCHECK(u < n_);
+    return out_class_[u];
+  }
+
+  /// Same-probability segments of u's jump-ordered out-edge view. One
+  /// segment for kUniform and one *per edge* for kSegmentedRuns (both in
+  /// the original CSR order), up to kMaxDistinctInProbs for kFewDistinct
+  /// (grouped by descending probability), empty for kEmpty / kGeneral.
+  std::span<const ProbSegment> OutProbSegments(NodeId u) const {
+    ATPM_DCHECK(u < n_);
+    return {out_segments_.data() + out_seg_offsets_[u],
+            static_cast<size_t>(out_seg_offsets_[u + 1] -
+                                out_seg_offsets_[u])};
+  }
+
+  /// Interleaved (neighbor, prob) out-edge view of u grouped into same-p
+  /// runs; non-empty exactly for kFewDistinct nodes (kUniform and
+  /// kSegmentedRuns scan the original CSR directly).
+  std::span<const OutArc> JumpOutArcs(NodeId u) const {
+    ATPM_DCHECK(u < n_);
+    return {jump_out_arcs_.data() + out_jump_offsets_[u],
+            static_cast<size_t>(out_jump_offsets_[u + 1] -
+                                out_jump_offsets_[u])};
+  }
+
+  /// Original forward-CSR slot of each JumpOutArcs entry (same extent):
+  /// JumpOutArcs(u)[i] is the out-edge at OutNeighbors(u)[JumpOutSlots(u)[i]].
+  std::span<const uint32_t> JumpOutSlots(NodeId u) const {
+    ATPM_DCHECK(u < n_);
+    return {jump_out_slots_.data() + out_jump_offsets_[u],
+            static_cast<size_t>(out_jump_offsets_[u + 1] -
+                                out_jump_offsets_[u])};
+  }
+
+  /// Census of the out-direction weight classes. lt_fast_nodes is always 0
+  /// here: the forward LT step draws per-node thresholds, not per-edge
+  /// picks, so there is no out-direction LT plan.
+  WeightClassProfile OutWeightClassProfile() const;
+
+  /// Cached jumpable-edge totals of each direction (the profiles'
+  /// jumpable_edges, maintained by the rebuilds) — lets hot paths such as
+  /// Realization::Sample choose the better scan direction without an O(n)
+  /// census per call.
+  uint64_t InJumpableEdges() const { return in_jumpable_edges_; }
+  uint64_t OutJumpableEdges() const { return out_jumpable_edges_; }
+
   /// Recomputes the weight-class index from the current in-edge
   /// probabilities. Public for callers that mutate probabilities outside
   /// AssignProbabilities; idempotent.
   void RebuildInWeightIndex();
+
+  /// Out-direction counterpart of RebuildInWeightIndex.
+  void RebuildOutWeightIndex();
+
+  /// Rebuilds both directions — the hook GraphBuilder::Build and
+  /// AssignProbabilities call.
+  void RebuildWeightIndex() {
+    RebuildInWeightIndex();
+    RebuildOutWeightIndex();
+  }
 
  private:
   friend class GraphBuilder;
@@ -342,6 +425,17 @@ class Graph {
   std::vector<uint8_t> lt_plan_;
   std::vector<uint64_t> lt_alias_offsets_{0};
   std::vector<LtAliasSlot> lt_alias_;
+
+  // Out-direction weight-class index (see RebuildOutWeightIndex). Same
+  // CSR-addressed layout as the in-direction arrays above.
+  std::vector<NodeWeightClass> out_class_;
+  std::vector<uint64_t> out_seg_offsets_{0};
+  std::vector<ProbSegment> out_segments_;
+  std::vector<uint64_t> out_jump_offsets_{0};
+  std::vector<OutArc> jump_out_arcs_;
+  std::vector<uint32_t> jump_out_slots_;
+  uint64_t in_jumpable_edges_ = 0;
+  uint64_t out_jumpable_edges_ = 0;
 };
 
 }  // namespace atpm

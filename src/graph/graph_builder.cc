@@ -84,7 +84,7 @@ Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) {
   // Classify every in-edge probability vector so the geometric-jump
   // kernels are ready the moment the graph exists; AssignProbabilities
   // re-runs this whenever a weighting scheme replaces the probabilities.
-  g.RebuildInWeightIndex();
+  g.RebuildWeightIndex();
 
   return g;
 }

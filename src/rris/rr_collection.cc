@@ -24,12 +24,11 @@ void RRCollection::AppendShard(std::span<const NodeId> nodes,
 uint64_t RRCollection::Generate(RRSetGenerator* generator,
                                 const BitVector* removed, uint32_t num_alive,
                                 uint64_t count, Rng* rng) {
-  std::vector<NodeId> buffer;
-  uint64_t edges = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    edges += generator->Generate(removed, num_alive, rng, &buffer);
-    AddSet(buffer);
-  }
+  std::vector<NodeId> nodes;
+  std::vector<uint32_t> set_sizes;
+  const uint64_t edges = generator->GenerateBatch(removed, num_alive, count,
+                                                  rng, &nodes, &set_sizes);
+  AppendShard(nodes, set_sizes);
   return edges;
 }
 

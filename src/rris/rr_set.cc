@@ -156,11 +156,15 @@ bool ExpandIcJump(const Graph& g, NodeId v, Rng* rng, uint64_t* draws,
 }
 
 // True iff the jump kernel has a fast path for v's class (kEmpty expands
-// to nothing either way; kGeneral keeps the per-edge loop).
+// to nothing either way; kGeneral keeps the per-edge loop). kSegmentedRuns
+// scans its CSR-ordered per-edge segments through the same path as
+// kUniform — the in-direction index never emits it today, but the
+// expansion is correct if it ever does.
 bool HasJumpPath(const Graph& g, NodeId v) {
   const NodeWeightClass cls = g.InWeightClass(v);
   return cls == NodeWeightClass::kUniform ||
-         cls == NodeWeightClass::kFewDistinct;
+         cls == NodeWeightClass::kFewDistinct ||
+         cls == NodeWeightClass::kSegmentedRuns;
 }
 
 }  // namespace
@@ -168,10 +172,36 @@ bool HasJumpPath(const Graph& g, NodeId v) {
 uint64_t RRSetGenerator::Generate(const BitVector* removed, uint32_t num_alive,
                                   Rng* rng, std::vector<NodeId>* out) {
   out->clear();
+  alive_cache_valid_ = false;  // the residual graph may have moved on
+  return GenerateOne(removed, num_alive, rng, out);
+}
+
+uint64_t RRSetGenerator::GenerateBatch(const BitVector* removed,
+                                       uint32_t num_alive, uint64_t count,
+                                       Rng* rng, std::vector<NodeId>* nodes,
+                                       std::vector<uint32_t>* set_sizes) {
+  // One invalidation for the whole block: every root draw of the batch
+  // shares one alive-list build on depleted residual graphs, instead of
+  // paying the O(n) rebuild per set like a Generate loop would. Root
+  // sampling consumes the same stream either way (cache validity never
+  // changes RNG consumption), so the batch is bit-identical to the loop.
+  alive_cache_valid_ = false;
+  uint64_t edges_examined = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const size_t begin = nodes->size();
+    edges_examined += GenerateOne(removed, num_alive, rng, nodes);
+    set_sizes->push_back(static_cast<uint32_t>(nodes->size() - begin));
+  }
+  return edges_examined;
+}
+
+uint64_t RRSetGenerator::GenerateOne(const BitVector* removed,
+                                     uint32_t num_alive, Rng* rng,
+                                     std::vector<NodeId>* out) {
   const Graph& g = *graph_;
   visited_.NextEpoch();
-  alive_cache_valid_ = false;  // the residual graph may have moved on
   uint64_t draws = 0;
+  const size_t begin = out->size();
 
   const NodeId root = SampleAliveRoot(removed, num_alive, rng, &draws);
   visited_.Mark(root);
@@ -190,7 +220,7 @@ uint64_t RRSetGenerator::Generate(const BitVector* removed, uint32_t num_alive,
     }
     return true;
   };
-  for (size_t head = 0; head < out->size(); ++head) {
+  for (size_t head = begin; head < out->size(); ++head) {
     const NodeId v = (*out)[head];
     if (model_ == DiffusionModel::kLinearThreshold) {
       edges_examined += g.InDegree(v);

@@ -28,12 +28,17 @@ SerialSamplingEngine::SerialSamplingEngine(const Graph& graph,
 RRCollection& SerialSamplingEngine::GeneratePool(const BitVector* removed,
                                                  uint32_t num_alive,
                                                  uint64_t count, Rng* rng) {
-  uint64_t edges = 0;
+  // Batched block generation straight into the shard layout: one splice
+  // into the pool CSR instead of a staging copy per set, and one shared
+  // alive-list build per block. Bit-identical sets to the historical
+  // Generate + AddSet loop on the same stream.
+  shard_nodes_.clear();
+  shard_sizes_.clear();
   const uint64_t draws_before = generator_.rng_draws();
-  for (uint64_t i = 0; i < count; ++i) {
-    edges += generator_.Generate(removed, num_alive, rng, &buffer_);
-    pool_.AddSet(buffer_);
-  }
+  const uint64_t edges = generator_.GenerateBatch(removed, num_alive, count,
+                                                  rng, &shard_nodes_,
+                                                  &shard_sizes_);
+  pool_.AppendShard(shard_nodes_, shard_sizes_);
   edges_examined_ += edges;
   stats_.rr_sets_generated += count;
   stats_.edges_examined += edges;
@@ -148,13 +153,12 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
   const uint64_t base_seed = rng->Next();
   if (workers_.size() <= 1 || count < min_parallel_batch_) {
     Rng local(base_seed);
-    uint64_t edges = 0;
+    shard_nodes_.clear();
+    shard_sizes_.clear();
     const uint64_t draws_before = inline_generator_.rng_draws();
-    for (uint64_t i = 0; i < count; ++i) {
-      edges += inline_generator_.Generate(removed, num_alive, &local,
-                                          &buffer_);
-      pool_.AddSet(buffer_);
-    }
+    const uint64_t edges = inline_generator_.GenerateBatch(
+        removed, num_alive, count, &local, &shard_nodes_, &shard_sizes_);
+    pool_.AppendShard(shard_nodes_, shard_sizes_);
     edges_examined_ += edges;
     stats_.rr_sets_generated += count;
     stats_.edges_examined += edges;
@@ -167,17 +171,12 @@ RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
     Worker& worker = workers_[w];
     worker.shard_nodes.clear();
     worker.shard_sizes.clear();
-    worker.edges_result = 0;
     const uint64_t draws_before = worker.generator->rng_draws();
     Rng local(SplitSeed(base_seed, w));
-    std::vector<NodeId>& buffer = worker.rr_buffer;
-    for (uint64_t i = 0; i < worker.quota; ++i) {
-      worker.edges_result +=
-          worker.generator->Generate(removed, num_alive, &local, &buffer);
-      worker.shard_nodes.insert(worker.shard_nodes.end(), buffer.begin(),
-                                buffer.end());
-      worker.shard_sizes.push_back(static_cast<uint32_t>(buffer.size()));
-    }
+    worker.edges_result =
+        worker.generator->GenerateBatch(removed, num_alive, worker.quota,
+                                        &local, &worker.shard_nodes,
+                                        &worker.shard_sizes);
     worker.draws_result = worker.generator->rng_draws() - draws_before;
   });
 

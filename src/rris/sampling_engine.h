@@ -17,6 +17,7 @@
 #include "rris/coverage_batch.h"
 #include "rris/rr_collection.h"
 #include "rris/rr_set.h"
+#include "rris/sampling_stats.h"
 
 namespace atpm {
 
@@ -79,6 +80,22 @@ struct SamplingOptions {
   /// default) disables speculation and is bit-identical to plain batched
   /// rounds for a fixed seed. Requires batched_rounds; ignored otherwise.
   uint32_t lookahead_window = 0;
+  /// Adaptive window control: when true (and speculation is active, i.e.
+  /// lookahead_window > 0 with batched rounds), the window widens
+  /// geometrically up to max_lookahead_window while the observed discard
+  /// rate stays below lookahead_discard_threshold, and resets to
+  /// lookahead_window whenever the residual-graph epoch moves (a seeding
+  /// voids every in-flight answer, so a wide window right after one only
+  /// buys wasted queries). Decision sequences are identical to any fixed
+  /// window — speculation serves the exact answers a native first round
+  /// would compute; only the sampling layout adapts.
+  bool adaptive_lookahead = false;
+  /// Widest window adaptive control may reach (clamped to at least
+  /// lookahead_window).
+  uint32_t max_lookahead_window = 64;
+  /// Discard-rate bar for widening: while discarded / resolved candidates
+  /// stays below this, a stable residual graph keeps doubling the window.
+  double lookahead_discard_threshold = 0.25;
   /// RR-generation kernel. The default geometric-jump kernel is
   /// statistically equivalent to the historical per-edge loop but consumes
   /// a different RNG stream; set kPerEdge to reproduce pre-kernel decision
@@ -92,45 +109,6 @@ struct SamplingOptions {
     engine_options.num_threads = num_threads;
     engine_options.kernel = kernel;
     return engine_options;
-  }
-};
-
-/// Cumulative sampling-effort accounting, aggregated across an engine's
-/// whole lifetime (ResetStats to re-baseline). Unlike total_edges_examined,
-/// which is pool-scoped EPT accounting zeroed by ResetPool, these counters
-/// also cover the throwaway counting paths — they are what the benchmarks
-/// report as "RR sets generated" and "reuse ratio".
-struct SamplingStats {
-  /// RR sets sampled by GeneratePool + every counting query.
-  uint64_t rr_sets_generated = 0;
-  /// Edges examined by all of the above (the IMM/EPT cost proxy).
-  uint64_t edges_examined = 0;
-  /// Throwaway pools sampled by counting queries (one per batch call).
-  uint64_t count_pools = 0;
-  /// Coverage queries answered by those pools (>= count_pools; the ratio
-  /// coverage_queries / count_pools is the pool-reuse factor — 1.0 for the
-  /// historical one-pool-per-query sampling, 2.0 for batched front/rear
-  /// rounds).
-  uint64_t coverage_queries = 0;
-  /// RNG draws consumed by the generation kernels (root sampling + edge
-  /// trials + LT picks). The per-edge kernel pays ~1 draw per alive
-  /// unvisited edge; the geometric-jump kernel ~1 per successful edge —
-  /// rng_draws / edges_examined is the headline reduction of the
-  /// weight-class-aware kernel.
-  uint64_t rng_draws = 0;
-
-  /// Queries answered per throwaway pool (0 if no counting ran).
-  double ReuseRatio() const {
-    return count_pools == 0 ? 0.0
-                            : static_cast<double>(coverage_queries) /
-                                  static_cast<double>(count_pools);
-  }
-
-  /// RNG draws per edge examined (0 if nothing ran).
-  double DrawsPerEdge() const {
-    return edges_examined == 0 ? 0.0
-                               : static_cast<double>(rng_draws) /
-                                     static_cast<double>(edges_examined);
   }
 };
 
@@ -272,7 +250,10 @@ class SerialSamplingEngine final : public SamplingEngine {
   DiffusionModel model_;
   RRSetGenerator generator_;
   RRCollection pool_;
-  std::vector<NodeId> buffer_;
+  /// Batch staging in AppendShard layout (flat nodes + per-set sizes),
+  /// reused across GeneratePool calls so the hot loop never reallocates.
+  std::vector<NodeId> shard_nodes_;
+  std::vector<uint32_t> shard_sizes_;
   uint64_t edges_examined_ = 0;
 };
 
@@ -334,9 +315,6 @@ class ParallelSamplingEngine final : public SamplingEngine {
     uint64_t draws_result = 0;
     std::vector<NodeId> shard_nodes;
     std::vector<uint32_t> shard_sizes;
-    /// Scratch for one RR set during pool generation (persists across jobs
-    /// so the hot loop never reallocates).
-    std::vector<NodeId> rr_buffer;
   };
 
   /// Runs `body(worker_index)` on every pool thread and blocks until all
@@ -354,7 +332,9 @@ class ParallelSamplingEngine final : public SamplingEngine {
   uint64_t edges_examined_ = 0;
   /// Serial fallback generator for sub-threshold queries.
   RRSetGenerator inline_generator_;
-  std::vector<NodeId> buffer_;
+  /// Inline-path batch staging in AppendShard layout.
+  std::vector<NodeId> shard_nodes_;
+  std::vector<uint32_t> shard_sizes_;
 
   std::vector<Worker> workers_;
   std::vector<std::thread> threads_;

@@ -1,0 +1,381 @@
+// Forward-jump diffusion kernel: statistical agreement with the per-edge
+// sweep across weightings and models, exact equality on degenerate
+// probabilities, draws-per-edge reduction, and bit-compatibility of the
+// kPerEdge knob with the pre-kernel forward streams (goldens captured on
+// the release that preceded the default flip).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "diffusion/ic_model.h"
+#include "diffusion/realization.h"
+#include "graph/generators.h"
+#include "graph/weighting.h"
+#include "rris/sampling_stats.h"
+
+namespace atpm {
+namespace {
+
+enum class Weighting { kWeightedCascade, kTrivalency, kUniformRandom };
+
+Graph TestGraph(NodeId n, Weighting weighting, uint32_t edges_per_node = 2) {
+  Rng rng(7);
+  BarabasiAlbertOptions options;
+  options.num_nodes = n;
+  options.edges_per_node = edges_per_node;
+  Graph g = GenerateBarabasiAlbert(options, &rng).value();
+  switch (weighting) {
+    case Weighting::kWeightedCascade:
+      ApplyWeightedCascade(&g);
+      break;
+    case Weighting::kTrivalency: {
+      Rng wrng(99);
+      ApplyTrivalency(&g, &wrng);
+      break;
+    }
+    case Weighting::kUniformRandom: {
+      Rng wrng(17);
+      ApplyUniformRandomProbability(&g, 0.05, 0.5, &wrng);
+      break;
+    }
+  }
+  return g;
+}
+
+const std::vector<NodeId> kSeeds = {0, 1, 2, 3, 4};
+
+// --- Statistical agreement: the kernels consume different RNG streams but
+// must estimate the same expected spread. Mean over kTrials simulations,
+// compared within 3 sigma of the combined standard error.
+
+struct MeanVar {
+  double mean = 0.0;
+  double stderr2 = 0.0;  // squared standard error of the mean
+};
+
+template <typename SampleFn>
+MeanVar EstimateMean(int trials, SampleFn sample) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const double x = sample(t);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(trials);
+  MeanVar mv;
+  mv.mean = sum / n;
+  const double var = (sum_sq - sum * sum / n) / (n - 1.0);
+  mv.stderr2 = var / n;
+  return mv;
+}
+
+void ExpectAgreement(const MeanVar& a, const MeanVar& b, const char* label) {
+  const double sigma = std::sqrt(a.stderr2 + b.stderr2);
+  EXPECT_LE(std::abs(a.mean - b.mean), 3.0 * sigma + 1e-9)
+      << label << ": " << a.mean << " vs " << b.mean << " (sigma " << sigma
+      << ")";
+}
+
+class KernelAgreementTest : public ::testing::TestWithParam<Weighting> {};
+
+TEST_P(KernelAgreementTest, SimulateIcSpreadsAgree) {
+  const Graph g = TestGraph(500, GetParam());
+  constexpr int kTrials = 4000;
+  Rng rng_jump(11);
+  const MeanVar jump = EstimateMean(kTrials, [&](int) {
+    return static_cast<double>(
+        SimulateIC(g, kSeeds, &rng_jump, nullptr, nullptr,
+                   SamplingKernel::kGeometricJump));
+  });
+  Rng rng_edge(13);
+  const MeanVar edge = EstimateMean(kTrials, [&](int) {
+    return static_cast<double>(SimulateIC(g, kSeeds, &rng_edge, nullptr,
+                                          nullptr, SamplingKernel::kPerEdge));
+  });
+  ExpectAgreement(jump, edge, "SimulateIC");
+}
+
+TEST_P(KernelAgreementTest, IcWorldSpreadsAgree) {
+  const Graph g = TestGraph(500, GetParam());
+  constexpr int kTrials = 1500;
+  Rng rng_jump(19);
+  const MeanVar jump = EstimateMean(kTrials, [&](int) {
+    const Realization w = Realization::Sample(
+        g, &rng_jump, DiffusionModel::kIndependentCascade,
+        SamplingKernel::kGeometricJump);
+    return static_cast<double>(w.Spread(kSeeds));
+  });
+  Rng rng_edge(23);
+  const MeanVar edge = EstimateMean(kTrials, [&](int) {
+    const Realization w =
+        Realization::Sample(g, &rng_edge, DiffusionModel::kIndependentCascade,
+                            SamplingKernel::kPerEdge);
+    return static_cast<double>(w.Spread(kSeeds));
+  });
+  ExpectAgreement(jump, edge, "IC world");
+}
+
+TEST_P(KernelAgreementTest, LtWorldSpreadsAgree) {
+  const Graph g = TestGraph(500, GetParam());
+  constexpr int kTrials = 1500;
+  Rng rng_jump(29);
+  const MeanVar jump = EstimateMean(kTrials, [&](int) {
+    const Realization w = Realization::Sample(
+        g, &rng_jump, DiffusionModel::kLinearThreshold,
+        SamplingKernel::kGeometricJump);
+    return static_cast<double>(w.Spread(kSeeds));
+  });
+  Rng rng_edge(31);
+  const MeanVar edge = EstimateMean(kTrials, [&](int) {
+    const Realization w =
+        Realization::Sample(g, &rng_edge, DiffusionModel::kLinearThreshold,
+                            SamplingKernel::kPerEdge);
+    return static_cast<double>(w.Spread(kSeeds));
+  });
+  ExpectAgreement(jump, edge, "LT world");
+}
+
+INSTANTIATE_TEST_SUITE_P(Weightings, KernelAgreementTest,
+                         ::testing::Values(Weighting::kWeightedCascade,
+                                           Weighting::kTrivalency,
+                                           Weighting::kUniformRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Weighting::kWeightedCascade:
+                               return "WeightedCascade";
+                             case Weighting::kTrivalency:
+                               return "Trivalency";
+                             case Weighting::kUniformRandom:
+                               return "UniformRandom";
+                           }
+                           return "Unknown";
+                         });
+
+// --- Degenerate probabilities: p in {0, 1} resolves without consulting
+// the probability (certain / impossible edges), so both kernels must agree
+// EXACTLY, not just in distribution.
+
+TEST(DegenerateProbabilityTest, CertainEdgesSpreadIdentically) {
+  Graph g = TestGraph(300, Weighting::kWeightedCascade);
+  ApplyConstantProbability(&g, 1.0);
+  g.RebuildWeightIndex();
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng_jump(100 + trial);
+    Rng rng_edge(200 + trial);  // streams don't matter: no coin is random
+    EXPECT_EQ(SimulateIC(g, kSeeds, &rng_jump, nullptr, nullptr,
+                         SamplingKernel::kGeometricJump),
+              SimulateIC(g, kSeeds, &rng_edge, nullptr, nullptr,
+                         SamplingKernel::kPerEdge));
+  }
+  Rng wa(5);
+  Rng wb(6);
+  const Realization a = Realization::Sample(
+      g, &wa, DiffusionModel::kIndependentCascade,
+      SamplingKernel::kGeometricJump);
+  const Realization b =
+      Realization::Sample(g, &wb, DiffusionModel::kIndependentCascade,
+                          SamplingKernel::kPerEdge);
+  EXPECT_EQ(a.NumLiveEdges(), g.num_edges());
+  EXPECT_EQ(b.NumLiveEdges(), g.num_edges());
+}
+
+TEST(DegenerateProbabilityTest, ImpossibleEdgesSpreadIdentically) {
+  Graph g = TestGraph(300, Weighting::kWeightedCascade);
+  ApplyConstantProbability(&g, 0.0);
+  g.RebuildWeightIndex();
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng_jump(100 + trial);
+    Rng rng_edge(200 + trial);
+    const uint32_t jump = SimulateIC(g, kSeeds, &rng_jump, nullptr, nullptr,
+                                     SamplingKernel::kGeometricJump);
+    EXPECT_EQ(jump, kSeeds.size());
+    EXPECT_EQ(jump, SimulateIC(g, kSeeds, &rng_edge, nullptr, nullptr,
+                               SamplingKernel::kPerEdge));
+  }
+  Rng wa(5);
+  const Realization a = Realization::Sample(
+      g, &wa, DiffusionModel::kIndependentCascade,
+      SamplingKernel::kGeometricJump);
+  EXPECT_EQ(a.NumLiveEdges(), 0u);
+}
+
+TEST(DegenerateProbabilityTest, CertainEdgesAreDrawless) {
+  // The jump kernel resolves p = 1 runs with zero RNG draws (the per-edge
+  // loop pays one per examined edge).
+  Graph g = TestGraph(300, Weighting::kWeightedCascade);
+  ApplyConstantProbability(&g, 1.0);
+  g.RebuildWeightIndex();
+  Rng rng(3);
+  SamplingStats stats;
+  SimulateIC(g, kSeeds, &rng, nullptr, nullptr,
+             SamplingKernel::kGeometricJump, &stats);
+  EXPECT_EQ(stats.rng_draws, 0u);
+  EXPECT_GT(stats.edges_examined, 0u);
+}
+
+// --- Forward draws-per-edge: the reduction the kernel exists for. Both
+// kernels charge identical edges_examined, so DrawsPerEdge is comparable.
+
+TEST(ForwardDrawsTest, JumpKernelDrawsFewerOnLowProbabilityWeightings) {
+  for (Weighting weighting :
+       {Weighting::kWeightedCascade, Weighting::kTrivalency}) {
+    // Hub-ish out-degrees (epn = 8) give the forward index long jumpable
+    // runs on weighted cascade's all-distinct out-vectors.
+    const Graph g = TestGraph(2000, weighting, /*edges_per_node=*/8);
+    constexpr int kTrials = 300;
+    SamplingStats jump_stats;
+    Rng rng_jump(41);
+    for (int t = 0; t < kTrials; ++t) {
+      SimulateIC(g, kSeeds, &rng_jump, nullptr, nullptr,
+                 SamplingKernel::kGeometricJump, &jump_stats);
+    }
+    SamplingStats edge_stats;
+    Rng rng_edge(43);
+    for (int t = 0; t < kTrials; ++t) {
+      SimulateIC(g, kSeeds, &rng_edge, nullptr, nullptr,
+                 SamplingKernel::kPerEdge, &edge_stats);
+    }
+    EXPECT_LT(jump_stats.DrawsPerEdge(), edge_stats.DrawsPerEdge());
+    // The per-edge loop's skip-then-draw can only draw at most once per
+    // examined edge.
+    EXPECT_LE(edge_stats.DrawsPerEdge(), 1.0);
+  }
+}
+
+TEST(ForwardDrawsTest, WorldSamplingTracksDrawsBothKernels) {
+  const Graph g = TestGraph(1000, Weighting::kWeightedCascade);
+  SamplingStats jump_stats;
+  Rng rng_jump(47);
+  Realization::Sample(g, &rng_jump, DiffusionModel::kIndependentCascade,
+                      SamplingKernel::kGeometricJump, &jump_stats);
+  SamplingStats edge_stats;
+  Rng rng_edge(53);
+  Realization::Sample(g, &rng_edge, DiffusionModel::kIndependentCascade,
+                      SamplingKernel::kPerEdge, &edge_stats);
+  // Every edge charges one edges_examined under either kernel.
+  EXPECT_EQ(jump_stats.edges_examined, g.num_edges());
+  EXPECT_EQ(edge_stats.edges_examined, g.num_edges());
+  // Per-edge flips one coin per edge; the jump sweep does strictly better
+  // on weighted cascade (its in-vectors are uniform: one geometric draw
+  // per live edge).
+  EXPECT_EQ(edge_stats.rng_draws, g.num_edges());
+  EXPECT_LT(jump_stats.rng_draws, edge_stats.rng_draws);
+}
+
+// --- kPerEdge bit-compatibility: the forward streams must reproduce the
+// pre-kernel release exactly. Goldens captured on BA(300, epn=2, seed 7)
+// immediately before the default flip.
+
+Graph GoldenWcGraph() { return TestGraph(300, Weighting::kWeightedCascade); }
+Graph GoldenTriGraph() { return TestGraph(300, Weighting::kTrivalency); }
+
+TEST(PerEdgeForwardGoldenTest, WcSimulateIcMatchesPreKernelStream) {
+  const Graph g = GoldenWcGraph();
+  const uint32_t expected[8] = {72, 67, 62, 72, 51, 65, 66, 65};
+  Rng rng(123);
+  for (uint32_t want : expected) {
+    EXPECT_EQ(SimulateIC(g, kSeeds, &rng, nullptr, nullptr,
+                         SamplingKernel::kPerEdge),
+              want);
+  }
+}
+
+TEST(PerEdgeForwardGoldenTest, WcSimulateLtMatchesPreKernelStream) {
+  // SimulateLT draws one lazy threshold per touched node under every
+  // release — no kernel knob, the stream is inherently stable.
+  const Graph g = GoldenWcGraph();
+  const uint32_t expected[8] = {66, 71, 64, 125, 87, 65, 86, 79};
+  Rng rng(125);
+  for (uint32_t want : expected) {
+    EXPECT_EQ(SimulateLT(g, kSeeds, &rng), want);
+  }
+}
+
+TEST(PerEdgeForwardGoldenTest, WcIcWorldsMatchPreKernelStream) {
+  const Graph g = GoldenWcGraph();
+  const size_t expected_live[2] = {317, 302};
+  const uint32_t expected_spread[2] = {76, 50};
+  Rng rng(42);
+  for (int i = 0; i < 2; ++i) {
+    const Realization w =
+        Realization::Sample(g, &rng, DiffusionModel::kIndependentCascade,
+                            SamplingKernel::kPerEdge);
+    EXPECT_EQ(w.NumLiveEdges(), expected_live[i]);
+    EXPECT_EQ(w.Spread(kSeeds), expected_spread[i]);
+  }
+}
+
+TEST(PerEdgeForwardGoldenTest, WcLtWorldsMatchPreKernelStream) {
+  const Graph g = GoldenWcGraph();
+  const size_t expected_live[2] = {300, 300};
+  const uint32_t expected_spread[2] = {74, 128};
+  Rng rng(43);
+  for (int i = 0; i < 2; ++i) {
+    const Realization w =
+        Realization::Sample(g, &rng, DiffusionModel::kLinearThreshold,
+                            SamplingKernel::kPerEdge);
+    EXPECT_EQ(w.NumLiveEdges(), expected_live[i]);
+    EXPECT_EQ(w.Spread(kSeeds), expected_spread[i]);
+  }
+}
+
+TEST(PerEdgeForwardGoldenTest, TriSimulateIcMatchesPreKernelStream) {
+  const Graph g = GoldenTriGraph();
+  const uint32_t expected[8] = {10, 7, 10, 8, 8, 10, 7, 8};
+  Rng rng(123);
+  for (uint32_t want : expected) {
+    EXPECT_EQ(SimulateIC(g, kSeeds, &rng, nullptr, nullptr,
+                         SamplingKernel::kPerEdge),
+              want);
+  }
+}
+
+TEST(PerEdgeForwardGoldenTest, TriIcWorldsMatchPreKernelStream) {
+  const Graph g = GoldenTriGraph();
+  const size_t expected_live[2] = {47, 35};
+  const uint32_t expected_spread[2] = {11, 9};
+  Rng rng(42);
+  for (int i = 0; i < 2; ++i) {
+    const Realization w =
+        Realization::Sample(g, &rng, DiffusionModel::kIndependentCascade,
+                            SamplingKernel::kPerEdge);
+    EXPECT_EQ(w.NumLiveEdges(), expected_live[i]);
+    EXPECT_EQ(w.Spread(kSeeds), expected_spread[i]);
+  }
+}
+
+// --- The forward out-edge index census behind the kernel.
+
+TEST(OutWeightIndexTest, ProfilesCoverEveryNodeAndCountJumpableEdges) {
+  for (Weighting weighting :
+       {Weighting::kWeightedCascade, Weighting::kTrivalency,
+        Weighting::kUniformRandom}) {
+    const Graph g = TestGraph(400, weighting);
+    const WeightClassProfile out = g.OutWeightClassProfile();
+    const WeightClassProfile in = g.InWeightClassProfile();
+    EXPECT_EQ(out.uniform_nodes + out.few_distinct_nodes +
+                  out.segmented_nodes + out.general_nodes + out.empty_nodes,
+              g.num_nodes());
+    EXPECT_EQ(out.total_edges, g.num_edges());
+    EXPECT_EQ(in.total_edges, g.num_edges());
+    EXPECT_LE(g.OutJumpableEdges(), g.num_edges());
+    EXPECT_LE(g.InJumpableEdges(), g.num_edges());
+  }
+  // Weighted cascade: in-vectors are uniform (p = 1/indeg), so the reverse
+  // index dominates and world sampling picks the reverse sweep.
+  const Graph wc = TestGraph(400, Weighting::kWeightedCascade);
+  EXPECT_GT(wc.InJumpableEdges(), wc.OutJumpableEdges());
+  // Trivalency's tiny distinct-probability palette makes every out-vector
+  // jumpable once out-degrees clear the segmented-runs floor (epn = 3):
+  // the forward sweep wins.
+  const Graph tri = TestGraph(400, Weighting::kTrivalency,
+                              /*edges_per_node=*/3);
+  EXPECT_EQ(tri.OutJumpableEdges(), tri.num_edges());
+  EXPECT_GT(tri.OutJumpableEdges(), tri.InJumpableEdges());
+}
+
+}  // namespace
+}  // namespace atpm

@@ -473,7 +473,9 @@ TEST(PerEdgeGoldenTest, HatpDecisionSequenceMatchesPreKernelTree) {
   hopt.sampling.kernel = SamplingKernel::kPerEdge;
   HatpPolicy policy(hopt);
   Rng world_rng(42);
-  AdaptiveEnvironment env(Realization::Sample(g, &world_rng));
+  AdaptiveEnvironment env(Realization::Sample(
+      g, &world_rng, DiffusionModel::kIndependentCascade,
+      SamplingKernel::kPerEdge));
   Rng rng(1);
   auto run = policy.Run(problem, &env, &rng);
   ASSERT_TRUE(run.ok()) << run.status().ToString();
