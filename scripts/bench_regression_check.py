@@ -15,8 +15,13 @@ Guards the geometric-jump substrate's two headline numbers:
 
 Inputs are the google-benchmark JSON written by
   micro_substrates --benchmark_filter=Kernel  (BENCH_kernel.json)
-and the custom end-to-end record written by fig9_sample_scaling
-  (BENCH_kernel_e2e.json).
+the custom end-to-end record written by fig9_sample_scaling
+  (BENCH_kernel_e2e.json),
+and the graph-store load-path record written by graph_store_scaling
+  (BENCH_graphstore.json) — checked for the mapped-vs-built RR pool hash
+  match, a hard warm-mmap load speedup floor (--warm-load-floor, default
+  10x over parse-and-build), a relative speedup guard vs baseline, and
+  byte-identical store sizes (layout drift detector).
 
 Stdlib only; exit 0 = no regression, 1 = regression or malformed input.
 """
@@ -174,6 +179,52 @@ def check_e2e(check, fresh, baseline, tolerance, time_tolerance):
             f"max({base_speedup:.2f}x * (1-{time_tolerance:g}), 1.0)")
 
 
+def check_graphstore(check, fresh, baseline, time_tolerance, warm_floor):
+    print(f"BENCH_graphstore: scale={fresh.get('scale')}")
+    if fresh.get("scale") != baseline.get("scale"):
+        check.expect(
+            False,
+            f"graphstore scale {fresh.get('scale')} matches baseline "
+            f"{baseline.get('scale')} (re-snapshot the baseline at the CI "
+            "scale)")
+        return
+    base_rows = {row["dataset"]: row for row in baseline.get("datasets", [])}
+    fresh_rows = {row["dataset"]: row for row in fresh.get("datasets", [])}
+    missing = sorted(set(base_rows) - set(fresh_rows))
+    check.expect(not missing,
+                 f"all baseline datasets present (missing: {missing})"
+                 if missing else "all baseline datasets present")
+
+    for name in sorted(set(base_rows) & set(fresh_rows)):
+        base, cur = base_rows[name], fresh_rows[name]
+        # Functional indistinguishability is binary: the mapped graph must
+        # reproduce the built graph's fixed-seed RR pool bit for bit.
+        check.expect(cur.get("pool_hash_match") is True,
+                     f"{name}: mapped RR pool hash matches built graph")
+        # The store's reason to exist: warm mmap load beats parse-and-build
+        # by a hard floor, plus a relative guard against the baseline (both
+        # sides of the ratio are measured in the same run, so the ratio is
+        # machine-comparable the way raw times are not).
+        speedup = cur.get("warm_speedup", 0.0)
+        check.expect(
+            speedup >= warm_floor,
+            f"{name}: warm-load speedup {speedup:.1f}x >= "
+            f"{warm_floor:g}x floor")
+        base_speedup = base.get("warm_speedup")
+        if base_speedup is not None:
+            bound = base_speedup * (1.0 - time_tolerance)
+            check.expect(
+                speedup >= bound,
+                f"{name}: warm-load speedup {speedup:.1f}x >= "
+                f"{base_speedup:.1f}x * (1-{time_tolerance:g})")
+        # Deterministic size guard: the same graph must pack to the same
+        # number of bytes (layout drift shows up here before anything else).
+        check.expect(
+            cur.get("file_bytes") == base.get("file_bytes"),
+            f"{name}: store file_bytes {cur.get('file_bytes')} == baseline "
+            f"{base.get('file_bytes')}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Fail CI when the kernel benchmarks regress vs the "
@@ -185,6 +236,13 @@ def main():
                         help="BENCH_kernel_e2e.json from this run")
     parser.add_argument("--baseline-e2e",
                         help="checked-in baseline BENCH_kernel_e2e.json")
+    parser.add_argument("--fresh-graphstore",
+                        help="BENCH_graphstore.json from this run")
+    parser.add_argument("--baseline-graphstore",
+                        help="checked-in baseline BENCH_graphstore.json")
+    parser.add_argument("--warm-load-floor", type=float, default=10.0,
+                        help="hard minimum warm-mmap vs parse-and-build "
+                             "load speedup (default 10.0)")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="relative slack for deterministic draw "
                              "counters (default 0.20)")
@@ -196,12 +254,16 @@ def main():
                         help="hard minimum batched-generation speedup "
                              "(default 1.3)")
     args = parser.parse_args()
-    if not args.fresh and not args.fresh_e2e:
-        parser.error("nothing to check: pass --fresh and/or --fresh-e2e")
+    if not args.fresh and not args.fresh_e2e and not args.fresh_graphstore:
+        parser.error("nothing to check: pass --fresh, --fresh-e2e and/or "
+                     "--fresh-graphstore")
     if bool(args.fresh) != bool(args.baseline):
         parser.error("--fresh and --baseline go together")
     if bool(args.fresh_e2e) != bool(args.baseline_e2e):
         parser.error("--fresh-e2e and --baseline-e2e go together")
+    if bool(args.fresh_graphstore) != bool(args.baseline_graphstore):
+        parser.error("--fresh-graphstore and --baseline-graphstore go "
+                     "together")
 
     check = Checker()
     if args.fresh:
@@ -215,6 +277,13 @@ def main():
             baseline_e2e = json.load(f)
         check_e2e(check, fresh_e2e, baseline_e2e, args.tolerance,
                   args.time_tolerance)
+    if args.fresh_graphstore:
+        with open(args.fresh_graphstore) as f:
+            fresh_store = json.load(f)
+        with open(args.baseline_graphstore) as f:
+            baseline_store = json.load(f)
+        check_graphstore(check, fresh_store, baseline_store,
+                         args.time_tolerance, args.warm_load_floor)
 
     if check.failures:
         print(f"\n{len(check.failures)}/{check.checks} checks FAILED")

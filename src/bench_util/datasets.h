@@ -27,8 +27,21 @@ std::vector<std::string> StandardDatasetNames();
 /// Builds dataset `name` ("NetHEPT", "Epinions", "DBLP", "LiveJournal",
 /// "HepMini") at `scale` in (0, 1]: node counts shrink linearly with scale
 /// (edge structure follows the generator). Deterministic given `seed`.
+///
+/// When the ATPM_BENCH_STORE_DIR env var names a directory, the prepared
+/// graph is cached there as a graph store (see graph/graph_store.h): the
+/// first build packs, every later call memory-maps — no generator, no
+/// weighting, no index rebuild. Cache files are keyed on (name, scale,
+/// seed, store version), so changing any knob rebuilds rather than
+/// reusing a stale file. `atpm_graph_pack pack-dataset` pre-warms the
+/// same cache offline.
 Result<BenchDataset> BuildDataset(std::string_view name, double scale,
                                   uint64_t seed);
+
+/// The store-cache path BuildDataset would use for this configuration, or
+/// "" when ATPM_BENCH_STORE_DIR is unset.
+std::string DatasetStorePath(std::string_view name, double scale,
+                             uint64_t seed);
 
 /// ATPM_BENCH_SCALE env var (default 1.0), clamped to [0.01, 1.0]. Scales
 /// dataset sizes so the full suite stays runnable on small machines.

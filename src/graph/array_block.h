@@ -1,0 +1,122 @@
+#ifndef ATPM_GRAPH_ARRAY_BLOCK_H_
+#define ATPM_GRAPH_ARRAY_BLOCK_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace atpm {
+
+/// Dual-mode storage block for Graph's CSR and weight-class arrays: either
+/// an owning std::vector (the GraphBuilder / rebuild path) or a borrowed
+/// read-only view into externally owned memory (the graph-store mmap load
+/// path, see graph_store.h). The mode is invisible to readers — data() /
+/// size() / operator[] resolve through a cached pointer + length in both
+/// modes, so the sampling kernels pay nothing for the dual representation —
+/// and writers go through Adopt() / MutableVec(), which detach a view into
+/// an owned copy first (copy-on-write). That detach is what lets
+/// AssignProbabilities reweight a memory-mapped graph without touching the
+/// mapping.
+///
+/// Lifetime: a view does NOT keep its backing memory alive; Graph holds the
+/// mapping handle (Graph::backing_) alongside its blocks.
+template <typename T>
+class ArrayBlock {
+ public:
+  ArrayBlock() = default;
+  ArrayBlock(std::initializer_list<T> init) : owned_(init) { Sync(); }
+
+  ArrayBlock(const ArrayBlock& other) { *this = other; }
+  ArrayBlock& operator=(const ArrayBlock& other) {
+    if (this == &other) return *this;
+    view_ = other.view_;
+    if (view_) {
+      owned_.clear();
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      owned_ = other.owned_;
+      Sync();
+    }
+    return *this;
+  }
+  ArrayBlock(ArrayBlock&& other) noexcept { *this = std::move(other); }
+  ArrayBlock& operator=(ArrayBlock&& other) noexcept {
+    if (this == &other) return *this;
+    view_ = other.view_;
+    owned_ = std::move(other.owned_);
+    if (view_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      Sync();
+    }
+    other.owned_.clear();
+    other.view_ = false;
+    other.Sync();
+    return *this;
+  }
+
+  /// Points this block at externally owned memory (read-only). The owned
+  /// buffer is released; the caller is responsible for keeping
+  /// [data, data + size) alive for the block's lifetime.
+  void SetView(const T* data, size_t size) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    view_ = true;
+    data_ = data;
+    size_ = size;
+  }
+
+  /// True when backed by borrowed memory rather than the owned vector.
+  bool IsView() const { return view_; }
+
+  /// Copies a view into owned storage (no-op when already owned). After
+  /// this, the backing memory is no longer referenced.
+  void EnsureOwned() {
+    if (!view_) return;
+    owned_.assign(data_, data_ + size_);
+    view_ = false;
+    Sync();
+  }
+
+  /// Takes ownership of `values` — the bulk-construction path (builders and
+  /// index rebuilds assemble plain vectors, then adopt them).
+  void Adopt(std::vector<T>&& values) {
+    owned_ = std::move(values);
+    view_ = false;
+    Sync();
+  }
+
+  /// The owned vector, detached from any view, for in-place mutation. The
+  /// cached pointer is re-synced here; callers that change the vector's
+  /// *length* (or capacity) through the reference must call Sync() again.
+  std::vector<T>& MutableVec() {
+    EnsureOwned();
+    Sync();
+    return owned_;
+  }
+  /// Refreshes the cached pointer after MutableVec() resizing.
+  void Sync() {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool view_ = false;
+};
+
+}  // namespace atpm
+
+#endif  // ATPM_GRAPH_ARRAY_BLOCK_H_

@@ -29,7 +29,9 @@ Result<Graph> LoadEdgeList(const std::string& path,
                            const EdgeListLoadOptions& options = {});
 
 /// Writes `graph` as "<src>\t<dst>\t<prob>" lines plus a header comment.
-/// Round-trips with LoadEdgeList (directed mode).
+/// Probabilities are printed with max_digits10 significant digits, so a
+/// save -> load round-trip (directed mode) reproduces every probability
+/// bit-exactly.
 Status SaveEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace atpm

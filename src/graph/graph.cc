@@ -163,15 +163,18 @@ uint64_t CountJumpableEdges(const std::vector<ProbSegment>& segments) {
 
 void Graph::RebuildInWeightIndex() {
   const NodeId n = n_;
-  in_class_.assign(n, NodeWeightClass::kEmpty);
-  seg_offsets_.assign(n + 1, 0);
-  in_segments_.clear();
-  jump_offsets_.assign(n + 1, 0);
-  jump_in_arcs_.clear();
-  jump_in_slots_.clear();
-  lt_plan_.assign(n, static_cast<uint8_t>(LtPickPlan::kNone));
-  lt_alias_offsets_.assign(n + 1, 0);
-  lt_alias_.clear();
+  // Assemble into plain vectors and adopt at the end: the blocks may be
+  // read-only views into a mapping (see array_block.h), and bulk
+  // construction keeps the hot accessors branch-free.
+  std::vector<NodeWeightClass> in_class(n, NodeWeightClass::kEmpty);
+  std::vector<uint64_t> seg_offsets(n + 1, 0);
+  std::vector<ProbSegment> in_segments;
+  std::vector<uint64_t> jump_offsets(n + 1, 0);
+  std::vector<InArc> jump_in_arcs;
+  std::vector<uint32_t> jump_in_slots;
+  std::vector<uint8_t> lt_plan(n, static_cast<uint8_t>(LtPickPlan::kNone));
+  std::vector<uint64_t> lt_alias_offsets(n + 1, 0);
+  std::vector<LtAliasSlot> lt_alias;
 
   // LT mass within [1, 1 + eps] is treated as exactly 1: float rounding of
   // per-edge probs (e.g. weighted cascade's indeg * float(1/indeg)) must
@@ -187,9 +190,9 @@ void Graph::RebuildInWeightIndex() {
     const auto probs = InProbs(v);
     const uint32_t deg = static_cast<uint32_t>(neigh.size());
     if (deg == 0) {
-      seg_offsets_[v + 1] = in_segments_.size();
-      jump_offsets_[v + 1] = jump_in_arcs_.size();
-      lt_alias_offsets_[v + 1] = lt_alias_.size();
+      seg_offsets[v + 1] = in_segments.size();
+      jump_offsets[v + 1] = jump_in_arcs.size();
+      lt_alias_offsets[v + 1] = lt_alias.size();
       continue;
     }
 
@@ -226,13 +229,13 @@ void Graph::RebuildInWeightIndex() {
     // General nodes materialize nothing — the kernels run the historical
     // per-edge loop over the original CSR for them.
     if (overflow || (num_distinct > 1 && num_distinct == deg)) {
-      in_class_[v] = NodeWeightClass::kGeneral;
+      in_class[v] = NodeWeightClass::kGeneral;
     } else if (num_distinct == 1) {
-      in_class_[v] = NodeWeightClass::kUniform;
-      in_segments_.push_back(
+      in_class[v] = NodeWeightClass::kUniform;
+      in_segments.push_back(
           ProbSegment{deg, values[0], JumpFactor(deg, values[0]), 0.0});
     } else {
-      in_class_[v] = NodeWeightClass::kFewDistinct;
+      in_class[v] = NodeWeightClass::kFewDistinct;
       // Group the in-edges into contiguous same-p runs, descending by
       // probability (order is statistically irrelevant for independent
       // trials; descending keeps the near-certain edges in the first
@@ -244,12 +247,12 @@ void Graph::RebuildInWeightIndex() {
       });
       for (uint32_t oi = 0; oi < num_distinct; ++oi) {
         const uint32_t d = order[oi];
-        in_segments_.push_back(ProbSegment{
+        in_segments.push_back(ProbSegment{
             counts[d], values[d], JumpFactor(counts[d], values[d]), 0.0});
         for (uint32_t j = 0; j < deg; ++j) {
           if (probs[j] == values[d]) {
-            jump_in_arcs_.push_back(InArc{neigh[j], values[d]});
-            jump_in_slots_.push_back(j);
+            jump_in_arcs.push_back(InArc{neigh[j], values[d]});
+            jump_in_slots.push_back(j);
           }
         }
       }
@@ -264,41 +267,52 @@ void Graph::RebuildInWeightIndex() {
     // float compares in one cache line, so the table only pays off above
     // this degree.
     constexpr uint32_t kMinAliasDegree = 8;
-    if (in_class_[v] == NodeWeightClass::kUniform) {
+    if (in_class[v] == NodeWeightClass::kUniform) {
       const double uniform_mass =
           static_cast<double>(deg) * static_cast<double>(values[0]);
-      lt_plan_[v] = static_cast<uint8_t>(uniform_mass <= 1.0 + kLtMassEps
-                                             ? LtPickPlan::kUniform
-                                             : LtPickPlan::kPrefix);
+      lt_plan[v] = static_cast<uint8_t>(uniform_mass <= 1.0 + kLtMassEps
+                                            ? LtPickPlan::kUniform
+                                            : LtPickPlan::kPrefix);
     } else if (mass <= 1.0 + kLtMassEps && deg >= kMinAliasDegree) {
-      lt_plan_[v] = static_cast<uint8_t>(LtPickPlan::kAlias);
+      lt_plan[v] = static_cast<uint8_t>(LtPickPlan::kAlias);
       alias_weights.assign(deg + 1, 0.0);
       for (uint32_t j = 0; j < deg; ++j) {
         alias_weights[j] = static_cast<double>(probs[j]);
       }
       alias_weights[deg] = std::max(0.0, 1.0 - mass);
-      BuildAliasTable(alias_weights, &lt_alias_);
+      BuildAliasTable(alias_weights, &lt_alias);
     } else {
-      lt_plan_[v] = static_cast<uint8_t>(LtPickPlan::kPrefix);
+      lt_plan[v] = static_cast<uint8_t>(LtPickPlan::kPrefix);
     }
 
-    FillRunAnyProb(&in_segments_, seg_offsets_[v]);
+    FillRunAnyProb(&in_segments, seg_offsets[v]);
 
-    seg_offsets_[v + 1] = in_segments_.size();
-    jump_offsets_[v + 1] = jump_in_arcs_.size();
-    lt_alias_offsets_[v + 1] = lt_alias_.size();
+    seg_offsets[v + 1] = in_segments.size();
+    jump_offsets[v + 1] = jump_in_arcs.size();
+    lt_alias_offsets[v + 1] = lt_alias.size();
   }
-  in_jumpable_edges_ = CountJumpableEdges(in_segments_);
+  in_jumpable_edges_ = CountJumpableEdges(in_segments);
+
+  in_class_.Adopt(std::move(in_class));
+  seg_offsets_.Adopt(std::move(seg_offsets));
+  in_segments_.Adopt(std::move(in_segments));
+  jump_offsets_.Adopt(std::move(jump_offsets));
+  jump_in_arcs_.Adopt(std::move(jump_in_arcs));
+  jump_in_slots_.Adopt(std::move(jump_in_slots));
+  lt_plan_.Adopt(std::move(lt_plan));
+  lt_alias_offsets_.Adopt(std::move(lt_alias_offsets));
+  lt_alias_.Adopt(std::move(lt_alias));
 }
 
 void Graph::RebuildOutWeightIndex() {
   const NodeId n = n_;
-  out_class_.assign(n, NodeWeightClass::kEmpty);
-  out_seg_offsets_.assign(n + 1, 0);
-  out_segments_.clear();
-  out_jump_offsets_.assign(n + 1, 0);
-  jump_out_arcs_.clear();
-  jump_out_slots_.clear();
+  // Same assemble-then-adopt pattern as RebuildInWeightIndex.
+  std::vector<NodeWeightClass> out_class(n, NodeWeightClass::kEmpty);
+  std::vector<uint64_t> out_seg_offsets(n + 1, 0);
+  std::vector<ProbSegment> out_segments;
+  std::vector<uint64_t> out_jump_offsets(n + 1, 0);
+  std::vector<OutArc> jump_out_arcs;
+  std::vector<uint32_t> jump_out_slots;
 
   float values[kMaxDistinctInProbs];
   uint32_t counts[kMaxDistinctInProbs];
@@ -308,8 +322,8 @@ void Graph::RebuildOutWeightIndex() {
     const auto probs = OutProbs(u);
     const uint32_t deg = static_cast<uint32_t>(neigh.size());
     if (deg == 0) {
-      out_seg_offsets_[u + 1] = out_segments_.size();
-      out_jump_offsets_[u + 1] = jump_out_arcs_.size();
+      out_seg_offsets[u + 1] = out_segments.size();
+      out_jump_offsets[u + 1] = jump_out_arcs.size();
       continue;
     }
 
@@ -334,11 +348,11 @@ void Graph::RebuildOutWeightIndex() {
     }
 
     if (!overflow && num_distinct == 1) {
-      out_class_[u] = NodeWeightClass::kUniform;
-      out_segments_.push_back(
+      out_class[u] = NodeWeightClass::kUniform;
+      out_segments.push_back(
           ProbSegment{deg, values[0], JumpFactor(deg, values[0]), 0.0});
     } else if (!overflow && num_distinct < deg) {
-      out_class_[u] = NodeWeightClass::kFewDistinct;
+      out_class[u] = NodeWeightClass::kFewDistinct;
       // Contiguous same-p runs, descending by probability — mirrors the
       // in-direction grouping (order is statistically irrelevant for
       // independent trials).
@@ -349,12 +363,12 @@ void Graph::RebuildOutWeightIndex() {
       });
       for (uint32_t oi = 0; oi < num_distinct; ++oi) {
         const uint32_t d = order[oi];
-        out_segments_.push_back(ProbSegment{
+        out_segments.push_back(ProbSegment{
             counts[d], values[d], JumpFactor(counts[d], values[d]), 0.0});
         for (uint32_t j = 0; j < deg; ++j) {
           if (probs[j] == values[d]) {
-            jump_out_arcs_.push_back(OutArc{neigh[j], values[d]});
-            jump_out_slots_.push_back(j);
+            jump_out_arcs.push_back(OutArc{neigh[j], values[d]});
+            jump_out_slots.push_back(j);
           }
         }
       }
@@ -364,21 +378,77 @@ void Graph::RebuildOutWeightIndex() {
       // jump-enabled edges then share draws in the cross-segment walk —
       // the weighted-cascade forward case (p(u, v) = 1/indeg(v), almost
       // always all-distinct, almost always tiny on hub-heavy graphs).
-      out_class_[u] = NodeWeightClass::kSegmentedRuns;
+      out_class[u] = NodeWeightClass::kSegmentedRuns;
       for (uint32_t j = 0; j < deg; ++j) {
-        out_segments_.push_back(
+        out_segments.push_back(
             ProbSegment{1, probs[j], JumpFactor(1, probs[j]), 0.0});
       }
     } else {
-      out_class_[u] = NodeWeightClass::kGeneral;
+      out_class[u] = NodeWeightClass::kGeneral;
     }
 
-    FillRunAnyProb(&out_segments_, out_seg_offsets_[u]);
+    FillRunAnyProb(&out_segments, out_seg_offsets[u]);
 
-    out_seg_offsets_[u + 1] = out_segments_.size();
-    out_jump_offsets_[u + 1] = jump_out_arcs_.size();
+    out_seg_offsets[u + 1] = out_segments.size();
+    out_jump_offsets[u + 1] = jump_out_arcs.size();
   }
-  out_jumpable_edges_ = CountJumpableEdges(out_segments_);
+  out_jumpable_edges_ = CountJumpableEdges(out_segments);
+
+  out_class_.Adopt(std::move(out_class));
+  out_seg_offsets_.Adopt(std::move(out_seg_offsets));
+  out_segments_.Adopt(std::move(out_segments));
+  out_jump_offsets_.Adopt(std::move(out_jump_offsets));
+  jump_out_arcs_.Adopt(std::move(jump_out_arcs));
+  jump_out_slots_.Adopt(std::move(jump_out_slots));
+}
+
+void Graph::EnsureOwnedStorage() {
+  if (tiled_reverse_) {
+    // Materialize the tile-grouped reverse CSR back into flat arrays.
+    const uint64_t m = in_offsets_[n_];
+    std::vector<NodeId> in_adj(m);
+    std::vector<float> in_prob(m);
+    std::vector<uint64_t> in_eidx(m);
+    for (NodeId v = 0; v < n_; ++v) {
+      const uint64_t base = in_offsets_[v];
+      const uint32_t deg = InDegree(v);
+      std::copy_n(InAdjPtr(v), deg, in_adj.begin() + base);
+      std::copy_n(InProbPtr(v), deg, in_prob.begin() + base);
+      std::copy_n(InEdgeIndexPtr(v), deg, in_eidx.begin() + base);
+    }
+    in_adj_.Adopt(std::move(in_adj));
+    in_prob_.Adopt(std::move(in_prob));
+    in_edge_index_.Adopt(std::move(in_eidx));
+    tiled_reverse_ = false;
+    tile_shift_ = 0;
+    tile_in_adj_.clear();
+    tile_in_prob_.clear();
+    tile_in_eidx_.clear();
+    tile_edge_start_.clear();
+  }
+  out_offsets_.EnsureOwned();
+  out_adj_.EnsureOwned();
+  out_prob_.EnsureOwned();
+  in_offsets_.EnsureOwned();
+  in_adj_.EnsureOwned();
+  in_prob_.EnsureOwned();
+  in_edge_index_.EnsureOwned();
+  in_class_.EnsureOwned();
+  seg_offsets_.EnsureOwned();
+  in_segments_.EnsureOwned();
+  jump_offsets_.EnsureOwned();
+  jump_in_arcs_.EnsureOwned();
+  jump_in_slots_.EnsureOwned();
+  lt_plan_.EnsureOwned();
+  lt_alias_offsets_.EnsureOwned();
+  lt_alias_.EnsureOwned();
+  out_class_.EnsureOwned();
+  out_seg_offsets_.EnsureOwned();
+  out_segments_.EnsureOwned();
+  out_jump_offsets_.EnsureOwned();
+  jump_out_arcs_.EnsureOwned();
+  jump_out_slots_.EnsureOwned();
+  backing_.reset();
 }
 
 WeightClassProfile Graph::InWeightClassProfile() const {

@@ -2,10 +2,12 @@
 #define ATPM_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/logging.h"
+#include "graph/array_block.h"
 
 namespace atpm {
 
@@ -211,12 +213,12 @@ class Graph {
   /// Incoming neighbor ids of `v` (sources of arcs * -> v).
   std::span<const NodeId> InNeighbors(NodeId v) const {
     ATPM_DCHECK(v < n_);
-    return {in_adj_.data() + in_offsets_[v], InDegree(v)};
+    return {InAdjPtr(v), InDegree(v)};
   }
   /// Probabilities aligned with InNeighbors(v); prob of arc (neighbor -> v).
   std::span<const float> InProbs(NodeId v) const {
     ATPM_DCHECK(v < n_);
-    return {in_prob_.data() + in_offsets_[v], InDegree(v)};
+    return {InProbPtr(v), InDegree(v)};
   }
 
   /// Global edge index of the j-th outgoing arc of `u`. Edge indices are
@@ -234,7 +236,7 @@ class Graph {
   uint64_t InEdgeIndex(NodeId v, uint32_t j) const {
     ATPM_DCHECK(v < n_);
     ATPM_DCHECK(j < InDegree(v));
-    return in_edge_index_[in_offsets_[v] + j];
+    return InEdgeIndexPtr(v)[j];
   }
 
   /// Enumerates all arcs as WeightedEdge records (for IO and tests).
@@ -250,21 +252,24 @@ class Graph {
   /// forward and reverse views are updated consistently, and the weight-
   /// class index is rebuilt so the jump kernels always see fresh
   /// classifications. Used by the weighting module; see weighting.h for the
-  /// standard schemes.
+  /// standard schemes. On a memory-mapped graph this first detaches every
+  /// array into owned storage (copy-on-write) — the store file is never
+  /// written through.
   template <typename ProbFn>
   void AssignProbabilities(ProbFn prob_fn) {
+    EnsureOwnedStorage();
+    float* out_prob = out_prob_.MutableVec().data();
     for (NodeId u = 0; u < n_; ++u) {
       const auto neigh = OutNeighbors(u);
       for (uint32_t j = 0; j < neigh.size(); ++j) {
-        out_prob_[out_offsets_[u] + j] =
-            static_cast<float>(prob_fn(u, neigh[j]));
+        out_prob[out_offsets_[u] + j] = static_cast<float>(prob_fn(u, neigh[j]));
       }
     }
+    float* in_prob = in_prob_.MutableVec().data();
     for (NodeId v = 0; v < n_; ++v) {
       const auto neigh = InNeighbors(v);
       for (uint32_t j = 0; j < neigh.size(); ++j) {
-        in_prob_[in_offsets_[v] + j] =
-            static_cast<float>(prob_fn(neigh[j], v));
+        in_prob[in_offsets_[v] + j] = static_cast<float>(prob_fn(neigh[j], v));
       }
     }
     RebuildWeightIndex();
@@ -398,44 +403,102 @@ class Graph {
     RebuildOutWeightIndex();
   }
 
+  // ---- Mapped storage (the graph-store mmap load path, graph_store.h).
+  // A mapped graph's blocks are read-only views into one mapping; the
+  // reverse CSR may additionally be tile-grouped: nodes are partitioned
+  // into fixed-size tiles whose in_adj / in_prob / in_edge_index slices
+  // are stored adjacently, so an RR walk entering a tile faults one
+  // locality group instead of three distant pages.
+
+  /// True when this graph's arrays are views into a graph-store mapping.
+  bool is_mapped() const { return backing_ != nullptr; }
+
+  /// Nodes per reverse-CSR tile when mapped with a tiled layout; 0 when
+  /// the reverse CSR is a single contiguous span (built graphs, untiled
+  /// stores).
+  uint32_t reverse_tile_size() const {
+    return tiled_reverse_ ? (1u << tile_shift_) : 0;
+  }
+
+  /// Detaches every array from the mapping into owned storage and drops
+  /// the mapping handle (no-op on an owned graph). The copy-on-write hook
+  /// behind AssignProbabilities; public for callers that need a mapped
+  /// graph to outlive its store file.
+  void EnsureOwnedStorage();
+
  private:
   friend class GraphBuilder;
+  friend class GraphStoreIO;
+
+  // Per-node base pointers of the reverse CSR. One predictable branch on
+  // the storage mode; the tiled path adds one tile-table load.
+  const NodeId* InAdjPtr(NodeId v) const {
+    if (!tiled_reverse_) return in_adj_.data() + in_offsets_[v];
+    const NodeId t = v >> tile_shift_;
+    return tile_in_adj_[t] + (in_offsets_[v] - tile_edge_start_[t]);
+  }
+  const float* InProbPtr(NodeId v) const {
+    if (!tiled_reverse_) return in_prob_.data() + in_offsets_[v];
+    const NodeId t = v >> tile_shift_;
+    return tile_in_prob_[t] + (in_offsets_[v] - tile_edge_start_[t]);
+  }
+  const uint64_t* InEdgeIndexPtr(NodeId v) const {
+    if (!tiled_reverse_) return in_edge_index_.data() + in_offsets_[v];
+    const NodeId t = v >> tile_shift_;
+    return tile_in_eidx_[t] + (in_offsets_[v] - tile_edge_start_[t]);
+  }
 
   NodeId n_ = 0;
   // Forward CSR.
-  std::vector<uint64_t> out_offsets_{0};
-  std::vector<NodeId> out_adj_;
-  std::vector<float> out_prob_;
-  // Reverse CSR.
-  std::vector<uint64_t> in_offsets_{0};
-  std::vector<NodeId> in_adj_;
-  std::vector<float> in_prob_;
+  ArrayBlock<uint64_t> out_offsets_{0};
+  ArrayBlock<NodeId> out_adj_;
+  ArrayBlock<float> out_prob_;
+  // Reverse CSR. In tiled mapped mode the three payload blocks are empty
+  // and per-node access resolves through the tile tables below;
+  // in_offsets_ stays global in every mode (it is the degree index).
+  ArrayBlock<uint64_t> in_offsets_{0};
+  ArrayBlock<NodeId> in_adj_;
+  ArrayBlock<float> in_prob_;
   // Forward edge index of each reverse slot (for InEdgeIndex).
-  std::vector<uint64_t> in_edge_index_;
+  ArrayBlock<uint64_t> in_edge_index_;
 
   // Weight-class index (see RebuildInWeightIndex). seg/jump/alias arrays
   // are CSR-addressed per node; nodes that need no entry have zero-length
   // ranges, so the arrays stay proportional to what the kernels use.
-  std::vector<NodeWeightClass> in_class_;
-  std::vector<uint64_t> seg_offsets_{0};
-  std::vector<ProbSegment> in_segments_;
-  std::vector<uint64_t> jump_offsets_{0};
-  std::vector<InArc> jump_in_arcs_;
-  std::vector<uint32_t> jump_in_slots_;
-  std::vector<uint8_t> lt_plan_;
-  std::vector<uint64_t> lt_alias_offsets_{0};
-  std::vector<LtAliasSlot> lt_alias_;
+  ArrayBlock<NodeWeightClass> in_class_;
+  ArrayBlock<uint64_t> seg_offsets_{0};
+  ArrayBlock<ProbSegment> in_segments_;
+  ArrayBlock<uint64_t> jump_offsets_{0};
+  ArrayBlock<InArc> jump_in_arcs_;
+  ArrayBlock<uint32_t> jump_in_slots_;
+  ArrayBlock<uint8_t> lt_plan_;
+  ArrayBlock<uint64_t> lt_alias_offsets_{0};
+  ArrayBlock<LtAliasSlot> lt_alias_;
 
   // Out-direction weight-class index (see RebuildOutWeightIndex). Same
   // CSR-addressed layout as the in-direction arrays above.
-  std::vector<NodeWeightClass> out_class_;
-  std::vector<uint64_t> out_seg_offsets_{0};
-  std::vector<ProbSegment> out_segments_;
-  std::vector<uint64_t> out_jump_offsets_{0};
-  std::vector<OutArc> jump_out_arcs_;
-  std::vector<uint32_t> jump_out_slots_;
+  ArrayBlock<NodeWeightClass> out_class_;
+  ArrayBlock<uint64_t> out_seg_offsets_{0};
+  ArrayBlock<ProbSegment> out_segments_;
+  ArrayBlock<uint64_t> out_jump_offsets_{0};
+  ArrayBlock<OutArc> jump_out_arcs_;
+  ArrayBlock<uint32_t> jump_out_slots_;
   uint64_t in_jumpable_edges_ = 0;
   uint64_t out_jumpable_edges_ = 0;
+
+  // Tiled mapped reverse CSR: per-tile base pointers into the mapping and
+  // each tile's first global in-edge offset (tile_edge_start_[t] =
+  // in_offsets_[t << tile_shift_]). Empty unless tiled_reverse_.
+  bool tiled_reverse_ = false;
+  uint32_t tile_shift_ = 0;
+  std::vector<const NodeId*> tile_in_adj_;
+  std::vector<const float*> tile_in_prob_;
+  std::vector<const uint64_t*> tile_in_eidx_;
+  std::vector<uint64_t> tile_edge_start_;
+
+  // Keeps the graph-store mapping alive for as long as any block views it
+  // (type-erased to keep graph.h free of mmap details).
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace atpm

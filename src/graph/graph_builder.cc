@@ -45,41 +45,48 @@ Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) {
   g.n_ = n;
   const uint64_t m = edges.size();
 
-  // Forward CSR (edges already sorted by src).
-  g.out_offsets_.assign(n + 1, 0);
-  for (const WeightedEdge& e : edges) ++g.out_offsets_[e.src + 1];
-  for (NodeId u = 0; u < n; ++u) g.out_offsets_[u + 1] += g.out_offsets_[u];
-  g.out_adj_.resize(m);
-  g.out_prob_.resize(m);
+  // Forward CSR (edges already sorted by src). Arrays are assembled as
+  // plain vectors and adopted into the graph's storage blocks (which may
+  // alternatively view a graph-store mapping; see array_block.h).
+  std::vector<uint64_t> out_offsets(n + 1, 0);
+  for (const WeightedEdge& e : edges) ++out_offsets[e.src + 1];
+  for (NodeId u = 0; u < n; ++u) out_offsets[u + 1] += out_offsets[u];
+  std::vector<NodeId> out_adj(m);
+  std::vector<float> out_prob(m);
   {
-    std::vector<uint64_t> cursor(g.out_offsets_.begin(),
-                                 g.out_offsets_.end() - 1);
+    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
     for (const WeightedEdge& e : edges) {
       const uint64_t pos = cursor[e.src]++;
-      g.out_adj_[pos] = e.dst;
-      g.out_prob_[pos] = e.prob;
+      out_adj[pos] = e.dst;
+      out_prob[pos] = e.prob;
     }
   }
+  g.out_offsets_.Adopt(std::move(out_offsets));
+  g.out_adj_.Adopt(std::move(out_adj));
+  g.out_prob_.Adopt(std::move(out_prob));
 
   // Reverse CSR. Edges are in forward-index order (sorted by src), so the
   // running position in this loop *is* the forward edge index.
-  g.in_offsets_.assign(n + 1, 0);
-  for (const WeightedEdge& e : edges) ++g.in_offsets_[e.dst + 1];
-  for (NodeId v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
-  g.in_adj_.resize(m);
-  g.in_prob_.resize(m);
-  g.in_edge_index_.resize(m);
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  for (const WeightedEdge& e : edges) ++in_offsets[e.dst + 1];
+  for (NodeId v = 0; v < n; ++v) in_offsets[v + 1] += in_offsets[v];
+  std::vector<NodeId> in_adj(m);
+  std::vector<float> in_prob(m);
+  std::vector<uint64_t> in_edge_index(m);
   {
-    std::vector<uint64_t> cursor(g.in_offsets_.begin(),
-                                 g.in_offsets_.end() - 1);
+    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
     for (uint64_t forward_index = 0; forward_index < m; ++forward_index) {
       const WeightedEdge& e = edges[forward_index];
       const uint64_t pos = cursor[e.dst]++;
-      g.in_adj_[pos] = e.src;
-      g.in_prob_[pos] = e.prob;
-      g.in_edge_index_[pos] = forward_index;
+      in_adj[pos] = e.src;
+      in_prob[pos] = e.prob;
+      in_edge_index[pos] = forward_index;
     }
   }
+  g.in_offsets_.Adopt(std::move(in_offsets));
+  g.in_adj_.Adopt(std::move(in_adj));
+  g.in_prob_.Adopt(std::move(in_prob));
+  g.in_edge_index_.Adopt(std::move(in_edge_index));
 
   // Classify every in-edge probability vector so the geometric-jump
   // kernels are ready the moment the graph exists; AssignProbabilities

@@ -1,0 +1,772 @@
+#include "graph/graph_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace atpm {
+namespace {
+
+// ---- Format constants ------------------------------------------------------
+
+constexpr char kMagic[8] = {'A', 'T', 'P', 'M', 'G', 'R', 'F', '1'};
+// Little-endian sentinel: a big-endian writer would store these bytes
+// reversed, which a little-endian reader rejects (and vice versa).
+constexpr uint32_t kEndianSentinel = 0xA7B0C1D2u;
+constexpr uint64_t kAlignment = 64;
+
+// Section ids. The id is the authoritative key — readers look sections up
+// by id, so the on-disk order can change without a version bump (new ids
+// require one, since older readers would miss required sections).
+enum SectionId : uint32_t {
+  kOutOffsets = 1,
+  kOutAdj = 2,
+  kOutProb = 3,
+  kInOffsets = 4,
+  kInAdj = 5,
+  kInProb = 6,
+  kInEdgeIndex = 7,
+  kInClass = 8,
+  kSegOffsets = 9,
+  kInSegments = 10,
+  kJumpOffsets = 11,
+  kJumpInArcs = 12,
+  kJumpInSlots = 13,
+  kLtPlan = 14,
+  kLtAliasOffsets = 15,
+  kLtAlias = 16,
+  kOutClass = 17,
+  kOutSegOffsets = 18,
+  kOutSegments = 19,
+  kOutJumpOffsets = 20,
+  kJumpOutArcs = 21,
+  kJumpOutSlots = 22,
+  kTileDirectory = 23,
+};
+
+struct GraphStoreHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian;
+  uint64_t num_nodes;
+  uint64_t num_edges;
+  uint64_t file_bytes;
+  uint32_t section_count;
+  uint32_t tile_size;  // nodes per tile (power of two); 0 = untiled
+  uint64_t in_jumpable_edges;
+  uint64_t out_jumpable_edges;
+  uint64_t payload_hash;  // [payload_start, file_bytes), padding included
+  uint64_t table_hash;    // the section table bytes
+  uint64_t header_hash;   // this struct with header_hash zeroed
+};
+static_assert(sizeof(GraphStoreHeader) == 88, "header layout is frozen");
+
+struct GraphStoreSection {
+  uint32_t id;
+  uint32_t element_size;
+  uint64_t offset;  // absolute file offset, kAlignment-aligned
+  uint64_t bytes;   // element_count * element_size
+  uint64_t element_count;
+};
+static_assert(sizeof(GraphStoreSection) == 32, "section layout is frozen");
+
+// One tile's reverse-CSR locality group: absolute file offsets of the
+// tile's in_adj / in_prob / in_edge_index slices (lengths derive from
+// in_offsets). Stored in the kTileDirectory section.
+struct TileDirEntry {
+  uint64_t adj_offset;
+  uint64_t prob_offset;
+  uint64_t eidx_offset;
+};
+static_assert(sizeof(TileDirEntry) == 24, "tile entry layout is frozen");
+
+// The array element types are memcpy'd to disk verbatim; freeze their
+// layout so a compiler/ABI change cannot silently corrupt stores.
+static_assert(sizeof(ProbSegment) == 24 && alignof(ProbSegment) == 8);
+static_assert(sizeof(InArc) == 8 && sizeof(OutArc) == 8);
+static_assert(sizeof(LtAliasSlot) == 16 && alignof(LtAliasSlot) == 8);
+static_assert(std::is_trivially_copyable_v<ProbSegment>);
+static_assert(std::is_trivially_copyable_v<InArc>);
+static_assert(std::is_trivially_copyable_v<OutArc>);
+static_assert(std::is_trivially_copyable_v<LtAliasSlot>);
+
+uint64_t AlignUp(uint64_t x) { return (x + kAlignment - 1) & ~(kAlignment - 1); }
+
+// ---- Hashing ---------------------------------------------------------------
+
+// 64-bit FNV-1a over 8-byte words: ~10x the byte-at-a-time throughput,
+// which matters when verifying multi-GB payloads. Streaming-safe: the
+// digest depends only on the byte sequence, not on how it was chunked
+// across Update calls (the writer hashes section by section, the reader
+// hashes the whole payload in one pass — they must agree).
+class Hash64 {
+ public:
+  void Update(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    total_ += n;
+    if (buffered_ > 0) {
+      while (buffered_ < 8 && n > 0) {
+        buf_[buffered_++] = *p++;
+        --n;
+      }
+      if (buffered_ < 8) return;
+      uint64_t word;
+      std::memcpy(&word, buf_, 8);
+      Mix(word);
+      buffered_ = 0;
+    }
+    while (n >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, 8);
+      Mix(word);
+      p += 8;
+      n -= 8;
+    }
+    while (n > 0) {
+      buf_[buffered_++] = *p++;
+      --n;
+    }
+  }
+
+  uint64_t Digest() const {
+    uint64_t state = state_;
+    if (buffered_ > 0) {
+      uint64_t word = 0;
+      std::memcpy(&word, buf_, buffered_);
+      state = MixInto(state, word);
+    }
+    // Folding the length in makes "abc" + zero tail distinct from "abc".
+    return MixInto(state, total_);
+  }
+
+ private:
+  static uint64_t MixInto(uint64_t state, uint64_t word) {
+    state = (state ^ word) * 1099511628211ull;
+    return state ^ (state >> 29);
+  }
+  void Mix(uint64_t word) { state_ = MixInto(state_, word); }
+
+  uint64_t state_ = 1469598103934665603ull;
+  uint64_t total_ = 0;
+  size_t buffered_ = 0;
+  unsigned char buf_[8] = {};
+};
+
+uint64_t HashBytes(const void* data, size_t n) {
+  Hash64 h;
+  h.Update(data, n);
+  return h.Digest();
+}
+
+uint64_t HeaderHash(GraphStoreHeader header) {
+  header.header_hash = 0;
+  return HashBytes(&header, sizeof(header));
+}
+
+// ---- mmap RAII -------------------------------------------------------------
+
+struct MappedFile {
+  const unsigned char* base = nullptr;
+  uint64_t size = 0;
+
+  ~MappedFile() {
+    if (base != nullptr) {
+      ::munmap(const_cast<unsigned char*>(base), size);
+    }
+  }
+};
+
+// ---- Buffered writer -------------------------------------------------------
+
+// Sequential section writer: tracks the running offset, zero-pads to
+// alignment, and hashes every payload byte as it goes out.
+class StoreWriter {
+ public:
+  explicit StoreWriter(std::FILE* file) : file_(file) {}
+
+  uint64_t offset() const { return offset_; }
+  bool failed() const { return failed_; }
+  uint64_t payload_hash() const { return hash_.Digest(); }
+
+  void PadToAlignment() {
+    static const unsigned char zeros[kAlignment] = {};
+    const uint64_t aligned = AlignUp(offset_);
+    if (aligned != offset_) {
+      Write(zeros, aligned - offset_);
+    }
+  }
+
+  void Write(const void* data, uint64_t bytes) {
+    if (failed_ || bytes == 0) return;
+    if (std::fwrite(data, 1, bytes, file_) != bytes) {
+      failed_ = true;
+      return;
+    }
+    hash_.Update(data, bytes);
+    offset_ += bytes;
+  }
+
+  // Seeks past the (not yet written) header + table region.
+  void SkipPreamble(uint64_t preamble_bytes) {
+    if (std::fseek(file_, static_cast<long>(preamble_bytes), SEEK_SET) != 0) {
+      failed_ = true;
+    }
+    offset_ = preamble_bytes;
+  }
+
+ private:
+  std::FILE* file_;
+  uint64_t offset_ = 0;
+  bool failed_ = false;
+  Hash64 hash_;
+};
+
+bool IsPowerOfTwo(uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+uint32_t Log2(uint32_t x) {
+  uint32_t shift = 0;
+  while ((1u << shift) < x) ++shift;
+  return shift;
+}
+
+const char* ExpectedSectionName(uint32_t id) {
+  switch (id) {
+    case kOutOffsets: return "out_offsets";
+    case kOutAdj: return "out_adj";
+    case kOutProb: return "out_prob";
+    case kInOffsets: return "in_offsets";
+    case kInAdj: return "in_adj";
+    case kInProb: return "in_prob";
+    case kInEdgeIndex: return "in_edge_index";
+    case kInClass: return "in_class";
+    case kSegOffsets: return "seg_offsets";
+    case kInSegments: return "in_segments";
+    case kJumpOffsets: return "jump_offsets";
+    case kJumpInArcs: return "jump_in_arcs";
+    case kJumpInSlots: return "jump_in_slots";
+    case kLtPlan: return "lt_plan";
+    case kLtAliasOffsets: return "lt_alias_offsets";
+    case kLtAlias: return "lt_alias";
+    case kOutClass: return "out_class";
+    case kOutSegOffsets: return "out_seg_offsets";
+    case kOutSegments: return "out_segments";
+    case kOutJumpOffsets: return "out_jump_offsets";
+    case kJumpOutArcs: return "jump_out_arcs";
+    case kJumpOutSlots: return "jump_out_slots";
+    case kTileDirectory: return "tile_directory";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---- Serializer / loader (friend of Graph) ---------------------------------
+
+class GraphStoreIO {
+ public:
+  static Status Save(const Graph& g, const std::string& path,
+                     const GraphStoreWriteOptions& options);
+  static Result<Graph> Load(const std::string& path,
+                            const GraphStoreLoadOptions& options);
+
+  // Validated view of a mapped store file (header + table resolved).
+  struct StoreView {
+    std::shared_ptr<MappedFile> file;
+    const GraphStoreHeader* header = nullptr;
+    const GraphStoreSection* sections = nullptr;
+
+    const GraphStoreSection* Find(uint32_t id) const {
+      for (uint32_t i = 0; i < header->section_count; ++i) {
+        if (sections[i].id == id) return &sections[i];
+      }
+      return nullptr;
+    }
+  };
+
+  static Result<StoreView> MapAndValidate(const std::string& path,
+                                          bool verify_payload);
+
+ private:
+  struct SectionSpec {
+    uint32_t id;
+    uint32_t element_size;
+    const void* data;
+    uint64_t element_count;
+  };
+
+  template <typename T>
+  static Status BindSection(const StoreView& view, uint32_t id,
+                            uint64_t expected_count, ArrayBlock<T>* block) {
+    const GraphStoreSection* section = view.Find(id);
+    if (section == nullptr) {
+      return Status::InvalidArgument(
+          std::string("graph store: missing section ") +
+          ExpectedSectionName(id));
+    }
+    if (section->element_size != sizeof(T) ||
+        section->element_count != expected_count) {
+      return Status::InvalidArgument(
+          std::string("graph store: section ") + ExpectedSectionName(id) +
+          " has element_size " + std::to_string(section->element_size) +
+          " count " + std::to_string(section->element_count) + ", expected " +
+          std::to_string(sizeof(T)) + " x " + std::to_string(expected_count));
+    }
+    block->SetView(
+        reinterpret_cast<const T*>(view.file->base + section->offset),
+        expected_count);
+    return Status::OK();
+  }
+};
+
+Status GraphStoreIO::Save(const Graph& g, const std::string& path,
+                          const GraphStoreWriteOptions& options) {
+  if (options.tile_size != 0 && !IsPowerOfTwo(options.tile_size)) {
+    return Status::InvalidArgument(
+        "graph store tile_size must be 0 or a power of two, got " +
+        std::to_string(options.tile_size));
+  }
+  const NodeId n = g.num_nodes();
+  const uint64_t m = g.num_edges();
+
+  // A tiled-mapped source graph has no flat reverse arrays to point at;
+  // materialize temporaries through the per-node accessors. (Rare path:
+  // re-packing an mmap-loaded graph.)
+  std::vector<NodeId> in_adj_copy;
+  std::vector<float> in_prob_copy;
+  std::vector<uint64_t> in_eidx_copy;
+  const NodeId* in_adj = g.in_adj_.data();
+  const float* in_prob = g.in_prob_.data();
+  const uint64_t* in_eidx = g.in_edge_index_.data();
+  if (g.tiled_reverse_) {
+    in_adj_copy.resize(m);
+    in_prob_copy.resize(m);
+    in_eidx_copy.resize(m);
+    for (NodeId v = 0; v < n; ++v) {
+      const uint64_t base = g.in_offsets_[v];
+      const uint32_t deg = g.InDegree(v);
+      std::memcpy(in_adj_copy.data() + base, g.InAdjPtr(v),
+                  deg * sizeof(NodeId));
+      std::memcpy(in_prob_copy.data() + base, g.InProbPtr(v),
+                  deg * sizeof(float));
+      std::memcpy(in_eidx_copy.data() + base, g.InEdgeIndexPtr(v),
+                  deg * sizeof(uint64_t));
+    }
+    in_adj = in_adj_copy.data();
+    in_prob = in_prob_copy.data();
+    in_eidx = in_eidx_copy.data();
+  }
+
+  const bool tiled = options.tile_size != 0 && n > 0;
+  const uint32_t tile_size = tiled ? options.tile_size : 0;
+  const uint32_t num_tiles =
+      tiled ? static_cast<uint32_t>((n + tile_size - 1) / tile_size) : 0;
+
+  // Flat sections (everything except the possibly-tiled reverse payload).
+  std::vector<SectionSpec> specs = {
+      {kOutOffsets, sizeof(uint64_t), g.out_offsets_.data(), uint64_t{n} + 1},
+      {kOutAdj, sizeof(NodeId), g.out_adj_.data(), m},
+      {kOutProb, sizeof(float), g.out_prob_.data(), m},
+      {kInOffsets, sizeof(uint64_t), g.in_offsets_.data(), uint64_t{n} + 1},
+      {kInClass, sizeof(NodeWeightClass), g.in_class_.data(), uint64_t{n}},
+      {kSegOffsets, sizeof(uint64_t), g.seg_offsets_.data(), uint64_t{n} + 1},
+      {kInSegments, sizeof(ProbSegment), g.in_segments_.data(),
+       g.in_segments_.size()},
+      {kJumpOffsets, sizeof(uint64_t), g.jump_offsets_.data(),
+       uint64_t{n} + 1},
+      {kJumpInArcs, sizeof(InArc), g.jump_in_arcs_.data(),
+       g.jump_in_arcs_.size()},
+      {kJumpInSlots, sizeof(uint32_t), g.jump_in_slots_.data(),
+       g.jump_in_slots_.size()},
+      {kLtPlan, sizeof(uint8_t), g.lt_plan_.data(), uint64_t{n}},
+      {kLtAliasOffsets, sizeof(uint64_t), g.lt_alias_offsets_.data(),
+       uint64_t{n} + 1},
+      {kLtAlias, sizeof(LtAliasSlot), g.lt_alias_.data(), g.lt_alias_.size()},
+      {kOutClass, sizeof(NodeWeightClass), g.out_class_.data(), uint64_t{n}},
+      {kOutSegOffsets, sizeof(uint64_t), g.out_seg_offsets_.data(),
+       uint64_t{n} + 1},
+      {kOutSegments, sizeof(ProbSegment), g.out_segments_.data(),
+       g.out_segments_.size()},
+      {kOutJumpOffsets, sizeof(uint64_t), g.out_jump_offsets_.data(),
+       uint64_t{n} + 1},
+      {kJumpOutArcs, sizeof(OutArc), g.jump_out_arcs_.data(),
+       g.jump_out_arcs_.size()},
+      {kJumpOutSlots, sizeof(uint32_t), g.jump_out_slots_.data(),
+       g.jump_out_slots_.size()},
+  };
+  if (!tiled) {
+    specs.push_back({kInAdj, sizeof(NodeId), in_adj, m});
+    specs.push_back({kInProb, sizeof(float), in_prob, m});
+    specs.push_back({kInEdgeIndex, sizeof(uint64_t), in_eidx, m});
+  }
+
+  // Layout: preamble, flat sections, tile directory, tile blocks. Offsets
+  // are computed up front so the section table can be written after the
+  // payload without a second pass over the data.
+  const uint32_t section_count =
+      static_cast<uint32_t>(specs.size()) + (tiled ? 1 : 0);
+  const uint64_t preamble_bytes =
+      sizeof(GraphStoreHeader) + section_count * sizeof(GraphStoreSection);
+  uint64_t offset = AlignUp(preamble_bytes);
+
+  std::vector<GraphStoreSection> table;
+  table.reserve(section_count);
+  for (const SectionSpec& spec : specs) {
+    const uint64_t bytes = spec.element_count * spec.element_size;
+    table.push_back({spec.id, spec.element_size, offset, bytes,
+                     spec.element_count});
+    offset = AlignUp(offset + bytes);
+  }
+
+  std::vector<TileDirEntry> tile_dir(num_tiles);
+  if (tiled) {
+    table.push_back({kTileDirectory, sizeof(TileDirEntry), offset,
+                     num_tiles * sizeof(TileDirEntry), num_tiles});
+    offset = AlignUp(offset + num_tiles * sizeof(TileDirEntry));
+    for (uint32_t t = 0; t < num_tiles; ++t) {
+      const uint64_t first = g.in_offsets_[static_cast<NodeId>(
+          std::min<uint64_t>(uint64_t{t} * tile_size, n))];
+      const uint64_t last = g.in_offsets_[static_cast<NodeId>(
+          std::min<uint64_t>((uint64_t{t} + 1) * tile_size, n))];
+      const uint64_t count = last - first;
+      tile_dir[t].adj_offset = offset;
+      offset = AlignUp(offset + count * sizeof(NodeId));
+      tile_dir[t].prob_offset = offset;
+      offset = AlignUp(offset + count * sizeof(float));
+      tile_dir[t].eidx_offset = offset;
+      offset = AlignUp(offset + count * sizeof(uint64_t));
+    }
+  }
+  const uint64_t file_bytes = offset;
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path +
+                           "' for writing: " + std::strerror(errno));
+  }
+
+  StoreWriter writer(file);
+  // Seek straight to the aligned payload start; the preamble pad is left as
+  // a zero gap and is outside the payload hash (the reader hashes from
+  // AlignUp(preamble) too).
+  writer.SkipPreamble(AlignUp(preamble_bytes));
+  for (const SectionSpec& spec : specs) {
+    writer.Write(spec.data, spec.element_count * spec.element_size);
+    writer.PadToAlignment();
+  }
+  if (tiled) {
+    writer.Write(tile_dir.data(), num_tiles * sizeof(TileDirEntry));
+    writer.PadToAlignment();
+    for (uint32_t t = 0; t < num_tiles; ++t) {
+      const NodeId lo = static_cast<NodeId>(
+          std::min<uint64_t>(uint64_t{t} * tile_size, n));
+      const NodeId hi = static_cast<NodeId>(
+          std::min<uint64_t>((uint64_t{t} + 1) * tile_size, n));
+      const uint64_t first = g.in_offsets_[lo];
+      const uint64_t count = g.in_offsets_[hi] - first;
+      writer.Write(in_adj + first, count * sizeof(NodeId));
+      writer.PadToAlignment();
+      writer.Write(in_prob + first, count * sizeof(float));
+      writer.PadToAlignment();
+      writer.Write(in_eidx + first, count * sizeof(uint64_t));
+      writer.PadToAlignment();
+    }
+  }
+
+  GraphStoreHeader header = {};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kGraphStoreVersion;
+  header.endian = kEndianSentinel;
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.file_bytes = file_bytes;
+  header.section_count = section_count;
+  header.tile_size = tile_size;
+  header.in_jumpable_edges = g.in_jumpable_edges_;
+  header.out_jumpable_edges = g.out_jumpable_edges_;
+  header.payload_hash = writer.payload_hash();
+  header.table_hash =
+      HashBytes(table.data(), table.size() * sizeof(GraphStoreSection));
+  header.header_hash = HeaderHash(header);
+
+  bool write_ok = !writer.failed() && writer.offset() == file_bytes;
+  if (write_ok) {
+    write_ok = std::fseek(file, 0, SEEK_SET) == 0 &&
+               std::fwrite(&header, sizeof(header), 1, file) == 1 &&
+               std::fwrite(table.data(), sizeof(GraphStoreSection),
+                           table.size(), file) == table.size();
+  }
+  write_ok = std::fflush(file) == 0 && write_ok;
+  std::fclose(file);
+  if (!write_ok) {
+    std::remove(path.c_str());
+    return Status::IOError("write failure on '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<GraphStoreIO::StoreView> GraphStoreIO::MapAndValidate(
+    const std::string& path, bool verify_payload) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError("fstat('" + path + "') failed: " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < sizeof(GraphStoreHeader)) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "graph store '" + path + "' is truncated: " + std::to_string(size) +
+        " bytes is smaller than the header");
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapping == MAP_FAILED) {
+    return Status::IOError("mmap('" + path +
+                           "') failed: " + std::strerror(errno));
+  }
+  auto file = std::make_shared<MappedFile>();
+  file->base = static_cast<const unsigned char*>(mapping);
+  file->size = size;
+
+  GraphStoreHeader header;
+  std::memcpy(&header, file->base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a graph store (bad magic)");
+  }
+  if (header.endian != kEndianSentinel) {
+    return Status::InvalidArgument(
+        "graph store '" + path + "' was written on a foreign-endian machine");
+  }
+  if (header.version != kGraphStoreVersion) {
+    return Status::InvalidArgument(
+        "graph store '" + path + "' has format version " +
+        std::to_string(header.version) + "; this build reads version " +
+        std::to_string(kGraphStoreVersion) + " (repack with atpm_graph_pack)");
+  }
+  if (header.header_hash != HeaderHash(header)) {
+    return Status::InvalidArgument("graph store '" + path +
+                                   "' header checksum mismatch (corrupt)");
+  }
+  if (header.file_bytes != size) {
+    return Status::InvalidArgument(
+        "graph store '" + path + "' is truncated: header records " +
+        std::to_string(header.file_bytes) + " bytes, file has " +
+        std::to_string(size));
+  }
+  const uint64_t table_bytes =
+      uint64_t{header.section_count} * sizeof(GraphStoreSection);
+  const uint64_t preamble_bytes = sizeof(GraphStoreHeader) + table_bytes;
+  if (preamble_bytes > size) {
+    return Status::InvalidArgument("graph store '" + path +
+                                   "' section table exceeds the file");
+  }
+  const GraphStoreSection* sections =
+      reinterpret_cast<const GraphStoreSection*>(file->base +
+                                                 sizeof(GraphStoreHeader));
+  if (HashBytes(sections, table_bytes) != header.table_hash) {
+    return Status::InvalidArgument(
+        "graph store '" + path + "' section table checksum mismatch");
+  }
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    const GraphStoreSection& s = sections[i];
+    if (s.offset % kAlignment != 0 || s.offset > size ||
+        s.bytes > size - s.offset ||
+        s.bytes != s.element_count * s.element_size) {
+      return Status::InvalidArgument(
+          "graph store '" + path + "' section " + ExpectedSectionName(s.id) +
+          " has inconsistent bounds");
+    }
+  }
+  if (verify_payload) {
+    const uint64_t payload_start = AlignUp(preamble_bytes);
+    if (HashBytes(file->base + payload_start, size - payload_start) !=
+        header.payload_hash) {
+      return Status::InvalidArgument("graph store '" + path +
+                                     "' payload checksum mismatch (corrupt)");
+    }
+  }
+
+  StoreView view;
+  view.file = std::move(file);
+  view.header = reinterpret_cast<const GraphStoreHeader*>(view.file->base);
+  view.sections = sections;
+  return view;
+}
+
+Result<Graph> GraphStoreIO::Load(const std::string& path,
+                                 const GraphStoreLoadOptions& options) {
+  Result<StoreView> mapped = MapAndValidate(path, options.verify_payload);
+  if (!mapped.ok()) return mapped.status();
+  const StoreView& view = mapped.value();
+  const GraphStoreHeader& header = *view.header;
+  const uint64_t n64 = header.num_nodes;
+  if (n64 > 0xFFFFFFFFull - 1) {
+    return Status::InvalidArgument("graph store node count overflows NodeId");
+  }
+  const NodeId n = static_cast<NodeId>(n64);
+  const uint64_t m = header.num_edges;
+
+  Graph g;
+  g.n_ = n;
+  ATPM_RETURN_NOT_OK(BindSection(view, kOutOffsets, n64 + 1, &g.out_offsets_));
+  ATPM_RETURN_NOT_OK(BindSection(view, kOutAdj, m, &g.out_adj_));
+  ATPM_RETURN_NOT_OK(BindSection(view, kOutProb, m, &g.out_prob_));
+  ATPM_RETURN_NOT_OK(BindSection(view, kInOffsets, n64 + 1, &g.in_offsets_));
+  ATPM_RETURN_NOT_OK(BindSection(view, kInClass, n64, &g.in_class_));
+  ATPM_RETURN_NOT_OK(BindSection(view, kSegOffsets, n64 + 1, &g.seg_offsets_));
+  const GraphStoreSection* in_segments = view.Find(kInSegments);
+  ATPM_RETURN_NOT_OK(BindSection(
+      view, kInSegments, in_segments ? in_segments->element_count : 0,
+      &g.in_segments_));
+  ATPM_RETURN_NOT_OK(
+      BindSection(view, kJumpOffsets, n64 + 1, &g.jump_offsets_));
+  const GraphStoreSection* jump_arcs = view.Find(kJumpInArcs);
+  ATPM_RETURN_NOT_OK(BindSection(view, kJumpInArcs,
+                                 jump_arcs ? jump_arcs->element_count : 0,
+                                 &g.jump_in_arcs_));
+  const GraphStoreSection* jump_slots = view.Find(kJumpInSlots);
+  ATPM_RETURN_NOT_OK(BindSection(view, kJumpInSlots,
+                                 jump_slots ? jump_slots->element_count : 0,
+                                 &g.jump_in_slots_));
+  ATPM_RETURN_NOT_OK(BindSection(view, kLtPlan, n64, &g.lt_plan_));
+  ATPM_RETURN_NOT_OK(
+      BindSection(view, kLtAliasOffsets, n64 + 1, &g.lt_alias_offsets_));
+  const GraphStoreSection* lt_alias = view.Find(kLtAlias);
+  ATPM_RETURN_NOT_OK(BindSection(view, kLtAlias,
+                                 lt_alias ? lt_alias->element_count : 0,
+                                 &g.lt_alias_));
+  ATPM_RETURN_NOT_OK(BindSection(view, kOutClass, n64, &g.out_class_));
+  ATPM_RETURN_NOT_OK(
+      BindSection(view, kOutSegOffsets, n64 + 1, &g.out_seg_offsets_));
+  const GraphStoreSection* out_segments = view.Find(kOutSegments);
+  ATPM_RETURN_NOT_OK(BindSection(
+      view, kOutSegments, out_segments ? out_segments->element_count : 0,
+      &g.out_segments_));
+  ATPM_RETURN_NOT_OK(
+      BindSection(view, kOutJumpOffsets, n64 + 1, &g.out_jump_offsets_));
+  const GraphStoreSection* out_arcs = view.Find(kJumpOutArcs);
+  ATPM_RETURN_NOT_OK(BindSection(view, kJumpOutArcs,
+                                 out_arcs ? out_arcs->element_count : 0,
+                                 &g.jump_out_arcs_));
+  const GraphStoreSection* out_slots = view.Find(kJumpOutSlots);
+  ATPM_RETURN_NOT_OK(BindSection(view, kJumpOutSlots,
+                                 out_slots ? out_slots->element_count : 0,
+                                 &g.jump_out_slots_));
+
+  // Cheap structural invariants (full content integrity is the payload
+  // hash's job): CSR extents must match the header's edge count.
+  if (g.out_offsets_[0] != 0 || g.out_offsets_[n] != m ||
+      g.in_offsets_[0] != 0 || g.in_offsets_[n] != m) {
+    return Status::InvalidArgument(
+        "graph store '" + path + "' CSR offsets disagree with header counts");
+  }
+
+  if (header.tile_size != 0) {
+    if (!IsPowerOfTwo(header.tile_size)) {
+      return Status::InvalidArgument("graph store '" + path +
+                                     "' tile_size is not a power of two");
+    }
+    const uint32_t num_tiles = static_cast<uint32_t>(
+        (n64 + header.tile_size - 1) / header.tile_size);
+    const GraphStoreSection* dir = view.Find(kTileDirectory);
+    if (dir == nullptr || dir->element_size != sizeof(TileDirEntry) ||
+        dir->element_count != num_tiles) {
+      return Status::InvalidArgument("graph store '" + path +
+                                     "' tile directory missing or mis-sized");
+    }
+    const TileDirEntry* entries =
+        reinterpret_cast<const TileDirEntry*>(view.file->base + dir->offset);
+    g.tiled_reverse_ = true;
+    g.tile_shift_ = Log2(header.tile_size);
+    g.tile_in_adj_.resize(num_tiles);
+    g.tile_in_prob_.resize(num_tiles);
+    g.tile_in_eidx_.resize(num_tiles);
+    g.tile_edge_start_.resize(num_tiles);
+    const uint64_t size = view.file->size;
+    for (uint32_t t = 0; t < num_tiles; ++t) {
+      const uint64_t lo = std::min<uint64_t>(uint64_t{t} * header.tile_size,
+                                             n64);
+      const uint64_t hi = std::min<uint64_t>(
+          (uint64_t{t} + 1) * header.tile_size, n64);
+      const uint64_t first = g.in_offsets_[static_cast<NodeId>(lo)];
+      const uint64_t count = g.in_offsets_[static_cast<NodeId>(hi)] - first;
+      const TileDirEntry& e = entries[t];
+      if (e.adj_offset % kAlignment != 0 || e.prob_offset % kAlignment != 0 ||
+          e.eidx_offset % kAlignment != 0 || e.adj_offset > size ||
+          count * sizeof(NodeId) > size - e.adj_offset ||
+          e.prob_offset > size || count * sizeof(float) > size - e.prob_offset ||
+          e.eidx_offset > size ||
+          count * sizeof(uint64_t) > size - e.eidx_offset) {
+        return Status::InvalidArgument(
+            "graph store '" + path + "' tile " + std::to_string(t) +
+            " block exceeds the file");
+      }
+      g.tile_in_adj_[t] =
+          reinterpret_cast<const NodeId*>(view.file->base + e.adj_offset);
+      g.tile_in_prob_[t] =
+          reinterpret_cast<const float*>(view.file->base + e.prob_offset);
+      g.tile_in_eidx_[t] =
+          reinterpret_cast<const uint64_t*>(view.file->base + e.eidx_offset);
+      g.tile_edge_start_[t] = first;
+    }
+  } else {
+    ATPM_RETURN_NOT_OK(BindSection(view, kInAdj, m, &g.in_adj_));
+    ATPM_RETURN_NOT_OK(BindSection(view, kInProb, m, &g.in_prob_));
+    ATPM_RETURN_NOT_OK(BindSection(view, kInEdgeIndex, m, &g.in_edge_index_));
+  }
+
+  g.in_jumpable_edges_ = header.in_jumpable_edges;
+  g.out_jumpable_edges_ = header.out_jumpable_edges;
+  g.backing_ = std::static_pointer_cast<const void>(view.file);
+  return g;
+}
+
+Status SaveGraphStore(const Graph& graph, const std::string& path,
+                      const GraphStoreWriteOptions& options) {
+  return GraphStoreIO::Save(graph, path, options);
+}
+
+Result<Graph> LoadGraphStore(const std::string& path,
+                             const GraphStoreLoadOptions& options) {
+  return GraphStoreIO::Load(path, options);
+}
+
+Result<GraphStoreInfo> ReadGraphStoreInfo(const std::string& path) {
+  Result<GraphStoreIO::StoreView> mapped =
+      GraphStoreIO::MapAndValidate(path, /*verify_payload=*/false);
+  if (!mapped.ok()) return mapped.status();
+  const GraphStoreHeader& header = *mapped.value().header;
+  GraphStoreInfo info;
+  info.version = header.version;
+  info.tile_size = header.tile_size;
+  info.num_tiles =
+      header.tile_size == 0
+          ? 0
+          : static_cast<uint32_t>((header.num_nodes + header.tile_size - 1) /
+                                  header.tile_size);
+  info.section_count = header.section_count;
+  info.num_nodes = header.num_nodes;
+  info.num_edges = header.num_edges;
+  info.file_bytes = header.file_bytes;
+  return info;
+}
+
+}  // namespace atpm

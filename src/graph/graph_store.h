@@ -1,0 +1,103 @@
+#ifndef ATPM_GRAPH_GRAPH_STORE_H_
+#define ATPM_GRAPH_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace atpm {
+
+/// The graph store: a versioned binary on-disk format holding a FULLY
+/// prepared Graph — forward + reverse CSR, probability arrays, the reverse
+/// edge-index map, and the complete weight-class index (ProbSegments, jump
+/// views, LT pick plans, alias tables) — as aligned, offset-addressed
+/// sections behind a checksummed header. Loading memory-maps the file and
+/// points the Graph's storage blocks straight into the mapping: zero parse,
+/// zero rebuild, zero copies. Cold pages fault in on first touch, so a
+/// store bigger than RAM still loads in milliseconds and an RR walk only
+/// pays for the nodes it visits.
+///
+/// File layout (all little-endian, offsets 64-byte aligned):
+///
+///   [GraphStoreHeader]           magic, version, counts, checksums
+///   [GraphStoreSection x N]      section table: id, elem size, offset, len
+///   [section payloads...]        one aligned blob per array
+///   [tile blocks...]             tiled reverse CSR (when tile_size > 0)
+///
+/// Tiled layout: nodes are partitioned into fixed-size tiles (power-of-two
+/// node count). Each tile's reverse-CSR slices — in_adj, in_prob,
+/// in_edge_index for that tile's nodes — are stored adjacently as one
+/// locality group, addressed by the kTileDirectory section. An RR walk
+/// entering a cold tile faults one compact group instead of three pages
+/// scattered across giant arrays. tile_size = 0 stores the reverse CSR as
+/// three flat sections (identical semantics, coarser fault granularity).
+///
+/// Integrity: header, section table, and payload carry independent 64-bit
+/// FNV-1a checksums. The header + table checks always run (microseconds);
+/// the payload check is on by default and can be skipped
+/// (GraphStoreLoadOptions::verify_payload = false) for out-of-core loads
+/// where faulting every page to hash it defeats the point.
+///
+/// Compatibility: the version is bumped on any layout change; loaders
+/// reject unknown versions and foreign endianness outright (no migration
+/// shims — repack from the edge list with atpm_graph_pack).
+
+/// Current store format version. Readers reject any other value.
+inline constexpr uint32_t kGraphStoreVersion = 1;
+
+/// Options for SaveGraphStore.
+struct GraphStoreWriteOptions {
+  /// Nodes per reverse-CSR tile; must be a power of two. 0 writes the
+  /// reverse CSR untiled (three flat sections). The default keeps tiles
+  /// around page scale for weighted-cascade degree distributions.
+  uint32_t tile_size = 4096;
+};
+
+/// Options for LoadGraphStore.
+struct GraphStoreLoadOptions {
+  /// Verify the payload checksum (touches every page). Header and section
+  /// table are always verified.
+  bool verify_payload = true;
+};
+
+/// Store metadata, readable without mapping the payload.
+struct GraphStoreInfo {
+  uint32_t version = 0;
+  uint32_t tile_size = 0;
+  uint32_t num_tiles = 0;
+  uint32_t section_count = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// Serializes `graph` (CSR + probabilities + weight-class index) to `path`.
+/// The file is written atomically enough for benchmarking purposes
+/// (truncate + sequential write); callers needing crash-safe publication
+/// should write to a temp name and rename.
+Status SaveGraphStore(const Graph& graph, const std::string& path,
+                      const GraphStoreWriteOptions& options = {});
+
+/// Memory-maps `path` and returns a Graph whose spans point into the
+/// mapping (Graph::is_mapped() == true). The mapping lives as long as any
+/// copy of the returned Graph. The loaded graph is functionally
+/// indistinguishable from the GraphBuilder-built one it was saved from:
+/// identical CSR, probabilities, edge indices, and weight-class index, so
+/// fixed-seed RR pools and policy decision sequences are bit-identical.
+/// Fails with IOError on filesystem/mmap errors and InvalidArgument on
+/// format, version, or checksum violations.
+Result<Graph> LoadGraphStore(const std::string& path,
+                             const GraphStoreLoadOptions& options = {});
+
+/// Reads and validates only the header + section table of `path`.
+Result<GraphStoreInfo> ReadGraphStoreInfo(const std::string& path);
+
+/// Implementation backdoor used by the serializer to address Graph's
+/// private storage blocks (declared a friend in graph.h).
+class GraphStoreIO;
+
+}  // namespace atpm
+
+#endif  // ATPM_GRAPH_GRAPH_STORE_H_

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 
 namespace atpm {
@@ -127,6 +131,48 @@ TEST(BenchEnvTest, ThreadsParses) {
   EXPECT_EQ(BenchThreadsFromEnv(), 4u);
   unsetenv("ATPM_BENCH_THREADS");
   EXPECT_EQ(BenchThreadsFromEnv(), 8u);
+}
+
+TEST(StoreCacheTest, PathEmptyWithoutEnvAndKeyedWithIt) {
+  unsetenv("ATPM_BENCH_STORE_DIR");
+  EXPECT_EQ(DatasetStorePath("NetHEPT", 0.05, 1), "");
+  setenv("ATPM_BENCH_STORE_DIR", "/tmp/atpm_cache", 1);
+  const std::string path = DatasetStorePath("NetHEPT", 0.05, 7);
+  EXPECT_NE(path.find("/tmp/atpm_cache/NetHEPT"), std::string::npos);
+  EXPECT_NE(path.find("s0.05"), std::string::npos);
+  EXPECT_NE(path.find("seed7"), std::string::npos);
+  unsetenv("ATPM_BENCH_STORE_DIR");
+}
+
+TEST(StoreCacheTest, SecondBuildMapsFromCacheIdentically) {
+  const std::string dir = ::testing::TempDir() + "/atpm_ds_cache_" +
+                          std::to_string(::getpid());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  setenv("ATPM_BENCH_STORE_DIR", dir.c_str(), 1);
+  Result<BenchDataset> first = BuildDataset("HepMini", 0.05, 3);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().graph.is_mapped());  // built, then packed
+
+  Result<BenchDataset> second = BuildDataset("HepMini", 0.05, 3);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second.value().graph.is_mapped());  // served from the store
+
+  const Graph& a = first.value().graph;
+  const Graph& b = second.value().graph;
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto an = a.InNeighbors(v);
+    const auto bn = b.InNeighbors(v);
+    ASSERT_EQ(an.size(), bn.size()) << v;
+    for (uint32_t j = 0; j < an.size(); ++j) {
+      ASSERT_EQ(an[j], bn[j]);
+      ASSERT_EQ(a.InProbs(v)[j], b.InProbs(v)[j]);
+    }
+  }
+  unsetenv("ATPM_BENCH_STORE_DIR");
+  std::remove((dir + "/HepMini_s0.05_seed3_v1.atpm").c_str());
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace

@@ -4,9 +4,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "common/rng.h"
 #include "graph/generators.h"
+#include "graph/graph_builder.h"
 
 namespace atpm {
 namespace {
@@ -126,6 +129,83 @@ TEST_F(EdgeListIoTest, EmptyFileYieldsEmptyGraph) {
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g.value().num_nodes(), 0u);
   EXPECT_EQ(g.value().num_edges(), 0u);
+}
+
+TEST_F(EdgeListIoTest, SaveLoadRoundTripIsBitExact) {
+  // Probabilities chosen to have no short decimal representation; the
+  // writer's max_digits10 formatting must reproduce every float bit.
+  GraphBuilder builder;
+  Rng rng(123);
+  for (NodeId u = 0; u < 64; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      builder.AddEdge(u, (u + v + 1) % 64,
+                      static_cast<float>(rng.UniformDouble()));
+    }
+  }
+  const Graph original = builder.Build().value();
+  ASSERT_TRUE(SaveEdgeList(original, path_).ok());
+  Result<Graph> loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().num_edges(), original.num_edges());
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    const auto a = original.OutProbs(u);
+    const auto b = loaded.value().OutProbs(u);
+    for (uint32_t j = 0; j < original.OutDegree(u); ++j) {
+      ASSERT_EQ(a[j], b[j]) << "prob mismatch at " << u << "/" << j;
+    }
+  }
+}
+
+TEST_F(EdgeListIoTest, FinalLineWithoutNewlineParses) {
+  WriteFile("0 1 0.5\n1 2 0.25");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_edges(), 2u);
+  EXPECT_FLOAT_EQ(g.value().OutProbs(1)[0], 0.25f);
+}
+
+TEST_F(EdgeListIoTest, CrLfLineEndingsParse) {
+  WriteFile("# header\r\n0 1 0.5\r\n1 2 0.25\r\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST_F(EdgeListIoTest, UnparsableProbabilityColumnRejected) {
+  WriteFile("0 1 not_a_prob\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST_F(EdgeListIoTest, ExtraColumnsAfterProbabilityIgnored) {
+  // SNAP exports often append timestamps or labels.
+  WriteFile("0 1 0.5 1534291200 label\n");
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_FLOAT_EQ(g.value().OutProbs(0)[0], 0.5f);
+}
+
+TEST_F(EdgeListIoTest, LinesSpanningReaderBlocksParse) {
+  // Enough edges that the file crosses the reader's block boundary many
+  // times, with long comment padding to force partial-line carries.
+  std::ostringstream content;
+  const int kEdges = 150000;  // ~2 MB of text vs the 1 MB block size
+  for (int i = 0; i < kEdges; ++i) {
+    if (i % 1000 == 0) {
+      content << "# " << std::string(257, 'x') << "\n";
+    }
+    content << i % 977 << ' ' << (i + 1) % 977 << ' ' << 0.125 << '\n';
+  }
+  WriteFile(content.str());
+  Result<Graph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_nodes(), 977u);
+  // Duplicate (src, dst) pairs are deduplicated by the builder; every
+  // surviving edge kept its probability.
+  for (NodeId u = 0; u < g.value().num_nodes(); ++u) {
+    for (float p : g.value().OutProbs(u)) ASSERT_EQ(p, 0.125f);
+  }
 }
 
 }  // namespace
