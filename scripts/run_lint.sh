@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: the project-invariant linter (tools/atpm_lint)
+# plus clang-tidy over the src/ tree. Used by `cmake --build <dir> --target
+# lint`, the CI lint job, and humans.
+#
+# usage: scripts/run_lint.sh [build-dir]
+#
+#   build-dir   directory holding compile_commands.json (default: build).
+#               clang-tidy is skipped with a notice when the binary or the
+#               compilation database is absent — atpm_lint always runs, so
+#               the invariant rules gate every environment.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+PYTHON="${ATPM_LINT_PYTHON:-python3}"
+
+status=0
+
+echo "== atpm_lint (project invariants) =="
+"$PYTHON" "$ROOT/tools/atpm_lint/atpm_lint.py" --root "$ROOT" || status=$?
+
+echo "== clang-tidy (bugprone / performance / concurrency baseline) =="
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping (apt install clang-tidy)"
+elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "no $BUILD_DIR/compile_commands.json; configure with cmake first" \
+       "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default); skipping"
+else
+  # The src/ tree is the lint surface: tests and bench lean on gtest /
+  # google-benchmark macros that are not clean under this check set.
+  mapfile -t SRC_FILES < <(find "$ROOT/src" -name '*.cc' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "${SRC_FILES[@]}" || status=$?
+  else
+    for f in "${SRC_FILES[@]}"; do
+      "$CLANG_TIDY" -quiet -p "$BUILD_DIR" "$f" || status=$?
+    done
+  fi
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "run_lint.sh: FAILED (findings above)" >&2
+else
+  echo "run_lint.sh: clean"
+fi
+exit "$status"

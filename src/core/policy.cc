@@ -38,8 +38,8 @@ SpeculativeRoundPlanner::SpeculativeRoundPlanner(
   }
 }
 
-void SpeculativeRoundPlanner::Begin(size_t position, NodeId u, uint64_t epoch,
-                                    uint64_t min_theta) {
+void SpeculativeRoundPlanner::Begin(size_t position, [[maybe_unused]] NodeId u,
+                                    uint64_t epoch, uint64_t min_theta) {
   position_ = position;
   active_.reset();
   if (window_ == 0) return;

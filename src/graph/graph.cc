@@ -159,6 +159,25 @@ uint64_t CountJumpableEdges(const std::vector<ProbSegment>& segments) {
   return jumpable;
 }
 
+// Descending index sort for the tiny distinct-value census arrays
+// (n <= kMaxDistinctInProbs = 8; values are distinct, so the resulting
+// permutation is unique and stream-identical to std::sort). Hand-rolled
+// because libstdc++'s std::sort reads up to its 16-element insertion-sort
+// threshold, which GCC's -Warray-bounds rejects against an 8-slot stack
+// array at -O2.
+void SortIndicesByValueDesc(uint32_t* order, uint32_t n,
+                            const float* values) {
+  for (uint32_t i = 1; i < n; ++i) {
+    const uint32_t key = order[i];
+    uint32_t j = i;
+    while (j > 0 && values[order[j - 1]] < values[key]) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = key;
+  }
+}
+
 }  // namespace
 
 void Graph::RebuildInWeightIndex() {
@@ -242,9 +261,7 @@ void Graph::RebuildInWeightIndex() {
       // cache lines).
       uint32_t order[kMaxDistinctInProbs];
       for (uint32_t d = 0; d < num_distinct; ++d) order[d] = d;
-      std::sort(order, order + num_distinct, [&](uint32_t a, uint32_t b) {
-        return values[a] > values[b];
-      });
+      SortIndicesByValueDesc(order, num_distinct, values);
       for (uint32_t oi = 0; oi < num_distinct; ++oi) {
         const uint32_t d = order[oi];
         in_segments.push_back(ProbSegment{
@@ -358,9 +375,7 @@ void Graph::RebuildOutWeightIndex() {
       // independent trials).
       uint32_t order[kMaxDistinctInProbs];
       for (uint32_t d = 0; d < num_distinct; ++d) order[d] = d;
-      std::sort(order, order + num_distinct, [&](uint32_t a, uint32_t b) {
-        return values[a] > values[b];
-      });
+      SortIndicesByValueDesc(order, num_distinct, values);
       for (uint32_t oi = 0; oi < num_distinct; ++oi) {
         const uint32_t d = order[oi];
         out_segments.push_back(ProbSegment{

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -69,6 +70,16 @@ struct GraphStoreHeader {
   uint64_t header_hash;   // this struct with header_hash zeroed
 };
 static_assert(sizeof(GraphStoreHeader) == 88, "header layout is frozen");
+static_assert(std::is_trivially_copyable_v<GraphStoreHeader>);
+// offsetof pins: a reordered or repacked field moves one of these and fails
+// the build — bump kGraphStoreVersion instead of "fixing" the assert.
+static_assert(offsetof(GraphStoreHeader, version) == 8);
+static_assert(offsetof(GraphStoreHeader, endian) == 12);
+static_assert(offsetof(GraphStoreHeader, num_nodes) == 16);
+static_assert(offsetof(GraphStoreHeader, section_count) == 40);
+static_assert(offsetof(GraphStoreHeader, tile_size) == 44);
+static_assert(offsetof(GraphStoreHeader, payload_hash) == 64);
+static_assert(offsetof(GraphStoreHeader, header_hash) == 80);
 
 struct GraphStoreSection {
   uint32_t id;
@@ -78,6 +89,9 @@ struct GraphStoreSection {
   uint64_t element_count;
 };
 static_assert(sizeof(GraphStoreSection) == 32, "section layout is frozen");
+static_assert(std::is_trivially_copyable_v<GraphStoreSection>);
+static_assert(offsetof(GraphStoreSection, offset) == 8);
+static_assert(offsetof(GraphStoreSection, element_count) == 24);
 
 // One tile's reverse-CSR locality group: absolute file offsets of the
 // tile's in_adj / in_prob / in_edge_index slices (lengths derive from
@@ -88,6 +102,9 @@ struct TileDirEntry {
   uint64_t eidx_offset;
 };
 static_assert(sizeof(TileDirEntry) == 24, "tile entry layout is frozen");
+static_assert(std::is_trivially_copyable_v<TileDirEntry>);
+static_assert(offsetof(TileDirEntry, prob_offset) == 8);
+static_assert(offsetof(TileDirEntry, eidx_offset) == 16);
 
 // The array element types are memcpy'd to disk verbatim; freeze their
 // layout so a compiler/ABI change cannot silently corrupt stores.
@@ -131,7 +148,9 @@ class Hash64 {
       p += 8;
       n -= 8;
     }
-    while (n > 0) {
+    // The bound is provably never hit (n < 8 and buffered_ == 0 here) but
+    // keeps the indexing visibly in range for the optimizer's UB analysis.
+    while (n > 0 && buffered_ < sizeof(buf_)) {
       buf_[buffered_++] = *p++;
       --n;
     }
@@ -180,7 +199,8 @@ struct MappedFile {
 
   ~MappedFile() {
     if (base != nullptr) {
-      ::munmap(const_cast<unsigned char*>(base), size);
+      // munmap's signature predates const; no write happens through this.
+      ::munmap(const_cast<unsigned char*>(base), size);  // atpm-lint: allow(mmap-safety)
     }
   }
 };

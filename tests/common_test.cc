@@ -277,7 +277,7 @@ TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
 TEST(TimerTest, RestartResets) {
   WallTimer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   timer.Restart();
   EXPECT_LT(timer.ElapsedSeconds(), 0.5);
 }

@@ -78,7 +78,7 @@ TEST(DatasetsTest, LiveJournalIsLargest) {
   const double scale = 0.3;
   uint64_t lj_edges =
       BuildDataset("LiveJournal", scale, 1).value().graph.num_edges();
-  for (const std::string& name : {"NetHEPT", "Epinions", "DBLP"}) {
+  for (const char* name : {"NetHEPT", "Epinions", "DBLP"}) {
     EXPECT_GT(lj_edges,
               BuildDataset(name, scale, 1).value().graph.num_edges())
         << name;

@@ -380,7 +380,9 @@ TEST(AdaptiveLookaheadTest, DecisionsMatchFixedWindowAndTraceWidens) {
   for (size_t i = 0; i < trace.size(); ++i) {
     EXPECT_GE(trace[i], 1u);
     EXPECT_LE(trace[i], 16u);
-    if (i > 0) EXPECT_LE(trace[i], trace[i - 1] * 2);
+    if (i > 0) {
+      EXPECT_LE(trace[i], trace[i - 1] * 2);
+    }
     widest = std::max(widest, trace[i]);
   }
   EXPECT_GT(widest, 1u);

@@ -9,6 +9,7 @@
 
 #include "common/bit_vector.h"
 #include "common/rng.h"
+#include "rris/coverage_batch.h"
 #include "graph/generators.h"
 #include "graph/weighting.h"
 #include "rris/rr_collection.h"
@@ -189,6 +190,55 @@ TEST(ParallelSamplingEngineTest, SmallBatchesFallBackToSerialBitExactly) {
 // 1k-node generator graph: both estimate p = Pr[u in RR set avoiding base],
 // and two independent θ-sample means differ by more than
 // 5·sqrt(2·p̂(1−p̂)/θ) with probability well under 1e-5.
+
+// Concurrency stress for the TSan lane: min_parallel_batch = 1 forces
+// every job through the worker pool, and the alternating small
+// GeneratePool / CountCoverageBatchSeeded rounds keep the hand-off
+// machinery hot — job-epoch publication, the pending-counter rendezvous,
+// per-worker shard fills, the worker-order merge, and the per-worker
+// draw/edge stat harvest. Under -fsanitize=thread this is the data-race
+// probe for ParallelSamplingEngine (CI runs it with
+// TSAN_OPTIONS=halt_on_error=1); in a plain build it doubles as a
+// determinism check — a second identically seeded engine must produce a
+// bit-identical pool, counters, and stats through the same churn.
+TEST(ParallelSamplingEngineTest, WorkerHandoffStress) {
+  const Graph g = TestGraph(200);
+  constexpr uint32_t kThreads = 4;
+  constexpr int kRounds = 50;
+  ParallelSamplingEngine a(g, DiffusionModel::kIndependentCascade, kThreads,
+                           /*min_parallel_batch=*/1);
+  ParallelSamplingEngine b(g, DiffusionModel::kIndependentCascade, kThreads,
+                           /*min_parallel_batch=*/1);
+  Rng rng_a(991), rng_b(991);
+  BitVector removed(g.num_nodes());
+  for (NodeId v = 0; v < 17; ++v) removed.Set(v);
+  const uint32_t alive = g.num_nodes() - 17;
+  BitVector base(g.num_nodes());
+  base.Set(20);
+  base.Set(21);
+  for (int round = 0; round < kRounds; ++round) {
+    const uint64_t count = 16 + round;  // odd sizes exercise quota remainders
+    a.GeneratePool(&removed, alive, count, &rng_a);
+    b.GeneratePool(&removed, alive, count, &rng_b);
+    CoverageQueryBatch batch_a;
+    CoverageQueryBatch batch_b;
+    for (NodeId q = 30; q < 34; ++q) {
+      batch_a.Add(q, &base);
+      batch_b.Add(q, &base);
+    }
+    const uint64_t theta = 64 + 8 * static_cast<uint64_t>(round);
+    a.CountCoverageBatchSeeded(&batch_a, &removed, alive, theta, 17 + round);
+    b.CountCoverageBatchSeeded(&batch_b, &removed, alive, theta, 17 + round);
+    for (size_t q = 0; q < batch_a.size(); ++q) {
+      ASSERT_EQ(batch_a.hits(q), batch_b.hits(q))
+          << "round " << round << " query " << q;
+    }
+  }
+  ExpectSamePools(a.pool(), b.pool());
+  EXPECT_EQ(a.stats().rng_draws, b.stats().rng_draws);
+  EXPECT_EQ(a.stats().edges_examined, b.stats().edges_examined);
+  EXPECT_EQ(a.total_edges_examined(), b.total_edges_examined());
+}
 
 TEST(SamplingEngineAgreementTest, SerialVsParallelCoverageEstimates) {
   const Graph g = TestGraph(1000);

@@ -1,0 +1,533 @@
+#!/usr/bin/env python3
+"""atpm-lint: project-invariant linter for the atpm tree.
+
+The correctness story of this codebase rests on a handful of invariants
+that no general-purpose tool checks:
+
+  rng-discipline       Every random draw flows through common/rng.h
+                       (Rng / SplitSeed streams). std::random_device,
+                       rand()/srand(), wall-clock seeding, and raw
+                       std::mt19937 construction outside common/rng.h
+                       all break bit-identical reproducibility, which is
+                       the test oracle for the whole sampling stack.
+
+  determinism-hygiene  Decision and serialization paths (src/core/,
+                       src/rris/, src/graph/graph_store.cc) must not
+                       iterate over unordered containers (iteration
+                       order is hash-seed dependent) and must not key
+                       ordered containers on pointers (address order is
+                       allocation dependent).
+
+  mmap-safety          Mutation of a memory-mapped Graph must go through
+                       ArrayBlock's copy-on-write detach: MutableVec()
+                       only on EnsureOwnedStorage() paths inside
+                       src/graph/, no ArrayBlock mutation APIs outside
+                       src/graph/, and no const_cast in the graph layer
+                       (writes through a const_cast'd mapped pointer are
+                       SIGSEGV or silent store corruption).
+
+  format-stability     Every struct the graph store reads or writes
+                       verbatim (fwrite / reinterpret_cast into the
+                       mapping) must be pinned by BOTH
+                       static_assert(std::is_trivially_copyable_v<T>)
+                       and a static_assert(sizeof(T) == N) so any layout
+                       change forces a conscious format-version bump.
+
+Engines: with the libclang Python bindings installed the AST engine
+resolves types and range-for statements precisely; without them (or on
+any libclang failure) a conservative regex engine runs instead. The two
+engines report the same rule ids, and the self-test (tests/lint_test.py)
+asserts they agree on the fixture tree when both are available.
+
+Suppression: a finding on line N is suppressed by the annotation
+`// atpm-lint: allow(<rule>[,<rule>...])` on line N or line N-1.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULE_IDS = (
+    "rng-discipline",
+    "determinism-hygiene",
+    "mmap-safety",
+    "format-stability",
+)
+
+# Directories linted when no explicit paths are given, relative to --root.
+DEFAULT_SCAN_DIRS = ("src", "tests", "bench", "tools", "examples")
+CXX_SUFFIXES = (".cc", ".h")
+
+# determinism-hygiene applies to decision / serialization paths only.
+DETERMINISM_SCOPE_DIRS = ("src/core/", "src/rris/")
+DETERMINISM_SCOPE_FILES = ("src/graph/graph_store.cc",)
+
+# format-stability applies to the store serializer.
+FORMAT_SCOPE_FILES = ("src/graph/graph_store.cc",)
+
+ALLOW_RE = re.compile(r"//\s*atpm-lint:\s*allow\(([^)]*)\)")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def collect_allows(raw_lines):
+    """Maps 1-based line -> set of rule ids allowed on that line."""
+    allows = {}
+    for i, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            allows[i] = rules
+    return allows
+
+
+def allowed(allows, line, rule):
+    for probe in (line, line - 1):
+        if rule in allows.get(probe, ()):
+            return True
+    return False
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving newlines
+    and column positions so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def in_determinism_scope(rel):
+    return (rel in DETERMINISM_SCOPE_FILES
+            or any(rel.startswith(d) for d in DETERMINISM_SCOPE_DIRS))
+
+
+# --------------------------------------------------------------------- regex
+# The conservative fallback engine. Operates on comment/string-stripped
+# source so documentation never trips a rule.
+
+RNG_PATTERNS = (
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is non-deterministic; seed an atpm::Rng instead"),
+    (re.compile(r"(?<![\w.:])s?rand\s*\("),
+     "rand()/srand() bypass the SplitSeed stream discipline; use atpm::Rng"),
+    (re.compile(r"\bmt19937(_64)?\b"),
+     "raw std::mt19937 construction outside common/rng.h; draws must flow "
+     "through atpm::Rng / SplitSeed streams"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "wall-clock seeding is non-reproducible; derive seeds via SplitSeed"),
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*&?\s*"
+    r"(\w+)\s*[;,=({)]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*&?\s*(\w+)\s*\)")
+BEGIN_END_RE = re.compile(r"\b(\w+)\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\(")
+PTR_KEYED_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:map|set|multimap|multiset)\s*<"
+    r"\s*(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+
+MUTABLE_API_RE = re.compile(r"\.\s*(MutableVec|SetView|EnsureOwned)\s*\(")
+CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
+ENSURE_OWNED_STORAGE_RE = re.compile(r"\bEnsureOwnedStorage\s*\(")
+# How far above a MutableVec() call the EnsureOwnedStorage() detach must
+# appear (same-function proximity, regex approximation).
+MUTABLE_VEC_WINDOW = 25
+
+STRUCT_DECL_RE = re.compile(r"\bstruct\s+(\w+)\s*(?::[^;{]*)?\{")
+REINTERPRET_RE = re.compile(r"reinterpret_cast\s*<\s*(?:const\s+)?(\w+)\s*\*")
+SIZEOF_RE = re.compile(r"\bsizeof\s*\(\s*(\w+)\s*\)")
+TRIVIAL_ASSERT_RE = re.compile(
+    r"static_assert\s*\(\s*(?:std\s*::\s*)?is_trivially_copyable_v\s*<"
+    r"\s*(\w+)\s*>")
+SIZEOF_ASSERT_RE = re.compile(
+    r"static_assert\s*\(\s*sizeof\s*\(\s*(\w+)\s*\)\s*==")
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def regex_rng_discipline(rel, text, findings):
+    if rel == "src/common/rng.h":
+        return
+    for pattern, message in RNG_PATTERNS:
+        for m in pattern.finditer(text):
+            findings.append(Finding(rel, line_of(text, m.start()),
+                                    "rng-discipline", message))
+
+
+def regex_determinism_hygiene(rel, text, findings):
+    if not in_determinism_scope(rel):
+        return
+    unordered_vars = set(UNORDERED_DECL_RE.findall(text))
+    for m in RANGE_FOR_RE.finditer(text):
+        if m.group(1) in unordered_vars:
+            findings.append(Finding(
+                rel, line_of(text, m.start()), "determinism-hygiene",
+                "iteration over unordered container '%s' feeds a decision/"
+                "serialization path; iterate a sorted copy or an ordered "
+                "container" % m.group(1)))
+    for m in BEGIN_END_RE.finditer(text):
+        if m.group(1) in unordered_vars:
+            findings.append(Finding(
+                rel, line_of(text, m.start()), "determinism-hygiene",
+                "iterator over unordered container '%s' in a decision/"
+                "serialization path; iteration order is hash-seed "
+                "dependent" % m.group(1)))
+    for m in PTR_KEYED_RE.finditer(text):
+        findings.append(Finding(
+            rel, line_of(text, m.start()), "determinism-hygiene",
+            "pointer-keyed ordered container: address order is allocation "
+            "dependent; key on a stable id instead"))
+
+
+def regex_mmap_safety(rel, text, findings):
+    in_graph = rel.startswith("src/graph/")
+    if in_graph and os.path.basename(rel) == "array_block.h":
+        return  # the COW implementation itself
+    if not in_graph:
+        for m in MUTABLE_API_RE.finditer(text):
+            findings.append(Finding(
+                rel, line_of(text, m.start()), "mmap-safety",
+                "ArrayBlock mutation API %s() outside src/graph/; mapped "
+                "storage must be mutated through Graph's copy-on-write "
+                "paths" % m.group(1)))
+        return
+    for m in CONST_CAST_RE.finditer(text):
+        findings.append(Finding(
+            rel, line_of(text, m.start()), "mmap-safety",
+            "const_cast in the graph layer: writing through a cast view of "
+            "mapped memory corrupts or faults; detach via "
+            "EnsureOwnedStorage() instead"))
+    lines = text.split("\n")
+    for m in MUTABLE_API_RE.finditer(text):
+        if m.group(1) != "MutableVec":
+            continue
+        line = line_of(text, m.start())
+        window = "\n".join(lines[max(0, line - 1 - MUTABLE_VEC_WINDOW):
+                                 line])
+        if not ENSURE_OWNED_STORAGE_RE.search(window):
+            findings.append(Finding(
+                rel, line, "mmap-safety",
+                "MutableVec() without a preceding EnsureOwnedStorage() "
+                "detach (within %d lines): a mapped graph would hand out a "
+                "write path into the mapping" % MUTABLE_VEC_WINDOW))
+
+
+def regex_format_stability(rel, text, findings):
+    if rel not in FORMAT_SCOPE_FILES:
+        return
+    declared = set(STRUCT_DECL_RE.findall(text))
+    # On-disk structs: declared here AND read/written verbatim (cast out of
+    # the mapping, or sizeof-addressed in the write path).
+    referenced = set(REINTERPRET_RE.findall(text)) | set(
+        SIZEOF_RE.findall(text))
+    on_disk = sorted(declared & referenced)
+    trivially = set(TRIVIAL_ASSERT_RE.findall(text))
+    size_pinned = set(SIZEOF_ASSERT_RE.findall(text))
+    decl_lines = {m.group(1): line_of(text, m.start())
+                  for m in STRUCT_DECL_RE.finditer(text)}
+    for name in on_disk:
+        if name not in trivially:
+            findings.append(Finding(
+                rel, decl_lines.get(name, 1), "format-stability",
+                "on-disk struct %s lacks "
+                "static_assert(std::is_trivially_copyable_v<%s>)"
+                % (name, name)))
+        if name not in size_pinned:
+            findings.append(Finding(
+                rel, decl_lines.get(name, 1), "format-stability",
+                "on-disk struct %s lacks a static_assert(sizeof(%s) == N) "
+                "layout pin" % (name, name)))
+
+
+REGEX_RULES = (
+    regex_rng_discipline,
+    regex_determinism_hygiene,
+    regex_mmap_safety,
+    regex_format_stability,
+)
+
+
+def lint_file_regex(rel, raw_text):
+    findings = []
+    stripped = strip_comments_and_strings(raw_text)
+    for rule in REGEX_RULES:
+        rule(rel, stripped, findings)
+    return findings
+
+
+# ------------------------------------------------------------------ libclang
+# AST engine: precise types for the RNG and determinism rules. The
+# structural rules (mmap-safety, format-stability) are lexical by nature
+# and reuse the regex implementations. Any failure — import, missing
+# libclang.so, parse error — falls back to the regex engine for that file.
+
+
+def _load_cindex():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        # Bindings present but libclang.so unresolvable.
+        for probe in ("libclang.so", "libclang-14.so.1", "libclang.so.1"):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(probe)
+                cindex.Index.create()
+                return cindex
+            except Exception:
+                continue
+    return None
+
+
+_RNG_BANNED_TYPES = ("random_device", "mt19937", "mt19937_64")
+_RNG_BANNED_CALLS = ("rand", "srand")
+
+
+def lint_file_clang(cindex, rel, abs_path, root):
+    args = ["-std=c++20", "-x", "c++", "-I", os.path.join(root, "src")]
+    tu = cindex.Index.create().parse(
+        abs_path, args=args,
+        options=cindex.TranslationUnit.PARSE_INCOMPLETE
+        | cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+    findings = []
+    ck = cindex.CursorKind
+
+    def here(cursor):
+        loc = cursor.location
+        return (loc.file is not None
+                and os.path.realpath(loc.file.name)
+                == os.path.realpath(abs_path))
+
+    for cursor in tu.cursor.walk_preorder():
+        if not here(cursor):
+            continue
+        line = cursor.location.line
+        # ---- rng-discipline
+        if rel != "src/common/rng.h":
+            if cursor.kind in (ck.TYPE_REF, ck.DECL_REF_EXPR, ck.VAR_DECL):
+                spelling = cursor.type.spelling if cursor.kind == ck.VAR_DECL \
+                    else cursor.spelling
+                if any(b in spelling for b in _RNG_BANNED_TYPES):
+                    findings.append(Finding(
+                        rel, line, "rng-discipline",
+                        "%s outside common/rng.h; draws must flow through "
+                        "atpm::Rng / SplitSeed streams" % spelling))
+            if cursor.kind == ck.CALL_EXPR:
+                if cursor.spelling in _RNG_BANNED_CALLS:
+                    findings.append(Finding(
+                        rel, line, "rng-discipline",
+                        "%s() bypasses the SplitSeed stream discipline; use "
+                        "atpm::Rng" % cursor.spelling))
+                elif cursor.spelling == "time":
+                    findings.append(Finding(
+                        rel, line, "rng-discipline",
+                        "wall-clock time() in a seeding context is "
+                        "non-reproducible; derive seeds via SplitSeed"))
+        # ---- determinism-hygiene
+        if in_determinism_scope(rel):
+            if cursor.kind == ck.CXX_FOR_RANGE_STMT:
+                children = list(cursor.get_children())
+                if children:
+                    range_type = children[-2].type.spelling \
+                        if len(children) >= 2 else ""
+                    if "unordered_" in range_type:
+                        findings.append(Finding(
+                            rel, line, "determinism-hygiene",
+                            "range-for over %s in a decision/serialization "
+                            "path; iteration order is hash-seed dependent"
+                            % range_type))
+            if cursor.kind in (ck.VAR_DECL, ck.FIELD_DECL):
+                spelling = cursor.type.spelling
+                if re.search(r"\b(?:std::)?(map|set|multimap|multiset)<"
+                             r"[^<>]*\*", spelling) \
+                        and "unordered" not in spelling:
+                    findings.append(Finding(
+                        rel, line, "determinism-hygiene",
+                        "pointer-keyed ordered container %s: address order "
+                        "is allocation dependent" % spelling))
+    return findings
+
+
+# ---------------------------------------------------------------------- main
+
+
+def iter_files(root, paths):
+    if paths:
+        for p in paths:
+            ap = p if os.path.isabs(p) else os.path.join(root, p)
+            if os.path.isdir(ap):
+                yield from iter_files(root, [
+                    os.path.join(ap, f) for f in sorted(os.listdir(ap))])
+            elif ap.endswith(CXX_SUFFIXES):
+                yield os.path.realpath(ap)
+        return
+    for d in DEFAULT_SCAN_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            # Fixture trees carry deliberate violations.
+            dirnames[:] = [x for x in dirnames if x != "testdata"]
+            for f in sorted(filenames):
+                if f.endswith(CXX_SUFFIXES):
+                    yield os.path.realpath(os.path.join(dirpath, f))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="atpm_lint",
+        description="Project-invariant linter (rules: %s)"
+        % ", ".join(RULE_IDS))
+    parser.add_argument("--root", default=None,
+                        help="repo root the rule scopes are relative to "
+                        "(default: two levels above this script)")
+    parser.add_argument("--engine", choices=("auto", "libclang", "regex"),
+                        default="auto")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: %s under root)"
+                        % "/".join(DEFAULT_SCAN_DIRS))
+    opts = parser.parse_args(argv)
+
+    if opts.list_rules:
+        for r in RULE_IDS:
+            print(r)
+        return 0
+
+    root = os.path.realpath(opts.root or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    if not os.path.isdir(root):
+        print("atpm_lint: no such root: %s" % root, file=sys.stderr)
+        return 2
+
+    cindex = None
+    if opts.engine in ("auto", "libclang"):
+        cindex = _load_cindex()
+        if cindex is None and opts.engine == "libclang":
+            print("atpm_lint: libclang bindings unavailable "
+                  "(pip install libclang or apt install python3-clang)",
+                  file=sys.stderr)
+            return 2
+
+    findings = []
+    checked = 0
+    for abs_path in iter_files(root, opts.paths):
+        rel = os.path.relpath(abs_path, root).replace(os.sep, "/")
+        try:
+            with open(abs_path, "r", encoding="utf-8",
+                      errors="replace") as fh:
+                raw = fh.read()
+        except OSError as e:
+            print("atpm_lint: cannot read %s: %s" % (rel, e),
+                  file=sys.stderr)
+            return 2
+        checked += 1
+        raw_lines = raw.split("\n")
+        allows = collect_allows(raw_lines)
+        file_findings = None
+        if cindex is not None:
+            try:
+                file_findings = lint_file_clang(cindex, rel, abs_path, root)
+                # Structural rules stay lexical even under the AST engine.
+                stripped = strip_comments_and_strings(raw)
+                regex_mmap_safety(rel, stripped, file_findings)
+                regex_format_stability(rel, stripped, file_findings)
+            except Exception:
+                file_findings = None  # fall back to regex for this file
+        if file_findings is None:
+            file_findings = lint_file_regex(rel, raw)
+        findings.extend(f for f in file_findings
+                        if not allowed(allows, f.line, f.rule))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    seen = set()
+    deduped = []
+    for f in findings:
+        key = (f.path, f.line, f.rule, f.message)
+        if key not in seen:
+            seen.add(key)
+            deduped.append(f)
+    findings = deduped
+    for f in findings:
+        print(f)
+    engine = "libclang" if cindex is not None else "regex"
+    print("atpm_lint: %d file(s) checked (%s engine), %d finding(s)"
+          % (checked, engine, len(findings)), file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

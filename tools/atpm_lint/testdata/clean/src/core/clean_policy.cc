@@ -1,0 +1,40 @@
+// Fixture: idiomatic code that must produce ZERO findings — Rng-based
+// draws, ordered containers with value keys, unordered lookups without
+// iteration, and sorted materialization before a decision loop.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace atpm_fixture {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    return state_ ^= state_ << 17;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+std::vector<uint32_t> PickSeeds(const std::unordered_set<uint32_t>& alive,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> sorted_alive(alive.size());
+  std::map<uint32_t, double> scores;
+  std::vector<uint32_t> out;
+  for (const auto& [node, score] : scores) {
+    if (alive.count(node) != 0 && score > 0 && (rng.Next() & 1) != 0) {
+      out.push_back(node);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace atpm_fixture

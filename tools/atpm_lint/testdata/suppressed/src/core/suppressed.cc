@@ -1,0 +1,27 @@
+// Fixture: one violation of each rule class, every one carrying an inline
+// `// atpm-lint: allow(<rule>)` annotation (same line or the line above).
+// atpm_lint must report ZERO findings on this tree.
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace atpm_fixture {
+
+int SuppressedEntropy() {
+  // atpm-lint: allow(rng-discipline)
+  std::random_device rd;
+  std::mt19937 gen(rd());  // atpm-lint: allow(rng-discipline)
+  return static_cast<int>(gen());
+}
+
+std::vector<int> SuppressedIteration(
+    const std::unordered_map<int, double>& marginal) {
+  std::vector<int> out;
+  // Order genuinely does not matter here: the sum below is commutative.
+  // atpm-lint: allow(determinism-hygiene)
+  for (const auto& entry : marginal) out.push_back(entry.first);
+  return out;
+}
+
+}  // namespace atpm_fixture

@@ -1,0 +1,35 @@
+// Fixture: every rng-discipline violation class. atpm_lint must flag each
+// marked line; the mentions inside this comment (std::mt19937, rand()) must
+// NOT be flagged — comments are stripped before matching.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace atpm_fixture {
+
+int EntropySeed() {
+  std::random_device rd;  // VIOLATION: random_device
+  return static_cast<int>(rd());
+}
+
+unsigned WallClockSeed() {
+  return static_cast<unsigned>(time(nullptr));  // VIOLATION: time(nullptr)
+}
+
+int LegacyDraw() {
+  srand(42);     // VIOLATION: srand
+  return rand(); // VIOLATION: rand
+}
+
+double RawEngineDraw() {
+  std::mt19937 gen(12345);  // VIOLATION: raw mt19937 construction
+  const char* label = "mt19937 inside a string literal is fine";
+  (void)label;
+  return static_cast<double>(gen()) / 4294967296.0;
+}
+
+// Non-violations the regexes must not trip on:
+int Operand(int operand) { return operand; }   // 'rand' substring
+double ElapsedTimeMs(double elapsed_time) { return elapsed_time; }
+
+}  // namespace atpm_fixture

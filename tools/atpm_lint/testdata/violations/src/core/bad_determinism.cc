@@ -1,0 +1,43 @@
+// Fixture: determinism-hygiene violations in a decision path (src/core/).
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace atpm_fixture {
+
+struct Candidate {
+  uint32_t node;
+  double score;
+};
+
+// VIOLATION below: pointer-keyed ordered container (address order is
+// allocation dependent, so "ordered" iteration is still nondeterministic).
+std::map<Candidate*, double> g_scores_by_ptr;
+
+std::vector<uint32_t> PickSeeds(
+    const std::unordered_map<uint32_t, double>& marginal) {
+  std::vector<uint32_t> seeds;
+  for (const auto& entry : marginal) {  // VIOLATION: range-for over unordered
+    if (entry.second > 0.5) seeds.push_back(entry.first);
+  }
+  return seeds;
+}
+
+double SumScores(const std::unordered_set<uint32_t> chosen) {
+  double total = 0;
+  // VIOLATION: iterator walk over an unordered container.
+  for (auto it = chosen.begin(); it != chosen.end(); ++it) total += *it;
+  return total;
+}
+
+// Non-violations: lookups into unordered containers are fine (no
+// iteration), and ordered containers with value keys are fine.
+bool Contains(const std::unordered_set<uint32_t>& chosen, uint32_t node) {
+  return chosen.count(node) != 0;
+}
+std::set<uint32_t> g_chosen_nodes;
+
+}  // namespace atpm_fixture

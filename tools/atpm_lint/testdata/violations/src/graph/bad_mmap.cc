@@ -1,0 +1,45 @@
+// Fixture: mmap-safety violations inside the graph layer. Ordering matters:
+// the undetached MutableVec() call appears before ANY EnsureOwnedStorage
+// mention so the lexical proximity window cannot be satisfied.
+#include <cstdint>
+#include <vector>
+
+namespace atpm_fixture {
+
+template <typename T>
+class ArrayBlock {
+ public:
+  const T* data() const { return vec_.data(); }
+  std::vector<T>& MutableVec() { return vec_; }
+
+ private:
+  std::vector<T> vec_;
+};
+
+struct FakeGraph {
+  ArrayBlock<float> in_prob;
+};
+
+void ScaleInPlaceThroughCast(FakeGraph* g, float factor) {
+  // VIOLATION: const_cast in src/graph/ — a write through this pointer on a
+  // mapped graph faults or silently corrupts the store file.
+  float* p = const_cast<float*>(g->in_prob.data());
+  p[0] *= factor;
+}
+
+void ScaleWithoutDetach(FakeGraph* g, float factor) {
+  // VIOLATION: MutableVec() with no EnsureOwnedStorage() detach above it.
+  for (float& p : g->in_prob.MutableVec()) p *= factor;
+}
+
+void EnsureOwnedStorage(FakeGraph* g);
+
+void ScaleProperly(FakeGraph* g, float factor) {
+  EnsureOwnedStorage(g);
+  // OK: detach established within the proximity window.
+  for (float& p : g->in_prob.MutableVec()) p *= factor;
+}
+
+void EnsureOwnedStorage(FakeGraph*) {}
+
+}  // namespace atpm_fixture

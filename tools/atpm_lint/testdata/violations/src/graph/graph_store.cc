@@ -1,0 +1,54 @@
+// Fixture: format-stability violations — on-disk structs read verbatim out
+// of the mapping without layout pins. (This file shadows the real
+// graph_store.cc path inside the fixture tree so the rule's file scope
+// applies.)
+#include <cstdint>
+#include <cstdio>
+#include <type_traits>
+
+namespace atpm_fixture {
+
+// VIOLATION x2: cast out of the mapping below, but no
+// is_trivially_copyable_v assert and no sizeof() pin.
+struct FixtureHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t section_count;
+};
+
+// VIOLATION x1: fwrite'd via sizeof below; has a sizeof pin but lacks the
+// trivially-copyable assert.
+struct FixtureDirEntry {
+  uint64_t offset;
+  uint64_t bytes;
+};
+static_assert(sizeof(FixtureDirEntry) == 16, "layout frozen");
+
+// OK: fully pinned.
+struct FixtureSection {
+  uint32_t id;
+  uint32_t element_size;
+};
+static_assert(std::is_trivially_copyable_v<FixtureSection>);
+static_assert(sizeof(FixtureSection) == 8, "layout frozen");
+
+// Runtime-only helper: never serialized, needs no pins.
+struct ParseScratch {
+  const unsigned char* cursor = nullptr;
+};
+
+const FixtureHeader* ViewHeader(const unsigned char* base) {
+  return reinterpret_cast<const FixtureHeader*>(base);
+}
+
+bool WriteDirEntry(std::FILE* f, const FixtureDirEntry& e) {
+  return std::fwrite(&e, sizeof(FixtureDirEntry), 1, f) == 1;
+}
+
+const FixtureSection* ViewSection(const unsigned char* base) {
+  return reinterpret_cast<const FixtureSection*>(base);
+}
+
+void Touch(ParseScratch* s) { s->cursor = nullptr; }
+
+}  // namespace atpm_fixture

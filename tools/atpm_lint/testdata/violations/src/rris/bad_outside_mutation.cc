@@ -1,0 +1,34 @@
+// Fixture: ArrayBlock mutation API reached from outside src/graph/ — the
+// sampling layer must treat graph storage as read-only.
+#include <vector>
+
+namespace atpm_fixture {
+
+template <typename T>
+class ArrayBlock {
+ public:
+  std::vector<T>& MutableVec() { return vec_; }
+  void SetView(const T* data, unsigned long size) {
+    view_ = data;
+    size_ = size;
+  }
+
+ private:
+  std::vector<T> vec_;
+  const T* view_ = nullptr;
+  unsigned long size_ = 0;
+};
+
+struct FakeGraph {
+  ArrayBlock<float> in_prob;
+};
+
+void ClobberProbabilities(FakeGraph* g) {
+  g->in_prob.MutableVec().assign(8, 0.5f);  // VIOLATION: MutableVec here
+}
+
+void AliasStorage(FakeGraph* g, const float* p) {
+  g->in_prob.SetView(p, 8);  // VIOLATION: SetView here
+}
+
+}  // namespace atpm_fixture
