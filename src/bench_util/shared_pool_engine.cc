@@ -21,11 +21,9 @@ uint64_t HashBitmap(uint64_t h, const BitVector* bits) {
 
 }  // namespace
 
-void SharedRoundPoolEngine::CountCoverageBatchSeeded(CoverageQueryBatch* batch,
-                                                     const BitVector* removed,
-                                                     uint32_t num_alive,
-                                                     uint64_t theta,
-                                                     uint64_t seed) {
+Result<uint64_t> SharedRoundPoolEngine::TryCountCoverageBatchSeeded(
+    CoverageQueryBatch* batch, const BitVector* removed, uint32_t num_alive,
+    uint64_t theta, uint64_t seed) {
   const std::span<const CoverageQuery> queries = batch->queries();
   // The seed is deliberately NOT part of the key: two worlds asking the
   // same round with different private streams share one pool.
@@ -39,17 +37,21 @@ void SharedRoundPoolEngine::CountCoverageBatchSeeded(CoverageQueryBatch* batch,
   }
 
   const auto it = memo_.find(key);
-  if (it != memo_.end() && it->second.size() == queries.size()) {
+  if (it != memo_.end() && it->second.hits.size() == queries.size()) {
     uint64_t* hits = batch->hit_data();
-    for (size_t q = 0; q < queries.size(); ++q) hits[q] = it->second[q];
+    for (size_t q = 0; q < queries.size(); ++q) hits[q] = it->second.hits[q];
     ++rounds_reused_;
-    return;
+    return it->second.sampled;
   }
 
-  inner_->CountCoverageBatchSeeded(batch, removed, num_alive, theta, seed);
+  const Result<uint64_t> sampled = inner_->TryCountCoverageBatchSeeded(
+      batch, removed, num_alive, theta, seed);
+  if (!sampled.ok()) return sampled;
   ++rounds_sampled_;
-  std::vector<uint64_t>& stored = memo_[key];
-  stored.assign(batch->hit_data(), batch->hit_data() + queries.size());
+  StoredRound& stored = memo_[key];
+  stored.hits.assign(batch->hit_data(), batch->hit_data() + queries.size());
+  stored.sampled = sampled.value();
+  return sampled;
 }
 
 void SharedRoundPoolEngine::ClearMemo() {

@@ -42,14 +42,22 @@ class SharedRoundPoolEngine final : public SamplingEngine {
 
   /// Pool generation is stateful (the engine's pool accumulates), so it
   /// always delegates; only the throwaway counting pools are shared.
-  RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
-                             uint64_t count, Rng* rng) override {
-    return inner_->GeneratePool(removed, num_alive, count, rng);
+  Status TryGeneratePool(const BitVector* removed, uint32_t num_alive,
+                         uint64_t count, Rng* rng) override {
+    return inner_->TryGeneratePool(removed, num_alive, count, rng);
   }
 
-  void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
-                                const BitVector* removed, uint32_t num_alive,
-                                uint64_t theta, uint64_t seed) override;
+  Result<uint64_t> TryCountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                               const BitVector* removed,
+                                               uint32_t num_alive,
+                                               uint64_t theta,
+                                               uint64_t seed) override;
+
+  /// Budgets apply to the engine that actually samples.
+  void set_budget(BudgetGate* budget) override {
+    SamplingEngine::set_budget(budget);
+    inner_->set_budget(budget);
+  }
 
   RRCollection& pool() override { return inner_->pool(); }
   void ResetPool() override { inner_->ResetPool(); }
@@ -82,8 +90,15 @@ class SharedRoundPoolEngine final : public SamplingEngine {
 
  private:
   SamplingEngine* inner_;
-  /// Content hash of a round -> the hit counters its pool produced.
-  std::unordered_map<uint64_t, std::vector<uint64_t>> memo_;
+  /// One memoized round: the hit counters its pool produced plus the sets
+  /// actually sampled (θ unless a budget truncated the pool — replays must
+  /// report the same honest denominator the original round did).
+  struct StoredRound {
+    std::vector<uint64_t> hits;
+    uint64_t sampled = 0;
+  };
+  /// Content hash of a round -> the answer its pool produced.
+  std::unordered_map<uint64_t, StoredRound> memo_;
   uint64_t rounds_sampled_ = 0;
   uint64_t rounds_reused_ = 0;
 };

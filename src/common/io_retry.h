@@ -1,0 +1,26 @@
+#ifndef ATPM_COMMON_IO_RETRY_H_
+#define ATPM_COMMON_IO_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace atpm {
+
+/// Bounded exponential backoff for transient IO faults (EINTR, short
+/// reads). Attempt numbering is 0-based: returns true and sleeps
+/// 50us * 2^attempt when another try is allowed, false once the retry
+/// budget (kMaxIoRetries attempts, ~6ms of cumulative sleep) is spent —
+/// at which point the caller reports the fault as a hard error.
+inline constexpr uint32_t kMaxIoRetries = 7;
+
+inline bool BackoffRetry(uint32_t attempt) {
+  if (attempt >= kMaxIoRetries) return false;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(50u << attempt));
+  return true;
+}
+
+}  // namespace atpm
+
+#endif  // ATPM_COMMON_IO_RETRY_H_

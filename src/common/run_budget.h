@@ -1,0 +1,111 @@
+#ifndef ATPM_COMMON_RUN_BUDGET_H_
+#define ATPM_COMMON_RUN_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace atpm {
+
+/// Cooperative cancellation flag. The owner keeps the token alive for the
+/// duration of the run; any thread may call Cancel(), and the sampling
+/// substrate observes it at batch boundaries.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Resource envelope for one policy run. All limits are optional (zero /
+/// null = unlimited); an inactive budget adds no work to the sampling
+/// paths and leaves RNG streams untouched, preserving the bit-identical
+/// oracle. When a limit trips, sampling stops at the next batch boundary
+/// and the policies degrade gracefully: the current decision is finished
+/// on the RR sets already drawn and the weakened guarantee is reported
+/// (DegradationEvent + achieved_theta / effective_epsilon), never
+/// silently absorbed.
+struct RunBudget {
+  /// Wall-clock deadline for the whole run, measured from the moment the
+  /// policy starts. 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// Cap on bytes appended to stored RR pools during the run
+  /// (approximate: node ids + per-set bookkeeping). 0 = no cap.
+  uint64_t rr_pool_byte_cap = 0;
+  /// Optional cooperative cancellation flag (borrowed, may be null).
+  CancelToken* cancel = nullptr;
+
+  bool active() const {
+    return deadline_seconds > 0.0 || rr_pool_byte_cap > 0 ||
+           cancel != nullptr;
+  }
+};
+
+/// Which limit stopped the run, if any.
+enum class BudgetStop : uint8_t {
+  kNone = 0,
+  kDeadline,
+  kPoolBytes,
+  kCancelled,
+};
+
+/// Live enforcement state for one RunBudget, shared by every sampling
+/// thread of a run. Exhausted() is cheap enough for batch-boundary
+/// polling: one steady_clock read plus two relaxed atomic loads.
+class BudgetGate {
+ public:
+  explicit BudgetGate(const RunBudget& budget)
+      : budget_(budget),
+        has_deadline_(budget.deadline_seconds > 0.0),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          budget.deadline_seconds > 0.0
+                              ? budget.deadline_seconds
+                              : 0.0))) {}
+
+  /// Records `bytes` of stored RR-pool growth.
+  void AddPoolBytes(uint64_t bytes) {
+    if (budget_.rr_pool_byte_cap > 0 && bytes > 0) {
+      pool_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  /// Pool bytes recorded so far.
+  uint64_t pool_bytes() const {
+    return pool_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// The first limit found exhausted, or kNone.
+  BudgetStop Exhausted() const {
+    if (budget_.cancel != nullptr && budget_.cancel->cancelled()) {
+      return BudgetStop::kCancelled;
+    }
+    if (budget_.rr_pool_byte_cap > 0 &&
+        pool_bytes_.load(std::memory_order_relaxed) >=
+            budget_.rr_pool_byte_cap) {
+      return BudgetStop::kPoolBytes;
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return BudgetStop::kDeadline;
+    }
+    return BudgetStop::kNone;
+  }
+
+  const RunBudget& budget() const { return budget_; }
+
+ private:
+  RunBudget budget_;
+  bool has_deadline_;
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<uint64_t> pool_bytes_{0};
+};
+
+}  // namespace atpm
+
+#endif  // ATPM_COMMON_RUN_BUDGET_H_

@@ -18,6 +18,8 @@ const char* CodeName(StatusCode code) {
       return "OutOfBudget";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

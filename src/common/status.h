@@ -16,6 +16,7 @@ enum class StatusCode {
   kNotFound = 3,
   kOutOfBudget = 4,
   kInternal = 5,
+  kResourceExhausted = 6,
 };
 
 /// Result of a fallible operation: an error code plus a human-readable
@@ -55,6 +56,13 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Returns a ResourceExhausted status with `msg`. Used when an
+  /// allocation fails (pool growth hit the memory ceiling): callers on the
+  /// degradation path treat it as "work with what you have", unlike
+  /// kInternal which always propagates.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -68,6 +76,12 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   /// True iff this status carries kNotFound.
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  /// True iff this status carries kResourceExhausted.
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  /// True iff this status carries kInternal.
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
   /// The error category.
   StatusCode code() const { return code_; }

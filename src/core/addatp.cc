@@ -39,6 +39,18 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
   result.steps.reserve(k);
   SpeculativeRoundPlanner planner(options_.sampling, problem.targets);
 
+  // Run-level resource envelope (see HATP; inactive budgets arm nothing).
+  BudgetGate gate(options_.sampling.budget);
+  ScopedEngineBudget scoped_budget(engine, &gate);
+
+  // Worst-case guarantee aggregation. ADDATP's bound is additive, so
+  // effective_epsilon stays 0 and achieved_additive_error carries the
+  // worst per-decision n_i ζ_i.
+  double worst_additive = 0.0;
+  uint64_t min_decided_theta = UINT64_MAX;
+  bool any_estimate_decision = false;
+  bool any_blind_decision = false;
+
   // Selected seeds (all activated, so never present in residual RR sets —
   // kept as a bitmap to evaluate Cov(u | S_{i-1}) by the paper's formula).
   BitVector seed_bitmap(n);
@@ -90,6 +102,10 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
     bool decided = false;
     bool stopped_via_c2 = false;
     bool budget_exhausted = false;
+    // Evidence the decision ends up standing on when the schedule is cut
+    // short (updated after every completed round).
+    uint64_t last_theta = 0;
+    double last_az = nd;
 
     while (!decided) {
       const uint64_t theta = AddAtpSampleSize(zeta, delta);
@@ -99,10 +115,27 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
       // share one pool across both queries, the literal Algorithm 3 pays
       // two independent pools R1, R2.
       FrontRearHits hits;
-      const SpeculativeRoundPlanner::RoundStep round_step = planner.NextRound(
-          engine, u, seed_bitmap, candidates, &removed, ni, theta, epoch,
-          options_.sampling.max_rr_sets_per_decision - used_this_iter, rng,
-          &hits);
+      const Result<SpeculativeRoundPlanner::RoundStep> round =
+          planner.NextRound(
+              engine, u, seed_bitmap, candidates, &removed, ni, theta, epoch,
+              options_.sampling.max_rr_sets_per_decision - used_this_iter,
+              rng, &hits);
+      if (!round.ok()) {
+        // Allocation failure is absorbed — the decision proceeds on the
+        // rounds already completed; real engine faults propagate.
+        if (!round.status().IsResourceExhausted()) return round.status();
+        budget_exhausted = step.rounds == 0;
+        result.degradation_events.push_back(
+            {DegradationReason::kAllocFailure, u, step.rounds, theta,
+             last_theta});
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
+        break;
+      }
+      const SpeculativeRoundPlanner::RoundStep round_step = round.value();
       if (round_step == SpeculativeRoundPlanner::RoundStep::kOverBudget) {
         if (options_.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
@@ -116,6 +149,38 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
         // explicitly instead of selecting on ρ̃f = ρ̃r = 0. With at least
         // one round, the decision is forced from the last estimates.
         budget_exhausted = step.rounds == 0;
+        result.degradation_events.push_back(
+            {DegradationReason::kRrBudget, u, step.rounds, theta,
+             last_theta});
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
+        break;
+      }
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kDegraded) {
+        // The run budget tripped. A truncated pool (hits.theta > 0) still
+        // gives honest estimates over what it drew — it becomes the final
+        // round; otherwise the previous round's estimates stand.
+        if (hits.theta > 0) {
+          used_this_iter += RoundRrSets(hits.theta, planner.batched());
+          ++step.rounds;
+          step.coverage_queries += hits.queries;
+          result.total_count_pools += hits.pools;
+          const double scale = nd / static_cast<double>(hits.theta);
+          rho_f = static_cast<double>(hits.front) * scale - cost;
+          rho_r = -static_cast<double>(hits.rear) * scale + cost;
+          last_theta = hits.theta;
+          last_az = nd * zeta;
+        }
+        budget_exhausted = step.rounds == 0;
+        const BudgetGate* engine_gate = engine->budget();
+        result.degradation_events.push_back(
+            {ReasonFromBudgetStop(engine_gate != nullptr
+                                      ? engine_gate->Exhausted()
+                                      : BudgetStop::kNone),
+             u, step.rounds, theta, last_theta});
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -134,6 +199,8 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
       const double scale = nd / static_cast<double>(hits.theta);
       rho_f = static_cast<double>(hits.front) * scale - cost;
       rho_r = -static_cast<double>(hits.rear) * scale + cost;
+      last_theta = hits.theta;
+      last_az = nd * zeta;
 
       const double additive = nd * zeta;  // n_i ζ_i, in spread units
       const bool c1 = std::abs(rho_f - rho_r) >= 2.0 * additive ||
@@ -156,7 +223,10 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
         std::max(result.max_rr_sets_per_iteration, used_this_iter);
 
     if (budget_exhausted) {
+      // No estimate at all: the additive error takes its trivial bound n_i.
       step.decision = SeedDecision::kBudgetExhausted;
+      any_blind_decision = true;
+      worst_additive = std::max(worst_additive, nd);
     } else if (rho_f >= rho_r) {
       const std::vector<NodeId>& activated = env->SeedAndObserve(u);
       step.decision = SeedDecision::kSelected;
@@ -169,9 +239,19 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
     } else {
       step.decision = SeedDecision::kAbandoned;
     }
+    if (!budget_exhausted) {
+      any_estimate_decision = true;
+      min_decided_theta = std::min(min_decided_theta, last_theta);
+      worst_additive = std::max(worst_additive, last_az);
+    }
     result.steps.push_back(step);
   }
 
+  // effective_epsilon stays 0: ADDATP's guarantee is additive.
+  result.achieved_additive_error = worst_additive;
+  result.achieved_theta = (!any_estimate_decision || any_blind_decision)
+                              ? 0
+                              : min_decided_theta;
   planner.ExportStats(&result);
   FinalizeAdaptiveResult(problem, *env, &result);
   return result;

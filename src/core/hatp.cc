@@ -46,6 +46,20 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
   result.steps.reserve(k);
   SpeculativeRoundPlanner planner(options_.sampling, problem.targets);
 
+  // Run-level resource envelope: the gate is polled by the engine at batch
+  // boundaries and by the planner before each sampled round. Inactive
+  // budgets arm nothing and the sampling paths stay bit-identical.
+  BudgetGate gate(options_.sampling.budget);
+  ScopedEngineBudget scoped_budget(engine, &gate);
+
+  // Worst-case guarantee aggregation across decisions (see
+  // AdaptiveRunResult::effective_epsilon / achieved_theta).
+  double worst_eps = eps_thr;
+  double worst_additive = 0.0;
+  uint64_t min_decided_theta = UINT64_MAX;
+  bool any_estimate_decision = false;
+  bool any_blind_decision = false;
+
   BitVector seed_bitmap(n);
   BitVector candidates(n);
   for (NodeId t : problem.targets) candidates.Set(t);
@@ -77,6 +91,12 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
     uint64_t used_this_iter = 0;
     bool decided = false;
     bool budget_exhausted = false;
+    // Evidence the decision ends up standing on when the schedule is cut
+    // short (updated after every completed round).
+    uint64_t last_theta = 0;
+    double last_eps = 1.0;
+    double last_az = nd;
+    bool forced = false;
 
     while (!decided) {
       const uint64_t theta = HatpSampleSize(eps, zeta, delta);
@@ -87,10 +107,28 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
       // Lines 19–23 error-tuning probes reading them), the literal
       // Algorithm 4 pays two independent pools R1, R2.
       FrontRearHits hits;
-      const SpeculativeRoundPlanner::RoundStep round_step = planner.NextRound(
-          engine, u, seed_bitmap, candidates, &removed, ni, theta, epoch,
-          options_.sampling.max_rr_sets_per_decision - used_this_iter, rng,
-          &hits);
+      const Result<SpeculativeRoundPlanner::RoundStep> round =
+          planner.NextRound(
+              engine, u, seed_bitmap, candidates, &removed, ni, theta, epoch,
+              options_.sampling.max_rr_sets_per_decision - used_this_iter,
+              rng, &hits);
+      if (!round.ok()) {
+        // Allocation failure is absorbed — the decision proceeds on the
+        // rounds already completed; real engine faults propagate.
+        if (!round.status().IsResourceExhausted()) return round.status();
+        forced = true;
+        budget_exhausted = step.rounds == 0;
+        result.degradation_events.push_back(
+            {DegradationReason::kAllocFailure, u, step.rounds, theta,
+             last_theta});
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
+        break;
+      }
+      const SpeculativeRoundPlanner::RoundStep round_step = round.value();
       if (round_step == SpeculativeRoundPlanner::RoundStep::kOverBudget) {
         if (options_.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
@@ -103,7 +141,42 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
         // No completed round means no estimate at all — mark the decision
         // explicitly instead of comparing fest = rest = 0 against the
         // cost. With at least one round, decide from its estimates.
+        forced = true;
         budget_exhausted = step.rounds == 0;
+        result.degradation_events.push_back(
+            {DegradationReason::kRrBudget, u, step.rounds, theta,
+             last_theta});
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
+        break;
+      }
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kDegraded) {
+        // The run budget tripped. A truncated pool (hits.theta > 0) still
+        // gives honest estimates over what it drew — it becomes the final
+        // round; otherwise the previous round's estimates stand.
+        if (hits.theta > 0) {
+          used_this_iter += RoundRrSets(hits.theta, planner.batched());
+          ++step.rounds;
+          step.coverage_queries += hits.queries;
+          result.total_count_pools += hits.pools;
+          const double scale = nd / static_cast<double>(hits.theta);
+          fest = static_cast<double>(hits.front) * scale;
+          rest = static_cast<double>(hits.rear) * scale;
+          last_theta = hits.theta;
+          last_eps = eps;
+          last_az = nd * zeta;
+        }
+        forced = true;
+        budget_exhausted = step.rounds == 0;
+        const BudgetGate* engine_gate = engine->budget();
+        result.degradation_events.push_back(
+            {ReasonFromBudgetStop(engine_gate != nullptr
+                                      ? engine_gate->Exhausted()
+                                      : BudgetStop::kNone),
+             u, step.rounds, theta, last_theta});
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -122,6 +195,9 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
       const double scale = nd / static_cast<double>(hits.theta);
       fest = static_cast<double>(hits.front) * scale;
       rest = static_cast<double>(hits.rear) * scale;
+      last_theta = hits.theta;
+      last_eps = eps;
+      last_az = nd * zeta;
 
       const double az = nd * zeta;  // n_i ζ_i in spread units
       // C'1: the hybrid confidence interval certifies the comparison
@@ -166,7 +242,12 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
         std::max(result.max_rr_sets_per_iteration, used_this_iter);
 
     if (budget_exhausted) {
+      // No estimate at all: the comparison is vacuous, so the worst-case
+      // guarantee trackers take their trivial bounds.
       step.decision = SeedDecision::kBudgetExhausted;
+      any_blind_decision = true;
+      worst_eps = 1.0;
+      worst_additive = std::max(worst_additive, nd);
     } else if (fest + rest >= 2.0 * cost) {
       // Line 13: select iff fest + rest >= 2 c(u) (equivalently ρ̃f >= ρ̃r).
       const std::vector<NodeId>& activated = env->SeedAndObserve(u);
@@ -180,9 +261,22 @@ Result<AdaptiveRunResult> HatpPolicy::Run(const ProfitProblem& problem,
     } else {
       step.decision = SeedDecision::kAbandoned;
     }
+    if (!budget_exhausted) {
+      // A certified stop (C'1/C'2) delivers the requested guarantee; a
+      // forced decision stands on the last round's coarser (ε, n_i ζ).
+      any_estimate_decision = true;
+      min_decided_theta = std::min(min_decided_theta, last_theta);
+      if (forced) worst_eps = std::max(worst_eps, last_eps);
+      worst_additive = std::max(worst_additive, last_az);
+    }
     result.steps.push_back(step);
   }
 
+  result.effective_epsilon = worst_eps;
+  result.achieved_additive_error = worst_additive;
+  result.achieved_theta = (!any_estimate_decision || any_blind_decision)
+                              ? 0
+                              : min_decided_theta;
   planner.ExportStats(&result);
   FinalizeAdaptiveResult(problem, *env, &result);
   return result;

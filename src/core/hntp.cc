@@ -45,6 +45,17 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
   HntpResult result;
   if (k == 0) return result;
   SpeculativeRoundPlanner planner(options.sampling, problem.targets);
+
+  // Run-level resource envelope (see HATP; inactive budgets arm nothing).
+  BudgetGate gate(options.sampling.budget);
+  ScopedEngineBudget scoped_budget(engine, &gate);
+
+  // Worst-case guarantee aggregation (see AdaptiveRunResult docs).
+  double worst_eps = eps_thr;
+  double worst_additive = 0.0;
+  uint64_t min_decided_theta = UINT64_MAX;
+  bool any_estimate_decision = false;
+  bool any_blind_decision = false;
   // HNTP has no environment: the bases a speculative answer depends on
   // (seed bitmap, T \ examined) only change shape on a SELECTION (abandons
   // are exactly the progressive clears the planner models), so the
@@ -72,6 +83,12 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
     uint32_t rounds = 0;
     bool decided = false;
     bool budget_exhausted = false;
+    // Evidence the decision ends up standing on when the schedule is cut
+    // short (updated after every completed round).
+    uint64_t last_theta = 0;
+    double last_eps = 1.0;
+    double last_az = nd;
+    bool forced = false;
 
     while (!decided) {
       const uint64_t theta = HatpSampleSize(eps, zeta, delta);
@@ -80,11 +97,29 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
       // conditional coverage on one shared pool (batched) / two independent
       // pools R1, R2 (the literal Section VI-A tailoring).
       FrontRearHits hits;
-      const SpeculativeRoundPlanner::RoundStep round_step = planner.NextRound(
-          engine, u, seed_bitmap, t_bitmap, /*removed=*/nullptr, n, theta,
-          selection_epoch,
-          options.sampling.max_rr_sets_per_decision - used_this_iter, rng,
-          &hits);
+      const Result<SpeculativeRoundPlanner::RoundStep> round =
+          planner.NextRound(
+              engine, u, seed_bitmap, t_bitmap, /*removed=*/nullptr, n,
+              theta, selection_epoch,
+              options.sampling.max_rr_sets_per_decision - used_this_iter,
+              rng, &hits);
+      if (!round.ok()) {
+        // Allocation failure is absorbed — the decision proceeds on the
+        // rounds already completed; real engine faults propagate.
+        if (!round.status().IsResourceExhausted()) return round.status();
+        forced = true;
+        budget_exhausted = rounds == 0;
+        result.degradation_events.push_back(
+            {DegradationReason::kAllocFailure, u, rounds, theta,
+             last_theta});
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
+        break;
+      }
+      const SpeculativeRoundPlanner::RoundStep round_step = round.value();
       if (round_step == SpeculativeRoundPlanner::RoundStep::kOverBudget) {
         if (options.fail_on_budget_exhausted) {
           return Status::OutOfBudget(
@@ -96,7 +131,41 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
         }
         // No completed round: nothing to decide from — do not select on
         // fest = rest = 0, count the abort explicitly.
+        forced = true;
         budget_exhausted = rounds == 0;
+        result.degradation_events.push_back(
+            {DegradationReason::kRrBudget, u, rounds, theta, last_theta});
+        if (budget_exhausted) {
+          ++result.budget_exhausted_decisions;
+        } else {
+          ++result.budget_truncated_decisions;
+        }
+        break;
+      }
+      if (round_step == SpeculativeRoundPlanner::RoundStep::kDegraded) {
+        // The run budget tripped. A truncated pool (hits.theta > 0) still
+        // gives honest estimates over what it drew — it becomes the final
+        // round; otherwise the previous round's estimates stand.
+        if (hits.theta > 0) {
+          used_this_iter += RoundRrSets(hits.theta, planner.batched());
+          ++rounds;
+          result.total_coverage_queries += hits.queries;
+          result.total_count_pools += hits.pools;
+          const double scale = nd / static_cast<double>(hits.theta);
+          fest = static_cast<double>(hits.front) * scale;
+          rest = static_cast<double>(hits.rear) * scale;
+          last_theta = hits.theta;
+          last_eps = eps;
+          last_az = nd * zeta;
+        }
+        forced = true;
+        budget_exhausted = rounds == 0;
+        const BudgetGate* engine_gate = engine->budget();
+        result.degradation_events.push_back(
+            {ReasonFromBudgetStop(engine_gate != nullptr
+                                      ? engine_gate->Exhausted()
+                                      : BudgetStop::kNone),
+             u, rounds, theta, last_theta});
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -113,6 +182,9 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
       const double scale = nd / static_cast<double>(hits.theta);
       fest = static_cast<double>(hits.front) * scale;
       rest = static_cast<double>(hits.rear) * scale;
+      last_theta = hits.theta;
+      last_eps = eps;
+      last_az = nd * zeta;
 
       const double az = nd * zeta;
       const bool c1 =
@@ -149,14 +221,31 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
     result.max_rr_sets_per_iteration =
         std::max(result.max_rr_sets_per_iteration, used_this_iter);
 
-    if (!budget_exhausted && fest + rest >= 2.0 * cost) {
-      result.seeds.push_back(u);
-      seed_bitmap.Set(u);
-      t_bitmap.Set(u);  // selected nodes remain in T (Alg 1 semantics)
-      ++selection_epoch;
+    if (budget_exhausted) {
+      // No estimate at all: the guarantee trackers take trivial bounds
+      // (the candidate is conservatively not selected).
+      any_blind_decision = true;
+      worst_eps = 1.0;
+      worst_additive = std::max(worst_additive, nd);
+    } else {
+      any_estimate_decision = true;
+      min_decided_theta = std::min(min_decided_theta, last_theta);
+      if (forced) worst_eps = std::max(worst_eps, last_eps);
+      worst_additive = std::max(worst_additive, last_az);
+      if (fest + rest >= 2.0 * cost) {
+        result.seeds.push_back(u);
+        seed_bitmap.Set(u);
+        t_bitmap.Set(u);  // selected nodes remain in T (Alg 1 semantics)
+        ++selection_epoch;
+      }
     }
   }
 
+  result.effective_epsilon = worst_eps;
+  result.achieved_additive_error = worst_additive;
+  result.achieved_theta = (!any_estimate_decision || any_blind_decision)
+                              ? 0
+                              : min_decided_theta;
   planner.ExportStats(&result);
   return result;
 }

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/hatp.h"
+#include "core/policy.h"
 #include "core/profit.h"
 
 namespace atpm {
@@ -43,6 +44,18 @@ struct HntpResult {
   /// Lookahead window at each speculating examination (see
   /// AdaptiveRunResult::lookahead_window_trace).
   std::vector<uint32_t> lookahead_window_trace;
+  /// Decisions forced to conclude early; see
+  /// AdaptiveRunResult::degradation_events.
+  std::vector<DegradationEvent> degradation_events;
+  /// Worst per-decision relative error actually certified; see
+  /// AdaptiveRunResult::effective_epsilon.
+  double effective_epsilon = 0.0;
+  /// Worst per-decision additive spread error n ζ at decision time; see
+  /// AdaptiveRunResult::achieved_additive_error.
+  double achieved_additive_error = 0.0;
+  /// Smallest RR pool any estimate-based decision was made from; see
+  /// AdaptiveRunResult::achieved_theta.
+  uint64_t achieved_theta = 0;
 };
 
 /// HNTP — the nonadaptive tailoring of HATP (Section VI-A). Identical

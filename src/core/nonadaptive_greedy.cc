@@ -55,12 +55,18 @@ Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
   ATPM_RETURN_NOT_OK(ValidateFixedSample(problem, num_rr_sets, engine));
   const Graph& graph = *problem.graph;
   const NodeId n = graph.num_nodes();
-  const double scale =
-      static_cast<double>(n) / static_cast<double>(num_rr_sets);
 
   engine->ResetPool();
-  RRCollection& pool =
-      engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
+  ATPM_RETURN_NOT_OK(
+      engine->TryGeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng));
+  RRCollection& pool = engine->pool();
+  // Estimates scale by the sets actually generated — identical to
+  // num_rr_sets normally, the honest denominator when a BudgetGate
+  // truncated the pool. An empty pool (budget spent before one set) has no
+  // evidence at all: return the empty seed set rather than divide by zero.
+  if (pool.num_sets() == 0) return NonadaptiveResult{};
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(pool.num_sets());
   pool.BuildIndex();
 
   // Exact marginal coverage per node, seeded by one batched pool query and
@@ -71,7 +77,7 @@ Result<NonadaptiveResult> RunNsg(const ProfitProblem& problem,
   std::vector<bool> covered(pool.num_sets(), false);
 
   NonadaptiveResult result;
-  result.num_rr_sets = num_rr_sets;
+  result.num_rr_sets = pool.num_sets();
   result.batched_queries = problem.targets.size();
   uint64_t covered_total = 0;
 
@@ -119,12 +125,16 @@ Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
   ATPM_RETURN_NOT_OK(ValidateFixedSample(problem, num_rr_sets, engine));
   const Graph& graph = *problem.graph;
   const NodeId n = graph.num_nodes();
-  const double scale =
-      static_cast<double>(n) / static_cast<double>(num_rr_sets);
 
   engine->ResetPool();
-  RRCollection& pool =
-      engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
+  ATPM_RETURN_NOT_OK(
+      engine->TryGeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng));
+  RRCollection& pool = engine->pool();
+  // See RunNsg: honest denominator under budget truncation, empty seed set
+  // when the budget left no evidence at all.
+  if (pool.num_sets() == 0) return NonadaptiveResult{};
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(pool.num_sets());
   pool.BuildIndex();
 
   // count_s[u]: sets containing u not yet covered by S (front marginal),
@@ -146,7 +156,7 @@ Result<NonadaptiveResult> RunNdg(const ProfitProblem& problem,
   }
 
   NonadaptiveResult result;
-  result.num_rr_sets = num_rr_sets;
+  result.num_rr_sets = pool.num_sets();
   result.batched_queries = problem.targets.size();
   uint64_t covered_total = 0;
 

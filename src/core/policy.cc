@@ -4,6 +4,35 @@
 
 namespace atpm {
 
+const char* DegradationReasonName(DegradationReason reason) {
+  switch (reason) {
+    case DegradationReason::kDeadline:
+      return "deadline";
+    case DegradationReason::kPoolBytes:
+      return "pool-bytes";
+    case DegradationReason::kCancelled:
+      return "cancelled";
+    case DegradationReason::kRrBudget:
+      return "rr-budget";
+    case DegradationReason::kAllocFailure:
+      return "alloc-failure";
+  }
+  return "unknown";
+}
+
+DegradationReason ReasonFromBudgetStop(BudgetStop stop) {
+  switch (stop) {
+    case BudgetStop::kPoolBytes:
+      return DegradationReason::kPoolBytes;
+    case BudgetStop::kCancelled:
+      return DegradationReason::kCancelled;
+    case BudgetStop::kDeadline:
+    case BudgetStop::kNone:
+      return DegradationReason::kDeadline;
+  }
+  return DegradationReason::kDeadline;
+}
+
 void FinalizeAdaptiveResult(const ProfitProblem& problem,
                             const AdaptiveEnvironment& env,
                             AdaptiveRunResult* result) {
@@ -82,7 +111,7 @@ void SpeculativeRoundPlanner::Begin(size_t position, [[maybe_unused]] NodeId u,
   active_ = FirstRoundAnswer{entry.front_hits, entry.rear_hits, entry.theta};
 }
 
-SpeculativeRoundPlanner::RoundStep SpeculativeRoundPlanner::NextRound(
+Result<SpeculativeRoundPlanner::RoundStep> SpeculativeRoundPlanner::NextRound(
     SamplingEngine* engine, NodeId u, const BitVector& front_base,
     const BitVector& rear_base, const BitVector* removed, uint32_t num_alive,
     uint64_t theta, uint64_t epoch, uint64_t budget_remaining, Rng* rng,
@@ -95,12 +124,25 @@ SpeculativeRoundPlanner::RoundStep SpeculativeRoundPlanner::NextRound(
     hits->queries = 0;
     return RoundStep::kServed;
   }
+  // An exhausted run budget blocks all further sampling (serving stored
+  // answers above stays free); the caller concludes the decision on
+  // whatever evidence it already holds.
+  const BudgetGate* gate = engine->budget();
+  if (gate != nullptr && gate->Exhausted() != BudgetStop::kNone) {
+    hits->theta = 0;
+    return RoundStep::kDegraded;
+  }
   if (RoundRrSets(theta, batched_) > budget_remaining) {
     return RoundStep::kOverBudget;
   }
-  *hits = SampleRound(engine, u, front_base, rear_base, removed, num_alive,
-                      theta, epoch, rng);
-  return RoundStep::kSampled;
+  Result<FrontRearHits> sampled = SampleRound(
+      engine, u, front_base, rear_base, removed, num_alive, theta, epoch,
+      rng);
+  if (!sampled.ok()) return sampled.status();
+  *hits = std::move(sampled).value();
+  // A pool cut short mid-round (hits->theta < theta, possibly 0) is the
+  // gate tripping between the check above and the batch finishing.
+  return hits->theta == theta ? RoundStep::kSampled : RoundStep::kDegraded;
 }
 
 std::optional<SpeculativeRoundPlanner::FirstRoundAnswer>
@@ -156,19 +198,36 @@ void SpeculativeRoundPlanner::AddSpeculativeQueries(
   stats_.speculative_queries += 2 * pending_.size();
 }
 
-FrontRearHits SpeculativeRoundPlanner::SampleRound(
+Result<FrontRearHits> SpeculativeRoundPlanner::SampleRound(
     SamplingEngine* engine, NodeId u, const BitVector& front_base,
     const BitVector& rear_base, const BitVector* removed, uint32_t num_alive,
     uint64_t theta, uint64_t epoch, Rng* rng) {
   FrontRearHits hits;
   hits.theta = theta;
   if (!batched_) {
-    hits.front = engine->CountConditionalCoverage(u, &front_base, removed,
-                                                 num_alive, theta, rng);
-    hits.rear = engine->CountConditionalCoverage(u, &rear_base, removed,
-                                                 num_alive, theta, rng);
+    // The literal two-pool sampling, each a one-query batch — the same RNG
+    // consumption (one 64-bit draw per pool) as the historical
+    // CountConditionalCoverage path, so fixed-seed runs stay bit-identical.
+    batch_.Clear();
+    pending_.clear();
+    const uint32_t front = batch_.Add(u, &front_base);
+    const Result<uint64_t> front_sampled = engine->TryCountCoverageBatch(
+        &batch_, removed, num_alive, theta, rng);
+    if (!front_sampled.ok()) return front_sampled.status();
+    hits.front = batch_.hits(front);
+    batch_.Clear();
+    const uint32_t rear = batch_.Add(u, &rear_base);
+    const Result<uint64_t> rear_sampled = engine->TryCountCoverageBatch(
+        &batch_, removed, num_alive, theta, rng);
+    if (!rear_sampled.ok()) return rear_sampled.status();
+    hits.rear = batch_.hits(rear);
     hits.pools = 2;
     hits.queries = 2;
+    if (front_sampled.value() != theta || rear_sampled.value() != theta) {
+      // Truncated independent pools have mismatched denominators — no
+      // single honest scale exists, so the round is unusable.
+      hits.theta = 0;
+    }
     return hits;
   }
   batch_.Clear();
@@ -176,14 +235,21 @@ FrontRearHits SpeculativeRoundPlanner::SampleRound(
   const uint32_t front = batch_.Add(u, &front_base);
   const uint32_t rear = batch_.Add(u, &rear_base);
   if (window_ > 0) AddSpeculativeQueries(front_base, rear_base, epoch, theta);
-  engine->CountCoverageBatch(&batch_, removed, num_alive, theta, rng);
-  for (const PendingAnswer& pending : pending_) {
-    Entry& entry = entries_[pending.position];
-    entry.epoch = epoch;
-    entry.theta = theta;
-    entry.front_hits = batch_.hits(pending.front_index);
-    entry.rear_hits = batch_.hits(pending.rear_index);
-    entry.valid = true;
+  const Result<uint64_t> sampled = engine->TryCountCoverageBatch(
+      &batch_, removed, num_alive, theta, rng);
+  if (!sampled.ok()) return sampled.status();
+  hits.theta = sampled.value();
+  if (hits.theta > 0) {
+    for (const PendingAnswer& pending : pending_) {
+      Entry& entry = entries_[pending.position];
+      entry.epoch = epoch;
+      // Stored under the pool's ACTUAL size: a truncated pool still
+      // certifies (and scales) honestly over what it drew.
+      entry.theta = hits.theta;
+      entry.front_hits = batch_.hits(pending.front_index);
+      entry.rear_hits = batch_.hits(pending.rear_index);
+      entry.valid = true;
+    }
   }
   hits.front = batch_.hits(front);
   hits.rear = batch_.hits(rear);

@@ -33,6 +33,50 @@ enum class SeedDecision {
   kBudgetExhausted,
 };
 
+/// Why a decision was forced to conclude with less evidence than its error
+/// schedule requested (RunBudget exhaustion, the per-decision RR cap, or an
+/// allocation failure absorbed by the degradation path).
+enum class DegradationReason : uint8_t {
+  /// The RunBudget wall-clock deadline passed.
+  kDeadline,
+  /// The RunBudget RR-pool byte cap was reached.
+  kPoolBytes,
+  /// The RunBudget CancelToken was cancelled.
+  kCancelled,
+  /// The per-decision RR cap (SamplingOptions::max_rr_sets_per_decision)
+  /// could not fund the next round (and fail_on_budget_exhausted is off).
+  kRrBudget,
+  /// Pool growth threw std::bad_alloc; the decision proceeds on the RR
+  /// sets drawn before the failure.
+  kAllocFailure,
+};
+
+/// Stable identifier for logs and telemetry tables ("deadline", ...).
+const char* DegradationReasonName(DegradationReason reason);
+
+/// Maps the BudgetGate stop cause observed at a degraded round to the
+/// reason recorded in telemetry (kNone — which a degraded round should
+/// never report — maps to kDeadline as the conservative default).
+DegradationReason ReasonFromBudgetStop(BudgetStop stop);
+
+/// One decision that concluded with less evidence than requested. The run
+/// never silently weakens: every forced decision is recorded here, and the
+/// run-level achieved_theta / effective_epsilon aggregate the worst case.
+struct DegradationEvent {
+  DegradationReason reason = DegradationReason::kDeadline;
+  /// The candidate whose decision was degraded.
+  NodeId node = 0;
+  /// Error-halving rounds that DID complete before the cut (0 = the
+  /// decision had no estimate at all and the candidate was conservatively
+  /// not seeded, recorded as SeedDecision::kBudgetExhausted).
+  uint32_t rounds_completed = 0;
+  /// θ the interrupted round asked for.
+  uint64_t requested_theta = 0;
+  /// RR sets actually backing the estimates the decision was made from
+  /// (the last usable round's pool; 0 when rounds_completed == 0).
+  uint64_t achieved_theta = 0;
+};
+
 /// Telemetry for one iteration of an adaptive policy.
 struct AdaptiveStepRecord {
   NodeId node = 0;
@@ -109,6 +153,24 @@ struct AdaptiveRunResult {
   /// Under a fixed window this is constant; under adaptive_lookahead it
   /// shows the widen/reset trajectory.
   std::vector<uint32_t> lookahead_window_trace;
+  /// Decisions forced to conclude early (RunBudget, RR cap, allocation
+  /// failure), in examination order. Empty = every decision ran its full
+  /// error schedule and the requested guarantee holds.
+  std::vector<DegradationEvent> degradation_events;
+  /// Worst per-decision relative error actually certified: the requested
+  /// relative_error_threshold when no decision was degraded, the ε of the
+  /// last completed round for forced decisions, and 1.0 (vacuous) when a
+  /// decision got no round at all. ADDATP's guarantee is additive, so it
+  /// reports 0 here — see achieved_additive_error.
+  double effective_epsilon = 0.0;
+  /// Worst per-decision additive spread error n_i ζ_i at the round each
+  /// decision was made from; n (the trivial bound) for decisions with no
+  /// completed round.
+  double achieved_additive_error = 0.0;
+  /// Smallest RR pool any estimate-based decision was made from (min over
+  /// decisions of the final round's actual sets). 0 when some decision had
+  /// no round, or when no decision sampled at all.
+  uint64_t achieved_theta = 0;
   /// Per-iteration telemetry (one record per examined candidate).
   std::vector<AdaptiveStepRecord> steps;
 };
@@ -154,8 +216,10 @@ struct FrontRearHits {
   uint64_t front = 0;
   uint64_t rear = 0;
   /// RR sets the hits were counted over — `theta` for a sampled round, the
-  /// (>= theta) pool size of the answering round for a speculative answer.
-  /// Estimates must scale by THIS, not by the requested theta.
+  /// (>= theta) pool size of the answering round for a speculative answer,
+  /// or the (< theta) truncated pool size when a BudgetGate stopped the
+  /// round mid-pool. Estimates must scale by THIS, not by the requested
+  /// theta.
   uint64_t theta = 0;
   /// Throwaway pools this round sampled (1 batched, 2 unbatched, 0 when the
   /// round was served from a speculative answer).
@@ -234,6 +298,12 @@ class SpeculativeRoundPlanner {
     kSampled,
     /// The budget cannot fund the round's pool(s); nothing happened.
     kOverBudget,
+    /// The engine's BudgetGate (RunBudget deadline / byte cap / cancel)
+    /// stopped the round. hits->theta > 0 means the pool was truncated but
+    /// its estimates are honest over that smaller pool — the caller decides
+    /// from them; hits->theta == 0 means nothing usable was sampled and the
+    /// caller falls back to its previous round (if any).
+    kDegraded,
   };
 
   /// Moves the cursor to targets[position] (== u) and activates the stored
@@ -255,12 +325,19 @@ class SpeculativeRoundPlanner {
   /// candidates still present in `rear_base` (absent ones are already
   /// activated and will be skipped, never sampled); their answers are
   /// stored under `epoch`.
-  RoundStep NextRound(SamplingEngine* engine, NodeId u,
-                      const BitVector& front_base, const BitVector& rear_base,
-                      const BitVector* removed, uint32_t num_alive,
-                      uint64_t theta, uint64_t epoch,
-                      uint64_t budget_remaining, Rng* rng,
-                      FrontRearHits* hits);
+  ///
+  /// A non-OK result means the engine failed (injected fault, worker
+  /// exception, IO error): kResourceExhausted is the caller's cue to
+  /// degrade onto the estimates it already has, anything else propagates.
+  /// Serving a stored answer is free, so it happens even when the engine's
+  /// BudgetGate is already exhausted; sampling is what kDegraded guards.
+  Result<RoundStep> NextRound(SamplingEngine* engine, NodeId u,
+                              const BitVector& front_base,
+                              const BitVector& rear_base,
+                              const BitVector* removed, uint32_t num_alive,
+                              uint64_t theta, uint64_t epoch,
+                              uint64_t budget_remaining, Rng* rng,
+                              FrontRearHits* hits);
 
   /// Whether rounds share one pool (speculation requires it).
   bool batched() const { return batched_; }
@@ -300,12 +377,16 @@ class SpeculativeRoundPlanner {
   std::optional<FirstRoundAnswer> Serve(uint64_t theta);
 
   /// Samples the round's pool(s) and answers the front/rear queries (plus
-  /// speculative lookahead queries in batched mode).
-  FrontRearHits SampleRound(SamplingEngine* engine, NodeId u,
-                            const BitVector& front_base,
-                            const BitVector& rear_base,
-                            const BitVector* removed, uint32_t num_alive,
-                            uint64_t theta, uint64_t epoch, Rng* rng);
+  /// speculative lookahead queries in batched mode). hits.theta is the
+  /// sets actually drawn: θ normally, less when the engine's BudgetGate
+  /// truncated the batched pool, 0 when the round produced nothing usable
+  /// (empty truncation, or unbatched pools with mismatched sizes).
+  Result<FrontRearHits> SampleRound(SamplingEngine* engine, NodeId u,
+                                    const BitVector& front_base,
+                                    const BitVector& rear_base,
+                                    const BitVector* removed,
+                                    uint32_t num_alive, uint64_t theta,
+                                    uint64_t epoch, Rng* rng);
 
   /// Appends up to window_ speculative first-round queries to batch_,
   /// refreshing stored answers whose pool is smaller than `theta`.

@@ -17,19 +17,23 @@ namespace {
 // lower bound. The pool MUST be fresh (not the one T was derived from):
 // reusing the derivation pool would condition the bound on the very samples
 // that picked T and void the concentration guarantee.
-double EstimateSpreadLowerBound(SamplingEngine* engine,
-                                std::span<const NodeId> targets,
-                                uint64_t num_rr_sets, double delta,
-                                Rng* rng) {
+Result<double> EstimateSpreadLowerBound(SamplingEngine* engine,
+                                        std::span<const NodeId> targets,
+                                        uint64_t num_rr_sets, double delta,
+                                        Rng* rng) {
   const NodeId n = engine->graph().num_nodes();
   engine->ResetPool();
-  const RRCollection& pool =
-      engine->GeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng);
+  ATPM_RETURN_NOT_OK(
+      engine->TryGeneratePool(/*removed=*/nullptr, n, num_rr_sets, rng));
+  const RRCollection& pool = engine->pool();
+  // A budget-truncated pool still certifies a (weaker) martingale bound
+  // over what it drew; an empty one bounds nothing.
+  if (pool.num_sets() == 0) return 0.0;
 
   BitVector members(n);
   for (NodeId t : targets) members.Set(t);
   const uint64_t cov = pool.CoverageOfSet(members);
-  return SpreadLowerBound(cov, num_rr_sets, n, delta);
+  return SpreadLowerBound(cov, pool.num_sets(), n, delta);
 }
 
 // One engine drives every stage of a pipeline call.
@@ -58,9 +62,11 @@ Result<TargetSelectionResult> BuildTopKTargetProblem(
 
   Rng rng(options.seed ^ 0x5ca1ab1eULL);
   const std::vector<NodeId>& targets = imm.value().seeds;
-  const double lower_bound = EstimateSpreadLowerBound(
+  const Result<double> bound = EstimateSpreadLowerBound(
       engine.get(), targets, options.bound_rr_sets, options.bound_delta,
       &rng);
+  if (!bound.ok()) return bound.status();
+  const double lower_bound = bound.value();
   if (lower_bound <= 0.0) {
     return Status::Internal(
         "top-k target selection: vanishing spread lower bound");
@@ -111,9 +117,11 @@ Result<TargetSelectionResult> BuildPredefinedCostProblem(
   result.problem.graph = &graph;
   result.problem.targets = derived.value().seeds;
   result.problem.costs = std::move(costs).value();
-  result.spread_lower_bound = EstimateSpreadLowerBound(
+  const Result<double> bound = EstimateSpreadLowerBound(
       engine.get(), result.problem.targets, options.bound_rr_sets,
       options.bound_delta, &rng);
+  if (!bound.ok()) return bound.status();
+  result.spread_lower_bound = bound.value();
   result.sampling_stats = engine->stats();
   ATPM_RETURN_NOT_OK(result.problem.Validate());
   return result;

@@ -165,6 +165,9 @@ double RisSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
   engine_->ResetPool();
   const RRCollection& pool = engine_->GeneratePool(
       removed, num_alive, options_.num_rr_sets, &rng_);
+  // Scale by the sets actually in the pool — identical to num_rr_sets
+  // normally, and the honest denominator when a BudgetGate truncated it.
+  if (pool.num_sets() == 0) return 0.0;
 
   BitVector members(n);
   for (NodeId s : seeds) members.Set(s);
@@ -172,7 +175,7 @@ double RisSpreadOracle::ExpectedSpread(std::span<const NodeId> seeds,
   // in residual RR sets, so their bits are inert.
   const uint64_t cov = pool.CoverageOfSet(members);
   return static_cast<double>(num_alive) * static_cast<double>(cov) /
-         static_cast<double>(options_.num_rr_sets);
+         static_cast<double>(pool.num_sets());
 }
 
 double RisSpreadOracle::ExpectedMarginalSpread(NodeId u,
@@ -203,6 +206,7 @@ std::vector<double> RisSpreadOracle::ExpectedMarginalSpreads(
   engine_->ResetPool();
   const RRCollection& pool = engine_->GeneratePool(
       removed, num_alive, options_.num_rr_sets, &rng_);
+  if (pool.num_sets() == 0) return marginals;
 
   CoverageQueryBatch batch;
   constexpr size_t kInBase = static_cast<size_t>(-1);
@@ -216,7 +220,7 @@ std::vector<double> RisSpreadOracle::ExpectedMarginalSpreads(
   pool.AnswerBatch(&batch);
 
   const double scale = static_cast<double>(num_alive) /
-                       static_cast<double>(options_.num_rr_sets);
+                       static_cast<double>(pool.num_sets());
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (slot[i] != kInBase) {
       marginals[i] = static_cast<double>(batch.hits(slot[i])) * scale;

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/failpoint.h"
+#include "common/io_retry.h"
 #include "graph/graph_builder.h"
 
 namespace atpm {
@@ -100,6 +102,7 @@ struct LineParser {
 
 Result<Graph> LoadEdgeList(const std::string& path,
                            const EdgeListLoadOptions& options) {
+  ATPM_FAILPOINT("edge_list.open");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IOError("cannot open '" + path +
@@ -113,9 +116,34 @@ Result<Graph> LoadEdgeList(const std::string& path,
   bool eof = false;
   while (!eof) {
     if (carry == buffer.size()) buffer.resize(buffer.size() * 2);
-    const size_t got =
-        std::fread(buffer.data() + carry, 1, buffer.size() - carry, file);
-    if (got < buffer.size() - carry) {
+    if (ATPM_FAILPOINT_FIRED("edge_list.read")) {
+      std::fclose(file);
+      return Status::IOError("read failure on '" + path +
+                             "': injected fault");
+    }
+    // Short reads from EINTR (or an injected transient fault) resume
+    // where they left off under a bounded backoff; a persistent stream
+    // error falls through to the hard-error path below.
+    const size_t want = buffer.size() - carry;
+    size_t got = 0;
+    for (uint32_t attempt = 0;;) {
+      if (ATPM_FAILPOINT_TRANSIENT("edge_list.read.transient")) {
+        if (BackoffRetry(attempt++)) continue;
+        std::fclose(file);
+        return Status::IOError("read failure on '" + path +
+                               "': transient faults exhausted the retry "
+                               "budget");
+      }
+      got += std::fread(buffer.data() + carry + got, 1, want - got, file);
+      if (got == want || std::feof(file) != 0) break;
+      if (std::ferror(file) != 0 && errno == EINTR &&
+          BackoffRetry(attempt++)) {
+        std::clearerr(file);
+        continue;
+      }
+      break;
+    }
+    if (got < want) {
       if (std::ferror(file) != 0) {
         std::fclose(file);
         return Status::IOError("read failure on '" + path +
@@ -151,12 +179,14 @@ Result<Graph> LoadEdgeList(const std::string& path,
 }
 
 Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  ATPM_FAILPOINT("edge_list.open");
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::IOError("cannot open '" + path +
                            "' for writing: " + std::strerror(errno));
   }
-  bool ok = std::fprintf(file, "# atpm edge list: n=%u m=%llu\n",
+  bool ok = !ATPM_FAILPOINT_FIRED("edge_list.write") &&
+            std::fprintf(file, "# atpm edge list: n=%u m=%llu\n",
                          graph.num_nodes(),
                          static_cast<unsigned long long>(
                              graph.num_edges())) > 0;
@@ -167,12 +197,15 @@ Status SaveEdgeList(const Graph& graph, const std::string& path) {
       // %.9g: max_digits10 for float — the shortest form guaranteed to
       // reparse to the identical float, so save -> load round-trips
       // probabilities bit-exactly.
-      ok = std::fprintf(file, "%u\t%u\t%.9g\n", u, neigh[j],
+      ok = !ATPM_FAILPOINT_FIRED("edge_list.write") &&
+           std::fprintf(file, "%u\t%u\t%.9g\n", u, neigh[j],
                         static_cast<double>(probs[j])) > 0;
     }
   }
   ok = std::fflush(file) == 0 && ok;
-  std::fclose(file);
+  // fclose can surface the final flush's write error — an unchecked close
+  // here would report a torn file as a successful save.
+  ok = std::fclose(file) == 0 && ok;
   if (!ok) {
     return Status::IOError("write failure on '" + path +
                            "': " + std::strerror(errno));

@@ -11,8 +11,12 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <vector>
+
+#include "common/failpoint.h"
+#include "common/io_retry.h"
 
 namespace atpm {
 namespace {
@@ -227,7 +231,8 @@ class StoreWriter {
 
   void Write(const void* data, uint64_t bytes) {
     if (failed_ || bytes == 0) return;
-    if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    if (ATPM_FAILPOINT_FIRED("graph_store.write") ||
+        std::fwrite(data, 1, bytes, file_) != bytes) {
       failed_ = true;
       return;
     }
@@ -467,9 +472,16 @@ Status GraphStoreIO::Save(const Graph& g, const std::string& path,
   }
   const uint64_t file_bytes = offset;
 
-  std::FILE* file = std::fopen(path.c_str(), "wb");
+  // Crash-safe publish: write the full image to a same-directory temp
+  // file, fsync it, then atomically rename over `path`. A reader racing
+  // the save (or one arriving after a mid-write crash) observes either the
+  // previous store or the complete new one — never a torn file.
+  ATPM_FAILPOINT("graph_store.open");
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
   if (file == nullptr) {
-    return Status::IOError("cannot open '" + path +
+    return Status::IOError("cannot open '" + tmp_path +
                            "' for writing: " + std::strerror(errno));
   }
 
@@ -525,19 +537,57 @@ Status GraphStoreIO::Save(const Graph& g, const std::string& path,
                            table.size(), file) == table.size();
   }
   write_ok = std::fflush(file) == 0 && write_ok;
-  std::fclose(file);
+  // Durability before visibility: the bytes must be on disk before the
+  // rename can publish them, or a crash could leave `path` naming a
+  // fully-visible but partially-persisted store.
+  if (write_ok && (ATPM_FAILPOINT_FIRED("graph_store.fsync") ||
+                   ::fsync(::fileno(file)) != 0)) {
+    write_ok = false;
+  }
+  write_ok = std::fclose(file) == 0 && write_ok;
   if (!write_ok) {
-    std::remove(path.c_str());
-    return Status::IOError("write failure on '" + path +
+    std::remove(tmp_path.c_str());
+    return Status::IOError("write failure on '" + tmp_path +
                            "': " + std::strerror(errno));
+  }
+  if (ATPM_FAILPOINT_FIRED("graph_store.rename") ||
+      std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot publish '" + path +
+                           "': rename failed: " + std::strerror(errno));
+  }
+  // Best-effort directory sync so the rename itself survives power loss;
+  // the data is already durable, so a failure here costs nothing worse
+  // than re-running the save.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos
+          ? std::string(".")
+          : (slash == 0 ? std::string("/") : path.substr(0, slash));
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::OK();
 }
 
 Result<GraphStoreIO::StoreView> GraphStoreIO::MapAndValidate(
     const std::string& path, bool verify_payload) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
+  ATPM_FAILPOINT("graph_store.open");
+  // EINTR (and injected transient faults) get a bounded backoff-retry;
+  // anything else is a hard error.
+  int fd = -1;
+  for (uint32_t attempt = 0;;) {
+    if (ATPM_FAILPOINT_TRANSIENT("graph_store.open.transient")) {
+      if (BackoffRetry(attempt++)) continue;
+      return Status::IOError("cannot open '" + path +
+                             "': transient faults exhausted the retry "
+                             "budget");
+    }
+    fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) break;
+    if (errno == EINTR && BackoffRetry(attempt++)) continue;
     return Status::IOError("cannot open '" + path +
                            "': " + std::strerror(errno));
   }
@@ -555,7 +605,12 @@ Result<GraphStoreIO::StoreView> GraphStoreIO::MapAndValidate(
         "graph store '" + path + "' is truncated: " + std::to_string(size) +
         " bytes is smaller than the header");
   }
-  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  void* mapping = MAP_FAILED;
+  if (ATPM_FAILPOINT_FIRED("graph_store.mmap")) {
+    errno = ENOMEM;  // injected fault surfaces through the real error path
+  } else {
+    mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
   ::close(fd);  // the mapping holds its own reference
   if (mapping == MAP_FAILED) {
     return Status::IOError("mmap('" + path +
@@ -565,6 +620,7 @@ Result<GraphStoreIO::StoreView> GraphStoreIO::MapAndValidate(
   file->base = static_cast<const unsigned char*>(mapping);
   file->size = size;
 
+  ATPM_FAILPOINT("graph_store.read");
   GraphStoreHeader header;
   std::memcpy(&header, file->base, sizeof(header));
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
@@ -587,7 +643,8 @@ Result<GraphStoreIO::StoreView> GraphStoreIO::MapAndValidate(
   }
   if (header.file_bytes != size) {
     return Status::InvalidArgument(
-        "graph store '" + path + "' is truncated: header records " +
+        "graph store '" + path + "' is truncated or has trailing garbage: "
+        "header records " +
         std::to_string(header.file_bytes) + " bytes, file has " +
         std::to_string(size));
   }
@@ -607,9 +664,14 @@ Result<GraphStoreIO::StoreView> GraphStoreIO::MapAndValidate(
   }
   for (uint32_t i = 0; i < header.section_count; ++i) {
     const GraphStoreSection& s = sections[i];
+    // Division-based element check: the naive `element_count *
+    // element_size` product can wrap for adversarial counts and collide
+    // with a small in-bounds `bytes`, smuggling a view of 2^61 "elements"
+    // past the bounds check.
     if (s.offset % kAlignment != 0 || s.offset > size ||
-        s.bytes > size - s.offset ||
-        s.bytes != s.element_count * s.element_size) {
+        s.bytes > size - s.offset || s.element_size == 0 ||
+        s.element_count != s.bytes / s.element_size ||
+        s.bytes % s.element_size != 0) {
       return Status::InvalidArgument(
           "graph store '" + path + "' section " + ExpectedSectionName(s.id) +
           " has inconsistent bounds");
@@ -728,13 +790,25 @@ Result<Graph> GraphStoreIO::Load(const std::string& path,
           (uint64_t{t} + 1) * header.tile_size, n64);
       const uint64_t first = g.in_offsets_[static_cast<NodeId>(lo)];
       const uint64_t count = g.in_offsets_[static_cast<NodeId>(hi)] - first;
+      // Non-monotonic in_offsets (tail corruption the CSR-extent check
+      // cannot see) make `count` wrap huge: pin the edge range to [0, m]
+      // before it reaches any pointer arithmetic.
+      if (first > m || count > m - first) {
+        return Status::InvalidArgument(
+            "graph store '" + path + "' tile " + std::to_string(t) +
+            " spans an invalid edge range");
+      }
       const TileDirEntry& e = entries[t];
+      // Division-based extents: `count * sizeof(T)` can wrap and sneak
+      // under `size - offset`, so compare counts against the capacity of
+      // the remaining file instead.
       if (e.adj_offset % kAlignment != 0 || e.prob_offset % kAlignment != 0 ||
           e.eidx_offset % kAlignment != 0 || e.adj_offset > size ||
-          count * sizeof(NodeId) > size - e.adj_offset ||
-          e.prob_offset > size || count * sizeof(float) > size - e.prob_offset ||
+          count > (size - e.adj_offset) / sizeof(NodeId) ||
+          e.prob_offset > size ||
+          count > (size - e.prob_offset) / sizeof(float) ||
           e.eidx_offset > size ||
-          count * sizeof(uint64_t) > size - e.eidx_offset) {
+          count > (size - e.eidx_offset) / sizeof(uint64_t)) {
         return Status::InvalidArgument(
             "graph store '" + path + "' tile " + std::to_string(t) +
             " block exceeds the file");

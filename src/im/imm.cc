@@ -74,8 +74,8 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
                                  std::to_string(options.max_rr_sets));
     }
     if (pool.num_sets() < theta_i) {
-      engine->GeneratePool(/*removed=*/nullptr, n,
-                           theta_i - pool.num_sets(), &rng);
+      ATPM_RETURN_NOT_OK(engine->TryGeneratePool(
+          /*removed=*/nullptr, n, theta_i - pool.num_sets(), &rng));
     }
     GreedyCoverageResult greedy = GreedyMaxCoverage(&pool, k);
     const double est = nd * static_cast<double>(greedy.covered) /
@@ -102,8 +102,8 @@ Result<ImmResult> RunImm(const Graph& graph, uint32_t k,
                                std::to_string(options.max_rr_sets));
   }
   if (pool.num_sets() < theta) {
-    engine->GeneratePool(/*removed=*/nullptr, n,
-                         theta - pool.num_sets(), &rng);
+    ATPM_RETURN_NOT_OK(engine->TryGeneratePool(
+        /*removed=*/nullptr, n, theta - pool.num_sets(), &rng));
   }
 
   GreedyCoverageResult final_greedy = GreedyMaxCoverage(&pool, k);

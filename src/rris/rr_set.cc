@@ -179,7 +179,8 @@ uint64_t RRSetGenerator::Generate(const BitVector* removed, uint32_t num_alive,
 uint64_t RRSetGenerator::GenerateBatch(const BitVector* removed,
                                        uint32_t num_alive, uint64_t count,
                                        Rng* rng, std::vector<NodeId>* nodes,
-                                       std::vector<uint32_t>* set_sizes) {
+                                       std::vector<uint32_t>* set_sizes,
+                                       BudgetGate* budget) {
   // One invalidation for the whole block: every root draw of the batch
   // shares one alive-list build on depleted residual graphs, instead of
   // paying the O(n) rebuild per set like a Generate loop would. Root
@@ -187,11 +188,25 @@ uint64_t RRSetGenerator::GenerateBatch(const BitVector* removed,
   // changes RNG consumption), so the batch is bit-identical to the loop.
   alive_cache_valid_ = false;
   uint64_t edges_examined = 0;
+  size_t charged_nodes = nodes->size();
+  size_t charged_sets = set_sizes->size();
+  const auto charge = [&] {
+    budget->AddPoolBytes(
+        (nodes->size() - charged_nodes) * sizeof(NodeId) +
+        (set_sizes->size() - charged_sets) * sizeof(uint64_t));
+    charged_nodes = nodes->size();
+    charged_sets = set_sizes->size();
+  };
   for (uint64_t i = 0; i < count; ++i) {
+    if (budget != nullptr && (i & (kBudgetStride - 1)) == 0) {
+      charge();
+      if (budget->Exhausted() != BudgetStop::kNone) break;
+    }
     const size_t begin = nodes->size();
     edges_examined += GenerateOne(removed, num_alive, rng, nodes);
     set_sizes->push_back(static_cast<uint32_t>(nodes->size() - begin));
   }
+  if (budget != nullptr) charge();
   return edges_examined;
 }
 
@@ -268,9 +283,11 @@ uint64_t RRSetGenerator::CountCovering(const BitVector* removed,
 
 uint64_t RRSetGenerator::CountCoveringBatch(
     const BitVector* removed, uint32_t num_alive, uint64_t theta,
-    std::span<const CoverageQuery> queries, uint64_t* hits, Rng* rng) {
+    std::span<const CoverageQuery> queries, uint64_t* hits, Rng* rng,
+    const BudgetGate* budget, uint64_t* sampled) {
   const Graph& g = *graph_;
   const size_t num_queries = queries.size();
+  if (sampled != nullptr) *sampled = theta;
   for (size_t q = 0; q < num_queries; ++q) hits[q] = 0;
   if (num_queries == 0) return 0;
   query_dead_.resize(num_queries);
@@ -308,6 +325,11 @@ uint64_t RRSetGenerator::CountCoveringBatch(
   };
 
   for (uint64_t t = 0; t < theta; ++t) {
+    if (budget != nullptr && (t & (kBudgetStride - 1)) == 0 &&
+        budget->Exhausted() != BudgetStop::kNone) {
+      if (sampled != nullptr) *sampled = t;
+      break;
+    }
     visited_.NextEpoch();
     scratch_.clear();
 

@@ -1,8 +1,31 @@
 #include "rris/sampling_engine.h"
 
 #include <algorithm>
+#include <new>
+
+#include "common/failpoint.h"
 
 namespace atpm {
+
+namespace {
+
+/// Translates an exception that escaped a sampling job into the Status the
+/// engine API surfaces: allocation exhaustion is a degradable condition
+/// (callers keep what they have), everything else is an internal fault.
+Status ExceptionToStatus(const char* where, std::exception_ptr error) {
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(std::string(where) +
+                                     ": allocation failed");
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string(where) + ": " + e.what());
+  } catch (...) {
+    return Status::Internal(std::string(where) + ": unknown exception");
+  }
+}
+
+}  // namespace
 
 const char* SamplingBackendName(SamplingBackend backend) {
   switch (backend) {
@@ -25,9 +48,10 @@ SerialSamplingEngine::SerialSamplingEngine(const Graph& graph,
       generator_(graph, model, kernel),
       pool_(graph.num_nodes()) {}
 
-RRCollection& SerialSamplingEngine::GeneratePool(const BitVector* removed,
-                                                 uint32_t num_alive,
-                                                 uint64_t count, Rng* rng) {
+Status SerialSamplingEngine::TryGeneratePool(const BitVector* removed,
+                                             uint32_t num_alive,
+                                             uint64_t count, Rng* rng) {
+  ATPM_FAILPOINT("engine.serial_batch");
   // Batched block generation straight into the shard layout: one splice
   // into the pool CSR instead of a staging copy per set, and one shared
   // alive-list build per block. Bit-identical sets to the historical
@@ -35,31 +59,55 @@ RRCollection& SerialSamplingEngine::GeneratePool(const BitVector* removed,
   shard_nodes_.clear();
   shard_sizes_.clear();
   const uint64_t draws_before = generator_.rng_draws();
-  const uint64_t edges = generator_.GenerateBatch(removed, num_alive, count,
-                                                  rng, &shard_nodes_,
-                                                  &shard_sizes_);
-  pool_.AppendShard(shard_nodes_, shard_sizes_);
-  edges_examined_ += edges;
-  stats_.rr_sets_generated += count;
-  stats_.edges_examined += edges;
+  Status status = Status::OK();
+  uint64_t edges = 0;
+  try {
+    ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_reserve");
+    edges = generator_.GenerateBatch(removed, num_alive, count, rng,
+                                     &shard_nodes_, &shard_sizes_, budget_);
+    ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_append");
+    pool_.AppendShard(shard_nodes_, shard_sizes_);
+  } catch (...) {
+    // A bad_alloc mid-batch leaves the staging shard partially grown (it
+    // is cleared on the next call) and the pool untouched; the draws the
+    // generator consumed are still accounted.
+    status = ExceptionToStatus("serial pool generation",
+                               std::current_exception());
+  }
+  const uint64_t generated = status.ok() ? shard_sizes_.size() : 0;
+  edges_examined_ += status.ok() ? edges : 0;
+  stats_.rr_sets_generated += generated;
+  stats_.edges_examined += status.ok() ? edges : 0;
   stats_.rng_draws += generator_.rng_draws() - draws_before;
-  return pool_;
+  return status;
 }
 
-void SerialSamplingEngine::CountCoverageBatchSeeded(CoverageQueryBatch* batch,
-                                                    const BitVector* removed,
-                                                    uint32_t num_alive,
-                                                    uint64_t theta,
-                                                    uint64_t seed) {
-  if (batch->empty()) return;
+Result<uint64_t> SerialSamplingEngine::TryCountCoverageBatchSeeded(
+    CoverageQueryBatch* batch, const BitVector* removed, uint32_t num_alive,
+    uint64_t theta, uint64_t seed) {
+  if (batch->empty()) return uint64_t{0};
+  ATPM_FAILPOINT("engine.serial_batch");
   Rng rng(seed);
   const uint64_t draws_before = generator_.rng_draws();
-  stats_.edges_examined += generator_.CountCoveringBatch(
-      removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng);
+  uint64_t sampled = theta;
+  try {
+    // The throwaway counting pool is an allocation consumer too: its
+    // scratch growth is covered by the same alloc failpoint so injected
+    // bad_alloc exercises the policies' absorb-and-degrade path.
+    ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_reserve");
+    stats_.edges_examined += generator_.CountCoveringBatch(
+        removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng,
+        budget_, &sampled);
+  } catch (...) {
+    stats_.rng_draws += generator_.rng_draws() - draws_before;
+    return ExceptionToStatus("serial coverage counting",
+                             std::current_exception());
+  }
   stats_.rng_draws += generator_.rng_draws() - draws_before;
-  stats_.rr_sets_generated += theta;
+  stats_.rr_sets_generated += sampled;
   stats_.count_pools += 1;
   stats_.coverage_queries += batch->size();
+  return sampled;
 }
 
 void SerialSamplingEngine::ResetPool() {
@@ -114,7 +162,15 @@ void ParallelSamplingEngine::WorkerLoop(uint32_t index) {
       seen_epoch = job_epoch_;
       job = job_;
     }
-    (*job)(index);
+    // Containment: an exception escaping a job body used to ripple into
+    // std::terminate (nothing above this frame catches). Capture it so
+    // RunOnPool can translate it into a Status after the barrier; the
+    // worker stays alive and the pool stays usable.
+    try {
+      (*job)(index);
+    } catch (...) {
+      workers_[index].error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();
@@ -122,8 +178,9 @@ void ParallelSamplingEngine::WorkerLoop(uint32_t index) {
   }
 }
 
-void ParallelSamplingEngine::RunOnPool(
+Status ParallelSamplingEngine::RunOnPool(
     const std::function<void(uint32_t)>& body) {
+  for (Worker& worker : workers_) worker.error = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &body;
@@ -131,9 +188,20 @@ void ParallelSamplingEngine::RunOnPool(
     pending_ = static_cast<uint32_t>(workers_.size());
   }
   job_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&]() { return pending_ == 0; });
-  job_ = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&]() { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].error != nullptr) {
+      // First failed worker in index order: deterministic for a fixed
+      // fault schedule even when several workers fail at once.
+      return ExceptionToStatus("parallel sampling worker",
+                               std::move(workers_[w].error));
+    }
+  }
+  return Status::OK();
 }
 
 void ParallelSamplingEngine::AssignQuotas(uint64_t total) {
@@ -145,95 +213,145 @@ void ParallelSamplingEngine::AssignQuotas(uint64_t total) {
   }
 }
 
-RRCollection& ParallelSamplingEngine::GeneratePool(const BitVector* removed,
-                                                   uint32_t num_alive,
-                                                   uint64_t count, Rng* rng) {
+Status ParallelSamplingEngine::TryGeneratePool(const BitVector* removed,
+                                               uint32_t num_alive,
+                                               uint64_t count, Rng* rng) {
   // One draw from the caller's stream per query, independent of the worker
   // count; the fan-out is derived from it via SplitSeed.
   const uint64_t base_seed = rng->Next();
   if (workers_.size() <= 1 || count < min_parallel_batch_) {
+    ATPM_FAILPOINT("engine.serial_batch");
     Rng local(base_seed);
     shard_nodes_.clear();
     shard_sizes_.clear();
     const uint64_t draws_before = inline_generator_.rng_draws();
-    const uint64_t edges = inline_generator_.GenerateBatch(
-        removed, num_alive, count, &local, &shard_nodes_, &shard_sizes_);
-    pool_.AppendShard(shard_nodes_, shard_sizes_);
-    edges_examined_ += edges;
-    stats_.rr_sets_generated += count;
-    stats_.edges_examined += edges;
+    Status status = Status::OK();
+    uint64_t edges = 0;
+    try {
+      ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_reserve");
+      edges = inline_generator_.GenerateBatch(removed, num_alive, count,
+                                              &local, &shard_nodes_,
+                                              &shard_sizes_, budget_);
+      ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_append");
+      pool_.AppendShard(shard_nodes_, shard_sizes_);
+    } catch (...) {
+      status = ExceptionToStatus("inline pool generation",
+                                 std::current_exception());
+    }
+    edges_examined_ += status.ok() ? edges : 0;
+    stats_.rr_sets_generated += status.ok() ? shard_sizes_.size() : 0;
+    stats_.edges_examined += status.ok() ? edges : 0;
     stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
-    return pool_;
+    return status;
   }
 
   AssignQuotas(count);
-  RunOnPool([&](uint32_t w) {
+  const Status pool_status = RunOnPool([&](uint32_t w) {
     Worker& worker = workers_[w];
     worker.shard_nodes.clear();
     worker.shard_sizes.clear();
+    worker.edges_result = 0;
     const uint64_t draws_before = worker.generator->rng_draws();
     Rng local(SplitSeed(base_seed, w));
+    ATPM_FAILPOINT_MAYBE_THROW("engine.parallel_worker");
+    ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_reserve");
     worker.edges_result =
         worker.generator->GenerateBatch(removed, num_alive, worker.quota,
                                         &local, &worker.shard_nodes,
-                                        &worker.shard_sizes);
+                                        &worker.shard_sizes, budget_);
     worker.draws_result = worker.generator->rng_draws() - draws_before;
   });
+  if (!pool_status.ok()) return pool_status;
 
   // Merge in worker order: deterministic layout, and the EPT accounting
   // (total edges examined) aggregates exactly as in a serial run.
+  Status merge_status = Status::OK();
   uint64_t edges = 0;
+  uint64_t generated = 0;
   for (Worker& worker : workers_) {
-    pool_.AppendShard(worker.shard_nodes, worker.shard_sizes);
-    edges += worker.edges_result;
     stats_.rng_draws += worker.draws_result;
+    if (!merge_status.ok()) continue;
+    try {
+      ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_append");
+      pool_.AppendShard(worker.shard_nodes, worker.shard_sizes);
+    } catch (...) {
+      // Shards merged before the failure stay in the pool (they are whole
+      // RR sets); the stats below count exactly those.
+      merge_status = ExceptionToStatus("pool shard merge",
+                                       std::current_exception());
+      continue;
+    }
+    edges += worker.edges_result;
+    generated += worker.shard_sizes.size();
   }
   edges_examined_ += edges;
-  stats_.rr_sets_generated += count;
+  stats_.rr_sets_generated += generated;
   stats_.edges_examined += edges;
-  return pool_;
+  return merge_status;
 }
 
-void ParallelSamplingEngine::CountCoverageBatchSeeded(
+Result<uint64_t> ParallelSamplingEngine::TryCountCoverageBatchSeeded(
     CoverageQueryBatch* batch, const BitVector* removed, uint32_t num_alive,
     uint64_t theta, uint64_t seed) {
   const size_t num_queries = batch->size();
-  if (num_queries == 0) return;
-  stats_.rr_sets_generated += theta;
+  if (num_queries == 0) return uint64_t{0};
   stats_.count_pools += 1;
   stats_.coverage_queries += num_queries;
 
   if (workers_.size() <= 1 || theta < min_parallel_batch_) {
+    ATPM_FAILPOINT("engine.serial_batch");
     Rng rng(seed);
     const uint64_t draws_before = inline_generator_.rng_draws();
-    stats_.edges_examined += inline_generator_.CountCoveringBatch(
-        removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng);
+    uint64_t sampled = theta;
+    try {
+      // See the serial engine: counting scratch growth shares the alloc
+      // failpoint so injected bad_alloc reaches the degrade path.
+      ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_reserve");
+      stats_.edges_examined += inline_generator_.CountCoveringBatch(
+          removed, num_alive, theta, batch->queries(), batch->hit_data(),
+          &rng, budget_, &sampled);
+    } catch (...) {
+      stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
+      return ExceptionToStatus("inline coverage counting",
+                               std::current_exception());
+    }
     stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
-    return;
+    stats_.rr_sets_generated += sampled;
+    return sampled;
   }
 
   AssignQuotas(theta);
-  RunOnPool([&](uint32_t w) {
+  const Status pool_status = RunOnPool([&](uint32_t w) {
     Worker& worker = workers_[w];
     // Size-only adjustment: CountCoveringBatch zeroes the counters itself,
     // so re-zeroing here (the old `assign`) would touch every entry twice.
     worker.hit_shard.resize(num_queries);
+    worker.sampled_result = 0;
     const uint64_t draws_before = worker.generator->rng_draws();
     Rng local(SplitSeed(seed, w));
+    ATPM_FAILPOINT_MAYBE_THROW("engine.parallel_worker");
     worker.edges_result = worker.generator->CountCoveringBatch(
         removed, num_alive, worker.quota, batch->queries(),
-        worker.hit_shard.data(), &local);
+        worker.hit_shard.data(), &local, budget_, &worker.sampled_result);
     worker.draws_result = worker.generator->rng_draws() - draws_before;
   });
+  if (!pool_status.ok()) return pool_status;
 
   // Deterministic merge: per-worker counter shards summed in worker order.
+  // Under a tripped budget each worker's hits are exact over its own
+  // sampled prefix, so the summed hits are exact over the summed sample
+  // count — the honest θ the caller scales by.
+  uint64_t sampled = 0;
   batch->ZeroHits();
   uint64_t* hits = batch->hit_data();
   for (const Worker& worker : workers_) {
     for (size_t q = 0; q < num_queries; ++q) hits[q] += worker.hit_shard[q];
     stats_.edges_examined += worker.edges_result;
     stats_.rng_draws += worker.draws_result;
+    sampled += worker.sampled_result;
   }
+  stats_.rr_sets_generated += sampled;
+  return sampled;
 }
 
 void ParallelSamplingEngine::ResetPool() {

@@ -3,6 +3,8 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -11,7 +13,10 @@
 #include <vector>
 
 #include "common/bit_vector.h"
+#include "common/logging.h"
 #include "common/rng.h"
+#include "common/run_budget.h"
+#include "common/status.h"
 #include "diffusion/diffusion_model.h"
 #include "graph/graph.h"
 #include "rris/coverage_batch.h"
@@ -101,6 +106,14 @@ struct SamplingOptions {
   /// a different RNG stream; set kPerEdge to reproduce pre-kernel decision
   /// sequences bit for bit for a fixed seed.
   SamplingKernel kernel = SamplingKernel::kGeometricJump;
+  /// Resource envelope for the whole run: wall-clock deadline, RR-pool
+  /// byte cap, and cooperative cancellation. Inactive (the default) adds
+  /// no checks and leaves every RNG stream bit-identical; when a limit
+  /// trips mid-run the policies finish the current decision on the RR
+  /// sets already drawn and report the weakened guarantee
+  /// (DegradationEvent / achieved_theta / effective_epsilon) instead of
+  /// crashing or silently answering with less evidence than requested.
+  RunBudget budget;
 
   /// Engine-construction view of these knobs.
   SamplingEngineOptions EngineOptions() const {
@@ -138,29 +151,73 @@ class SamplingEngine {
  public:
   virtual ~SamplingEngine() = default;
 
-  /// Appends `count` RR sets sampled on G \ removed to the engine's pool
-  /// and returns the pool. Edge-examination cost accrues into
-  /// total_edges_examined().
-  virtual RRCollection& GeneratePool(const BitVector* removed,
-                                     uint32_t num_alive, uint64_t count,
-                                     Rng* rng) = 0;
+  /// Appends up to `count` RR sets sampled on G \ removed to the engine's
+  /// pool (fewer when the installed BudgetGate trips mid-batch — the pool
+  /// then holds every set generated before the stop, and pool().num_sets()
+  /// is the honest denominator). Edge-examination cost accrues into
+  /// total_edges_examined(). Failures — an injected failpoint, a worker
+  /// exception, allocation exhaustion — surface as a Status instead of
+  /// terminating the process; kResourceExhausted means the pool kept what
+  /// it had and the caller may degrade onto it.
+  virtual Status TryGeneratePool(const BitVector* removed,
+                                 uint32_t num_alive, uint64_t count,
+                                 Rng* rng) = 0;
+
+  /// Historical convenience form of TryGeneratePool for callers with no
+  /// failure channel (benchmarks, tests): aborts on error and returns the
+  /// pool. Identical to the pre-Status API when nothing fails.
+  RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
+                             uint64_t count, Rng* rng) {
+    const Status status = TryGeneratePool(removed, num_alive, count, rng);
+    if (!status.ok()) {
+      std::fprintf(stderr, "GeneratePool: %s\n", status.ToString().c_str());
+    }
+    ATPM_CHECK(status.ok());
+    return pool();
+  }
 
   /// Samples one shared pool of `theta` RR sets without storing them and
   /// fills in `batch`'s per-query hit counters. Consumes one 64-bit draw
-  /// from `rng` regardless of batch width or worker count.
+  /// from `rng` regardless of batch width or worker count. Returns the
+  /// number of sets actually drawn — θ, unless the installed BudgetGate
+  /// stopped the pool early, in which case the hit counters are exact over
+  /// that smaller pool and the return value is the honest denominator.
+  Result<uint64_t> TryCountCoverageBatch(CoverageQueryBatch* batch,
+                                         const BitVector* removed,
+                                         uint32_t num_alive, uint64_t theta,
+                                         Rng* rng) {
+    return TryCountCoverageBatchSeeded(batch, removed, num_alive, theta,
+                                       rng->Next());
+  }
+
+  /// Abort-on-error convenience form of TryCountCoverageBatch (the
+  /// historical API shape; callers without budgets always sample θ sets).
   void CountCoverageBatch(CoverageQueryBatch* batch, const BitVector* removed,
                           uint32_t num_alive, uint64_t theta, Rng* rng) {
     CountCoverageBatchSeeded(batch, removed, num_alive, theta, rng->Next());
   }
 
-  /// Seed-level variant of CountCoverageBatch: the serial backend counts
-  /// with the stream Rng(seed); the parallel backend gives worker w the
-  /// stream Rng(SplitSeed(seed, w)) and a private counter shard, merged
-  /// deterministically in worker order.
-  virtual void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
-                                        const BitVector* removed,
-                                        uint32_t num_alive, uint64_t theta,
-                                        uint64_t seed) = 0;
+  /// Seed-level variant of TryCountCoverageBatch: the serial backend
+  /// counts with the stream Rng(seed); the parallel backend gives worker w
+  /// the stream Rng(SplitSeed(seed, w)) and a private counter shard,
+  /// merged deterministically in worker order. Returns the sets actually
+  /// drawn (see TryCountCoverageBatch).
+  virtual Result<uint64_t> TryCountCoverageBatchSeeded(
+      CoverageQueryBatch* batch, const BitVector* removed,
+      uint32_t num_alive, uint64_t theta, uint64_t seed) = 0;
+
+  /// Abort-on-error convenience form of TryCountCoverageBatchSeeded.
+  void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                const BitVector* removed, uint32_t num_alive,
+                                uint64_t theta, uint64_t seed) {
+    const Result<uint64_t> sampled =
+        TryCountCoverageBatchSeeded(batch, removed, num_alive, theta, seed);
+    if (!sampled.ok()) {
+      std::fprintf(stderr, "CountCoverageBatchSeeded: %s\n",
+                   sampled.status().ToString().c_str());
+    }
+    ATPM_CHECK(sampled.ok());
+  }
 
   /// One-query convenience form: samples `theta` RR sets and returns how
   /// many contain `u` while avoiding every node of `base` (nullptr base =
@@ -185,6 +242,14 @@ class SamplingEngine {
                              seed);
     return scratch_batch_.hits(0);
   }
+
+  /// Installs (or clears, with nullptr) the budget gate the sampling
+  /// paths poll at batch boundaries. Borrowed: the caller keeps the gate
+  /// alive until it is cleared. Engines are not re-entrant, so one gate at
+  /// a time; decorators forward to their inner engine.
+  virtual void set_budget(BudgetGate* budget) { budget_ = budget; }
+  /// The installed budget gate (null = unbudgeted).
+  BudgetGate* budget() const { return budget_; }
 
   /// The engine's pool of stored RR sets (as filled by GeneratePool).
   virtual RRCollection& pool() = 0;
@@ -213,6 +278,7 @@ class SamplingEngine {
 
  protected:
   SamplingStats stats_;
+  BudgetGate* budget_ = nullptr;
 
  private:
   /// Scratch for the one-query convenience path (engines are one query at a
@@ -231,11 +297,13 @@ class SerialSamplingEngine final : public SamplingEngine {
       DiffusionModel model = DiffusionModel::kIndependentCascade,
       SamplingKernel kernel = SamplingKernel::kGeometricJump);
 
-  RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
-                             uint64_t count, Rng* rng) override;
-  void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
-                                const BitVector* removed, uint32_t num_alive,
-                                uint64_t theta, uint64_t seed) override;
+  Status TryGeneratePool(const BitVector* removed, uint32_t num_alive,
+                         uint64_t count, Rng* rng) override;
+  Result<uint64_t> TryCountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                               const BitVector* removed,
+                                               uint32_t num_alive,
+                                               uint64_t theta,
+                                               uint64_t seed) override;
 
   RRCollection& pool() override { return pool_; }
   void ResetPool() override;
@@ -282,11 +350,13 @@ class ParallelSamplingEngine final : public SamplingEngine {
   ParallelSamplingEngine(const ParallelSamplingEngine&) = delete;
   ParallelSamplingEngine& operator=(const ParallelSamplingEngine&) = delete;
 
-  RRCollection& GeneratePool(const BitVector* removed, uint32_t num_alive,
-                             uint64_t count, Rng* rng) override;
-  void CountCoverageBatchSeeded(CoverageQueryBatch* batch,
-                                const BitVector* removed, uint32_t num_alive,
-                                uint64_t theta, uint64_t seed) override;
+  Status TryGeneratePool(const BitVector* removed, uint32_t num_alive,
+                         uint64_t count, Rng* rng) override;
+  Result<uint64_t> TryCountCoverageBatchSeeded(CoverageQueryBatch* batch,
+                                               const BitVector* removed,
+                                               uint32_t num_alive,
+                                               uint64_t theta,
+                                               uint64_t seed) override;
 
   RRCollection& pool() override { return pool_; }
   void ResetPool() override;
@@ -313,13 +383,24 @@ class ParallelSamplingEngine final : public SamplingEngine {
     /// job (delta of RRSetGenerator::rng_draws), merged into
     /// SamplingStats::rng_draws after the barrier.
     uint64_t draws_result = 0;
+    /// RR sets this worker actually drew in the current counting job
+    /// (its quota, unless a budget gate stopped it early).
+    uint64_t sampled_result = 0;
+    /// Exception that escaped this worker's job body, if any. Captured by
+    /// WorkerLoop so a throwing job degrades to a Status from RunOnPool
+    /// instead of std::terminate-ing the process.
+    std::exception_ptr error;
     std::vector<NodeId> shard_nodes;
     std::vector<uint32_t> shard_sizes;
   };
 
   /// Runs `body(worker_index)` on every pool thread and blocks until all
-  /// finish. Exactly one job is in flight at a time.
-  void RunOnPool(const std::function<void(uint32_t)>& body);
+  /// finish. Exactly one job is in flight at a time. Returns the first
+  /// (by worker index) captured worker exception translated to a Status —
+  /// std::bad_alloc to kResourceExhausted, anything else to kInternal —
+  /// after every worker has reached the barrier, so the pool is always
+  /// reusable afterwards.
+  Status RunOnPool(const std::function<void(uint32_t)>& body);
   void WorkerLoop(uint32_t index);
   /// Splits `total` draws over the workers (remainder to the lowest ids).
   void AssignQuotas(uint64_t total);
@@ -345,6 +426,33 @@ class ParallelSamplingEngine final : public SamplingEngine {
   uint64_t job_epoch_ = 0;
   uint32_t pending_ = 0;
   bool stopping_ = false;
+};
+
+/// Installs `gate` on `engine` for the current scope iff the gate's
+/// RunBudget is active, and always clears the engine's gate slot on
+/// destruction — so a policy's budget never leaks into the next caller of
+/// a shared engine. An inactive budget arms nothing and the engine runs
+/// the bit-identical unbudgeted paths.
+class ScopedEngineBudget {
+ public:
+  ScopedEngineBudget(SamplingEngine* engine, BudgetGate* gate)
+      : engine_(engine),
+        armed_(gate != nullptr && gate->budget().active()) {
+    if (armed_) engine_->set_budget(gate);
+  }
+  ~ScopedEngineBudget() {
+    if (armed_) engine_->set_budget(nullptr);
+  }
+
+  ScopedEngineBudget(const ScopedEngineBudget&) = delete;
+  ScopedEngineBudget& operator=(const ScopedEngineBudget&) = delete;
+
+  /// Whether the gate was installed (i.e. the budget is active).
+  bool armed() const { return armed_; }
+
+ private:
+  SamplingEngine* engine_;
+  bool armed_;
 };
 
 /// Builds the backend selected by `options` for (graph, model). kAuto

@@ -251,6 +251,47 @@ TEST_F(GraphStoreTest, RejectsTruncatedFile) {
   EXPECT_NE(loaded.status().ToString().find("truncated"), std::string::npos);
 }
 
+TEST_F(GraphStoreTest, RejectsTruncationWithinSectionTable) {
+  ASSERT_TRUE(SaveGraphStore(WcGraph(), path_).ok());
+  // Cut the file right after the header: the header itself still hashes
+  // clean, so the rejection must come from the size / table validation.
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path_, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), 88);
+  Result<Graph> loaded = LoadGraphStore(path_);
+  ASSERT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().ToString().find("truncated"), std::string::npos);
+}
+
+TEST_F(GraphStoreTest, RejectsTrailingGarbage) {
+  ASSERT_TRUE(SaveGraphStore(WcGraph(), path_).ok());
+  // A partially overwritten (longer) file is as suspect as a truncated
+  // one: the header's recorded size must match exactly in both directions.
+  std::ofstream(path_, std::ios::binary | std::ios::app).write("junk", 4);
+  Result<Graph> loaded = LoadGraphStore(path_);
+  ASSERT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().ToString().find("trailing garbage"),
+            std::string::npos);
+}
+
+TEST_F(GraphStoreTest, SaveIsAtomicOverExistingStore) {
+  // Re-saving over an existing store goes through a temp file + rename:
+  // afterwards the new content is fully visible and no temp file remains.
+  const Graph first = WcGraph();
+  ASSERT_TRUE(SaveGraphStore(first, path_).ok());
+  const Graph second = TrivalencyGraph();
+  GraphStoreWriteOptions tiled;
+  tiled.tile_size = 32;
+  ASSERT_TRUE(SaveGraphStore(second, path_, tiled).ok());
+  Result<Graph> loaded = LoadGraphStore(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectGraphsEqual(second, loaded.value());
+  EXPECT_EQ(loaded.value().reverse_tile_size(), 32u);
+}
+
 TEST_F(GraphStoreTest, RejectsHeaderShortFile) {
   std::ofstream(path_, std::ios::binary) << "ATPMGRF1";
   Result<Graph> loaded = LoadGraphStore(path_);

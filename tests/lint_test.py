@@ -56,6 +56,7 @@ def main():
         ("determinism-hygiene", 3),   # range-for, iterator walk, ptr-keyed map
         ("mmap-safety", 4),           # const_cast, bare MutableVec, 2x outside
         ("format-stability", 3),      # 2x unpinned header + 1 missing trivial
+        ("failpoint-discipline", 4),  # 2x unregistered, non-literal, throw
     )
     for rule, minimum in expectations:
         check("rule %s fires (>=%d)" % (rule, minimum),
@@ -71,11 +72,14 @@ def main():
             "bad_mmap.cc:26", "bad_mmap.cc:32",
             "bad_outside_mutation.cc:27", "bad_outside_mutation.cc:31",
             "graph_store.cc:13", "graph_store.cc:21",
+            "bad_failpoints.cc:9", "bad_failpoints.cc:10",
+            "bad_failpoints.cc:11", "bad_failpoints.cc:13",
     ):
         check("flags %s" % needle, needle in out)
     # Sites that must NOT be flagged (allow-path / lookup-only / pinned).
     for forbidden in ("bad_mmap.cc:40", "FixtureSection", "ParseScratch",
-                      "Operand", "ElapsedTime"):
+                      "Operand", "ElapsedTime", "bad_failpoints.cc:8",
+                      "engine.serial_batch"):
         check("does not flag %s" % forbidden, forbidden not in out,
               "output:\n%s" % out)
 

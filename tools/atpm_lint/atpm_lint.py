@@ -33,6 +33,15 @@ that no general-purpose tool checks:
                        and a static_assert(sizeof(T) == N) so any layout
                        change forces a conscious format-version bump.
 
+  failpoint-discipline Every ATPM_FAILPOINT* site names a string literal
+                       registered in src/common/failpoint.cc (between
+                       the atpm-failpoint-registry markers) — arming an
+                       unregistered name aborts at runtime, so the check
+                       must be static. Fault-containment paths
+                       (src/core/, src/rris/) must not use bare `throw`:
+                       faults cross those layers as Status objects, and
+                       an escaping exception tears down worker threads.
+
 Engines: with the libclang Python bindings installed the AST engine
 resolves types and range-for statements precisely; without them (or on
 any libclang failure) a conservative regex engine runs instead. The two
@@ -55,6 +64,7 @@ RULE_IDS = (
     "determinism-hygiene",
     "mmap-safety",
     "format-stability",
+    "failpoint-discipline",
 )
 
 # Directories linted when no explicit paths are given, relative to --root.
@@ -307,6 +317,82 @@ def regex_format_stability(rel, text, findings):
                 "layout pin" % (name, name)))
 
 
+# failpoint-discipline. The registry lives between marker comments in
+# src/common/failpoint.cc; arming an unregistered name aborts at runtime,
+# so every macro site must be checkable statically. Name extraction needs
+# the RAW text (literals are blanked in the stripped view), but
+# strip_comments_and_strings preserves offsets 1:1, so macro sites are
+# located in the stripped text (documentation never trips the rule) and
+# the name literal is read back out of the raw text at the same position.
+
+FAILPOINT_REGISTRY_FILE = "src/common/failpoint.cc"
+FAILPOINT_REGISTRY_BEGIN = "atpm-failpoint-registry-begin"
+FAILPOINT_REGISTRY_END = "atpm-failpoint-registry-end"
+# The macro definitions and the registry itself.
+FAILPOINT_EXEMPT_FILES = ("src/common/failpoint.h", "src/common/failpoint.cc")
+FAILPOINT_USE_RE = re.compile(
+    r"\bATPM_FAILPOINT(?:_MAYBE_THROW|_FIRED|_TRANSIENT)?\s*\(")
+FAILPOINT_NAME_RE = re.compile(r'\s*"([^"\\]*)"')
+FAILPOINT_DECL_RE = re.compile(r'\{\s*"([^"\\]+)"')
+THROW_RE = re.compile(r"\bthrow\b")
+# Fault-containment scope: faults cross these layers as Status objects.
+THROW_SCOPE_DIRS = ("src/core/", "src/rris/")
+
+_failpoint_registry_cache = {}
+
+
+def load_failpoint_registry(root):
+    """Registered site names for the tree at `root` (cached per root)."""
+    names = _failpoint_registry_cache.get(root)
+    if names is not None:
+        return names
+    names = set()
+    try:
+        with open(os.path.join(root, *FAILPOINT_REGISTRY_FILE.split("/")),
+                  "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError:
+        text = ""
+    in_table = False
+    for line in text.split("\n"):
+        if FAILPOINT_REGISTRY_BEGIN in line:
+            in_table = True
+        elif FAILPOINT_REGISTRY_END in line:
+            break
+        elif in_table:
+            names.update(FAILPOINT_DECL_RE.findall(line))
+    _failpoint_registry_cache[root] = names
+    return names
+
+
+def regex_failpoint_discipline(rel, raw, stripped, findings, root):
+    if rel in FAILPOINT_EXEMPT_FILES:
+        return
+    registry = load_failpoint_registry(root)
+    for m in FAILPOINT_USE_RE.finditer(stripped):
+        line = line_of(stripped, m.start())
+        name_m = FAILPOINT_NAME_RE.match(raw, m.end())
+        if name_m is None:
+            findings.append(Finding(
+                rel, line, "failpoint-discipline",
+                "failpoint name must be a string literal so the registry "
+                "check stays static"))
+        elif name_m.group(1) not in registry:
+            findings.append(Finding(
+                rel, line, "failpoint-discipline",
+                "failpoint '%s' is not registered in %s "
+                "(atpm-failpoint-registry block); arming an unregistered "
+                "name aborts at runtime"
+                % (name_m.group(1), FAILPOINT_REGISTRY_FILE)))
+    if any(rel.startswith(d) for d in THROW_SCOPE_DIRS):
+        for m in THROW_RE.finditer(stripped):
+            findings.append(Finding(
+                rel, line_of(stripped, m.start()), "failpoint-discipline",
+                "bare throw in a fault-containment path; faults must cross "
+                "this layer as Status (injected exceptions go through "
+                "ATPM_FAILPOINT_MAYBE_THROW inside a try block)"))
+
+
 REGEX_RULES = (
     regex_rng_discipline,
     regex_determinism_hygiene,
@@ -315,11 +401,13 @@ REGEX_RULES = (
 )
 
 
-def lint_file_regex(rel, raw_text):
+def lint_file_regex(rel, raw_text, root):
     findings = []
     stripped = strip_comments_and_strings(raw_text)
     for rule in REGEX_RULES:
         rule(rel, stripped, findings)
+    # Runs outside REGEX_RULES: needs the raw text for name literals.
+    regex_failpoint_discipline(rel, raw_text, stripped, findings, root)
     return findings
 
 
@@ -505,10 +593,12 @@ def main(argv):
                 stripped = strip_comments_and_strings(raw)
                 regex_mmap_safety(rel, stripped, file_findings)
                 regex_format_stability(rel, stripped, file_findings)
+                regex_failpoint_discipline(rel, raw, stripped,
+                                           file_findings, root)
             except Exception:
                 file_findings = None  # fall back to regex for this file
         if file_findings is None:
-            file_findings = lint_file_regex(rel, raw)
+            file_findings = lint_file_regex(rel, raw, root)
         findings.extend(f for f in file_findings
                         if not allowed(allows, f.line, f.rule))
 

@@ -1,0 +1,19 @@
+// Fixture registry for the clean tree: the one site used by
+// src/rris/clean_failpoints.cc is registered, so nothing fires.
+
+namespace atpm {
+namespace failpoint {
+
+struct SiteInfo {
+  const char* name;
+  int code;
+};
+
+constexpr SiteInfo kRegistry[] = {
+    // atpm-failpoint-registry-begin
+    {"engine.serial_batch", 5},
+    // atpm-failpoint-registry-end
+};
+
+}  // namespace failpoint
+}  // namespace atpm

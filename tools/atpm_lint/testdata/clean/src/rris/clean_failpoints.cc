@@ -1,0 +1,12 @@
+// A registered failpoint site in a containment path: lint-clean. The
+// string literal is read straight out of the raw text, so the name in a
+// comment — ATPM_FAILPOINT("never.registered") — must not fire either.
+
+namespace atpm {
+
+int SampleBatch() {
+  ATPM_FAILPOINT("engine.serial_batch");
+  return 0;
+}
+
+}  // namespace atpm

@@ -1,0 +1,16 @@
+// Every failpoint-discipline finding here is silenced by an allow
+// annotation: the suppressed tree must lint clean.
+
+namespace atpm {
+
+int ContainedWorker(bool fail) {
+  // atpm-lint: allow(failpoint-discipline)
+  ATPM_FAILPOINT("engine.unlisted_site");
+  if (fail) {
+    // atpm-lint: allow(failpoint-discipline)
+    throw 7;
+  }
+  return 0;
+}
+
+}  // namespace atpm

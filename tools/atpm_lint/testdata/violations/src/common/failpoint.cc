@@ -1,0 +1,21 @@
+// Fixture registry for the failpoint-discipline rule. ATPM_FAILPOINT*
+// sites elsewhere in this tree must name one of the entries between the
+// markers; this file itself is exempt from the rule.
+
+namespace atpm {
+namespace failpoint {
+
+struct SiteInfo {
+  const char* name;
+  int code;
+};
+
+constexpr SiteInfo kRegistry[] = {
+    // atpm-failpoint-registry-begin
+    {"alloc.pool_reserve", 6},
+    {"engine.serial_batch", 5},
+    // atpm-failpoint-registry-end
+};
+
+}  // namespace failpoint
+}  // namespace atpm

@@ -1,0 +1,18 @@
+// Deliberate failpoint-discipline violations: sites must name an entry
+// in this tree's src/common/failpoint.cc registry, names must be string
+// literals, and containment paths (src/core, src/rris) must not throw.
+
+namespace atpm {
+
+int SampleBatch(bool overflow) {
+  ATPM_FAILPOINT("engine.serial_batch");  // registered: must not be flagged
+  ATPM_FAILPOINT("engine.typo_batch");
+  ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_growth");
+  ATPM_FAILPOINT_FIRED(kDynamicSiteName);
+  if (overflow) {
+    throw 42;
+  }
+  return 0;
+}
+
+}  // namespace atpm
