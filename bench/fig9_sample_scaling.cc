@@ -39,7 +39,9 @@
 #include "bench_util/experiment.h"
 #include "bench_util/grid.h"
 #include "bench_util/table_printer.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/hatp.h"
 #include "core/nonadaptive_greedy.h"
 #include "core/target_selection.h"
@@ -447,5 +449,46 @@ int main() {
                draws_per_edge_ratio, kernel_speedup);
   std::fclose(kernel_out);
   std::printf("wrote %s\n", kernel_path);
+
+  // --- Observability artifacts. When tracing is on (ATPM_TRACE=1) the
+  // whole run above was recorded as nested decision -> round -> pool-fill
+  // spans and mirrored into the process metric registry; persist both so
+  // CI can upload the timeline (Perfetto / chrome://tracing loadable) and
+  // sanity-check the metric run-report.
+  if (atpm::obs::TraceEnabled()) {
+    const char* prefix = std::getenv("ATPM_OBS_OUT_PREFIX");
+    if (prefix == nullptr) prefix = "fig9";
+    const std::string trace_json = std::string(prefix) + "_trace.json";
+    const std::string trace_bin = std::string(prefix) + "_trace.atrace";
+    for (const auto& [path, status] :
+         {std::pair(trace_json, atpm::obs::WriteChromeTrace(trace_json)),
+          std::pair(trace_bin, atpm::obs::WriteBinaryTrace(trace_bin))}) {
+      if (!status.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    const std::pair<std::string, std::string> reports[] = {
+        {std::string(prefix) + "_metrics.json",
+         atpm::obs::MetricsRegistry::Global().ExportJson()},
+        {std::string(prefix) + "_metrics.prom",
+         atpm::obs::MetricsRegistry::Global().ExportPrometheus()},
+    };
+    for (const auto& [path, body] : reports) {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::fputs(body.c_str(), f);
+      std::fclose(f);
+    }
+    std::printf(
+        "wrote %s_trace.{json,atrace} + %s_metrics.{json,prom} "
+        "(%zu spans kept, %llu dropped)\n",
+        prefix, prefix, atpm::obs::CollectTraceEvents().size(),
+        static_cast<unsigned long long>(atpm::obs::DroppedTraceEvents()));
+  }
   return 0;
 }

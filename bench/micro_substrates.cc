@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "diffusion/ic_model.h"
 #include "diffusion/realization.h"
 #include "graph/generators.h"
@@ -478,6 +480,38 @@ void BM_KernelBatchGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
 }
 BENCHMARK(BM_KernelBatchGeneration)->ArgNames({"batched"})->Arg(0)->Arg(1);
+
+// Observability-overhead guard: the same serial pool fill with the metric
+// registry and tracer both off (obs:0) vs both on (obs:1), measured in the
+// same run. Instruments accrue per batch/span, never per draw, so the
+// enabled/disabled real-time ratio must stay within the 2% acceptance bar
+// enforced by scripts/bench_regression_check.py --fresh-obs. The disabled
+// path is the guarantee the hot layers rely on: one relaxed atomic load
+// per instrument touch.
+void BM_ObservabilityOverhead(benchmark::State& state) {
+  const Graph g = BenchGraph(1 << 14);
+  const bool enabled = state.range(0) != 0;
+  obs::SetMetricsEnabled(enabled);
+  obs::SetTraceEnabled(enabled);
+  SerialSamplingEngine engine(g);
+  Rng rng(61);
+  const uint64_t count = 1 << 13;
+  for (auto _ : state) {
+    engine.ResetPool();
+    RRCollection& pool =
+        engine.GeneratePool(nullptr, g.num_nodes(), count, &rng);
+    benchmark::DoNotOptimize(pool.total_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
+  // Restore the process defaults (metrics on, tracing off) so later
+  // benchmarks in the same invocation see the stock configuration.
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(false);
+  obs::ResetTrace();
+}
+BENCHMARK(BM_ObservabilityOverhead)
+    ->ArgNames({"obs"})->Arg(0)->Arg(1)
+    ->UseRealTime();
 
 void BM_CoverageQueries(benchmark::State& state) {
   const Graph g = BenchGraph(1 << 13);

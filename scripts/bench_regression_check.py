@@ -22,6 +22,11 @@ and the graph-store load-path record written by graph_store_scaling
   match, a hard warm-mmap load speedup floor (--warm-load-floor, default
   10x over parse-and-build), a relative speedup guard vs baseline, and
   byte-identical store sizes (layout drift detector).
+The observability-overhead pair written by
+  micro_substrates --benchmark_filter=ObservabilityOverhead
+  (BENCH_obs.json) is checked same-run only (--fresh-obs, no baseline):
+  enabling metrics+tracing must cost <= --obs-tolerance (2%) on the
+  pool-fill hot path.
 
 Stdlib only; exit 0 = no regression, 1 = regression or malformed input.
 """
@@ -225,6 +230,29 @@ def check_graphstore(check, fresh, baseline, time_tolerance, warm_floor):
             f"{base.get('file_bytes')}")
 
 
+def check_obs(check, fresh, obs_tolerance, obs_slack_ns):
+    """Observability-overhead guard: enabled vs disabled pool fill.
+
+    Both variants come from the same run (BM_ObservabilityOverhead/obs:0
+    and /obs:1), so the ratio is machine-comparable and needs no checked-in
+    baseline. The bar is the ISSUE acceptance bound: enabling the full
+    metrics+tracing layer costs <= obs_tolerance (2%) on the sampling hot
+    path, with a small absolute slack so near-zero timings on fast machines
+    do not flake the relative bound.
+    """
+    pairs = collect_pairs(fresh, "obs")
+    print(f"BENCH_obs: {len(pairs)} enabled/disabled pair(s)")
+    check.expect(pairs, "BM_ObservabilityOverhead obs:0/obs:1 pair present")
+    for family, pair in sorted(pairs.items()):
+        disabled = pair[0]["real_time"]
+        enabled = pair[1]["real_time"]
+        bound = disabled * (1.0 + obs_tolerance) + obs_slack_ns
+        check.expect(
+            enabled <= bound,
+            f"{family}: enabled real_time {enabled:.0f}ns <= "
+            f"{disabled:.0f}ns * (1+{obs_tolerance:g}) + {obs_slack_ns:g}ns")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Fail CI when the kernel benchmarks regress vs the "
@@ -240,6 +268,16 @@ def main():
                         help="BENCH_graphstore.json from this run")
     parser.add_argument("--baseline-graphstore",
                         help="checked-in baseline BENCH_graphstore.json")
+    parser.add_argument("--fresh-obs",
+                        help="BENCH_obs.json from this run (same-run "
+                             "enabled/disabled pair, no baseline needed)")
+    parser.add_argument("--obs-tolerance", type=float, default=0.02,
+                        help="max relative overhead of enabled "
+                             "observability on the pool-fill hot path "
+                             "(default 0.02)")
+    parser.add_argument("--obs-slack-ns", type=float, default=5e4,
+                        help="absolute slack for the observability ratio "
+                             "on near-zero timings (default 50000 ns)")
     parser.add_argument("--warm-load-floor", type=float, default=10.0,
                         help="hard minimum warm-mmap vs parse-and-build "
                              "load speedup (default 10.0)")
@@ -254,9 +292,10 @@ def main():
                         help="hard minimum batched-generation speedup "
                              "(default 1.3)")
     args = parser.parse_args()
-    if not args.fresh and not args.fresh_e2e and not args.fresh_graphstore:
-        parser.error("nothing to check: pass --fresh, --fresh-e2e and/or "
-                     "--fresh-graphstore")
+    if (not args.fresh and not args.fresh_e2e and not args.fresh_graphstore
+            and not args.fresh_obs):
+        parser.error("nothing to check: pass --fresh, --fresh-e2e, "
+                     "--fresh-graphstore and/or --fresh-obs")
     if bool(args.fresh) != bool(args.baseline):
         parser.error("--fresh and --baseline go together")
     if bool(args.fresh_e2e) != bool(args.baseline_e2e):
@@ -284,6 +323,9 @@ def main():
             baseline_store = json.load(f)
         check_graphstore(check, fresh_store, baseline_store,
                          args.time_tolerance, args.warm_load_floor)
+    if args.fresh_obs:
+        check_obs(check, load_benchmarks(args.fresh_obs),
+                  args.obs_tolerance, args.obs_slack_ns)
 
     if check.failures:
         print(f"\n{len(check.failures)}/{check.checks} checks FAILED")

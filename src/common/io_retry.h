@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace atpm {
 
 /// Bounded exponential backoff for transient IO faults (EINTR, short
@@ -16,6 +18,11 @@ inline constexpr uint32_t kMaxIoRetries = 7;
 
 inline bool BackoffRetry(uint32_t attempt) {
   if (attempt >= kMaxIoRetries) return false;
+  // Function-local static in an inline function: one counter program-wide.
+  static obs::Counter* const retries = obs::MetricsRegistry::Global()
+      .RegisterCounter("atpm_io_retry_attempts_total",
+                       "Transient IO faults absorbed by backoff retries");
+  retries->Increment();
   std::this_thread::sleep_for(
       std::chrono::microseconds(50u << attempt));
   return true;

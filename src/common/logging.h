@@ -35,6 +35,13 @@
     }                                                                       \
   } while (false)
 
+/// One-line warning to stderr with source location. For conditions the run
+/// survives but an operator should see in bench/CI output — budget
+/// degradation, retries that eventually succeeded. printf-style.
+#define ATPM_WARN(fmt, ...)                                          \
+  std::fprintf(stderr, "ATPM WARN %s:%d: " fmt "\n", __FILE__,       \
+               __LINE__ __VA_OPT__(, ) __VA_ARGS__)
+
 #define ATPM_CHECK_EQ(a, b) ATPM_CHECK_OP(==, a, b)
 #define ATPM_CHECK_NE(a, b) ATPM_CHECK_OP(!=, a, b)
 #define ATPM_CHECK_LT(a, b) ATPM_CHECK_OP(<, a, b)

@@ -1,0 +1,435 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace atpm {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+uint32_t AssignStripe() {
+  static std::atomic<uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// ATPM_METRICS=0 turns the registry into pure relaxed-load no-ops before
+/// main() runs (benchmark baselines, overhead probes).
+const bool g_env_applied = [] {
+  const char* env = std::getenv("ATPM_METRICS");
+  if (env != nullptr && std::strcmp(env, "0") == 0) {
+    g_metrics_enabled.store(false, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+/// Accumulates a double into an IEEE-754 bit cell with a relaxed CAS loop
+/// (portable stand-in for atomic<double>::fetch_add; contention is already
+/// diluted by striping).
+void AddDoubleBits(std::atomic<uint64_t>* cell, double delta) {
+  uint64_t observed = cell->load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    const double next = current + delta;
+    uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (cell->compare_exchange_weak(observed, next_bits,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// Shortest round-trippable decimal for export (stable across runs for
+/// exactly representable values, which is what the golden tests feed it).
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer the shorter %g form when it round-trips.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", value);
+  double parsed = 0.0;
+  if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == value) {
+    return shorter;
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- Counter
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::Stripe& stripe : stripes_) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::Stripe& stripe : stripes_) {
+    stripe.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::vector<double> bounds)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      bounds_(std::move(bounds)) {
+  const size_t buckets = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<uint64_t>[]>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  Shard& shard = shards_[internal::ThreadStripe()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  internal::AddDoubleBits(&shard.sum_bits, value);
+}
+
+uint64_t Histogram::BucketCount(size_t bucket) const {
+  if (bucket >= num_buckets()) return 0;
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.buckets[bucket].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += internal::BitsToDouble(
+        shard.sum_bits.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t b = 0; b < num_buckets(); ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  ATPM_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+bool MetricsRegistry::ValidName(const char* name) {
+  if (name == nullptr) return false;
+  const size_t len = std::strlen(name);
+  if (len <= 5 || len > 120) return false;
+  if (std::strncmp(name, "atpm_", 5) != 0) return false;
+  for (size_t i = 0; i < len; ++i) {
+    const char c = name[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MetricsRegistry::NameTaken(const std::string& name) const {
+  for (const auto& c : counters_) {
+    if (c->name() == name) return true;
+  }
+  for (const auto& g : gauges_) {
+    if (g->name() == name) return true;
+  }
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return true;
+  }
+  return false;
+}
+
+Counter* MetricsRegistry::TryRegisterCounter(const char* name,
+                                             const char* help) {
+  if (!ValidName(name)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (NameTaken(name)) return nullptr;
+  counters_.emplace_back(
+      new Counter(name, help != nullptr ? help : ""));
+  return counters_.back().get();
+}
+
+Gauge* MetricsRegistry::TryRegisterGauge(const char* name, const char* help) {
+  if (!ValidName(name)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (NameTaken(name)) return nullptr;
+  gauges_.emplace_back(new Gauge(name, help != nullptr ? help : ""));
+  return gauges_.back().get();
+}
+
+Histogram* MetricsRegistry::TryRegisterHistogram(const char* name,
+                                                 const char* help,
+                                                 std::vector<double> bounds) {
+  if (!ValidName(name)) return nullptr;
+  if (bounds.empty() || bounds.size() > 64) return nullptr;
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i] > bounds[i - 1])) return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (NameTaken(name)) return nullptr;
+  histograms_.emplace_back(new Histogram(
+      name, help != nullptr ? help : "", std::move(bounds)));
+  return histograms_.back().get();
+}
+
+Counter* MetricsRegistry::RegisterCounter(const char* name,
+                                          const char* help) {
+  Counter* counter = TryRegisterCounter(name, help);
+  ATPM_CHECK(counter != nullptr);
+  return counter;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const char* name, const char* help) {
+  Gauge* gauge = TryRegisterGauge(name, help);
+  ATPM_CHECK(gauge != nullptr);
+  return gauge;
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const char* name,
+                                              const char* help,
+                                              std::vector<double> bounds) {
+  Histogram* histogram = TryRegisterHistogram(name, help, std::move(bounds));
+  ATPM_CHECK(histogram != nullptr);
+  return histogram;
+}
+
+void MetricsRegistry::RegisterCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) c->Reset();
+  for (auto& g : gauges_) g->Reset();
+  for (auto& h : histograms_) h->Reset();
+}
+
+namespace {
+
+/// Snapshot views sorted by name for stable export (registration order
+/// depends on static-init order, which must not leak into goldens).
+template <typename T>
+std::vector<const T*> SortedByName(const std::vector<std::unique_ptr<T>>& v) {
+  std::vector<const T*> out;
+  out.reserve(v.size());
+  for (const auto& item : v) out.push_back(item.get());
+  std::sort(out.begin(), out.end(), [](const T* a, const T* b) {
+    return a->name() < b->name();
+  });
+  return out;
+}
+
+bool LabeledLess(const LabeledSample& a, const LabeledSample& b) {
+  if (a.metric != b.metric) return a.metric < b.metric;
+  if (a.label_key != b.label_key) return a.label_key < b.label_key;
+  return a.label_value < b.label_value;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportPrometheus() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Counter* c : SortedByName(counters_)) {
+    out += "# HELP " + c->name() + " " + c->help() + "\n";
+    out += "# TYPE " + c->name() + " counter\n";
+    out += c->name() + " " + std::to_string(c->Value()) + "\n";
+  }
+  for (const Gauge* g : SortedByName(gauges_)) {
+    out += "# HELP " + g->name() + " " + g->help() + "\n";
+    out += "# TYPE " + g->name() + " gauge\n";
+    out += g->name() + " " + std::to_string(g->Value()) + "\n";
+  }
+  for (const Histogram* h : SortedByName(histograms_)) {
+    out += "# HELP " + h->name() + " " + h->help() + "\n";
+    out += "# TYPE " + h->name() + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h->bounds().size(); ++b) {
+      cumulative += h->BucketCount(b);
+      out += h->name() + "_bucket{le=\"" +
+             internal::FormatDouble(h->bounds()[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += h->name() + "_bucket{le=\"+Inf\"} " +
+           std::to_string(h->TotalCount()) + "\n";
+    out += h->name() + "_sum " + internal::FormatDouble(h->Sum()) + "\n";
+    out += h->name() + "_count " + std::to_string(h->TotalCount()) + "\n";
+  }
+  std::vector<LabeledSample> labeled;
+  for (const Collector& collector : collectors_) collector(&labeled);
+  std::stable_sort(labeled.begin(), labeled.end(), LabeledLess);
+  std::string last_metric;
+  for (const LabeledSample& sample : labeled) {
+    if (!ValidName(sample.metric.c_str())) continue;
+    if (sample.metric != last_metric) {
+      out += "# HELP " + sample.metric + " " + sample.help + "\n";
+      out += "# TYPE " + sample.metric + " counter\n";
+      last_metric = sample.metric;
+    }
+    out += sample.metric + "{" + sample.label_key + "=\"" +
+           sample.label_value + "\"} " + std::to_string(sample.value) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const Counter* c : SortedByName(counters_)) {
+    out += std::string(first ? "" : ",") + "\n    \"" + c->name() +
+           "\": " + std::to_string(c->Value());
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const Gauge* g : SortedByName(gauges_)) {
+    out += std::string(first ? "" : ",") + "\n    \"" + g->name() +
+           "\": " + std::to_string(g->Value());
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const Histogram* h : SortedByName(histograms_)) {
+    out += std::string(first ? "" : ",") + "\n    \"" + h->name() +
+           "\": {\"count\": " + std::to_string(h->TotalCount()) +
+           ", \"sum\": " + internal::FormatDouble(h->Sum()) +
+           ", \"buckets\": [";
+    for (size_t b = 0; b < h->num_buckets(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": ";
+      out += b < h->bounds().size()
+                 ? internal::FormatDouble(h->bounds()[b])
+                 : std::string("\"+Inf\"");
+      out += ", \"count\": " + std::to_string(h->BucketCount(b)) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "\n  },\n  \"labeled\": {";
+  std::vector<LabeledSample> labeled;
+  for (const Collector& collector : collectors_) collector(&labeled);
+  std::stable_sort(labeled.begin(), labeled.end(), LabeledLess);
+  first = true;
+  std::string open_metric;
+  for (const LabeledSample& sample : labeled) {
+    if (!ValidName(sample.metric.c_str())) continue;
+    if (sample.metric != open_metric) {
+      if (!open_metric.empty()) out += "\n    ]";
+      out += std::string(first ? "" : ",") + "\n    \"" + sample.metric +
+             "\": [";
+      open_metric = sample.metric;
+      first = false;
+      out += "\n      {\"" + internal::JsonEscape(sample.label_key) +
+             "\": \"" + internal::JsonEscape(sample.label_value) +
+             "\", \"value\": " + std::to_string(sample.value) + "}";
+    } else {
+      out += ",\n      {\"" + internal::JsonEscape(sample.label_key) +
+             "\": \"" + internal::JsonEscape(sample.label_value) +
+             "\", \"value\": " + std::to_string(sample.value) + "}";
+    }
+  }
+  if (!open_metric.empty()) out += "\n    ]";
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace atpm

@@ -1,0 +1,259 @@
+#ifndef ATPM_COMMON_METRICS_H_
+#define ATPM_COMMON_METRICS_H_
+
+/// Process-wide metric registry (the counter/gauge/histogram half of the
+/// atpm_obs observability layer; spans live in common/trace.h).
+///
+/// Design constraints, in priority order:
+///
+///   1. Determinism transparency. Instruments never touch RNG state and
+///      never reorder work; when metrics are disabled an Increment() is a
+///      single relaxed atomic load. Golden RR-pool hashes and policy
+///      decision sequences are bit-identical with the layer compiled in,
+///      enabled or disabled (timestamps are observational only).
+///   2. Write-path scalability. Counters and histograms are striped across
+///      cache-line-padded per-thread shards (lock-free relaxed adds) and
+///      merged only on scrape, so the worker-pool engines never contend on
+///      a shared line.
+///   3. Static discipline. Metric names are string literals, validated at
+///      registration (`atpm_`-prefixed snake_case, registered once) and
+///      enforced by the `metrics-discipline` atpm_lint rule.
+///
+/// Exports: Prometheus text exposition (ExportPrometheus) and a structured
+/// JSON run-report (ExportJson). Labeled series (e.g. per-site failpoint
+/// fires) enter through registered collectors so label churn stays off the
+/// hot path.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace atpm {
+namespace obs {
+
+namespace internal {
+
+/// Number of per-instrument shards. Threads hash onto a fixed stripe; 16
+/// 64-byte lines keep false sharing negligible for the pool sizes the
+/// engines run (worker pools are sized to hardware_concurrency).
+inline constexpr uint32_t kStripes = 16;
+
+struct alignas(64) Stripe {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Assigns the calling thread a stripe index (round-robin at first use).
+uint32_t AssignStripe();
+
+inline uint32_t ThreadStripe() {
+  thread_local const uint32_t stripe = AssignStripe();
+  return stripe;
+}
+
+/// Monotonic nanosecond clock. Lives behind this helper so instrumented
+/// layers (src/core, src/rris) never name std::chrono::steady_clock
+/// directly — the metrics-discipline lint rule pins that.
+uint64_t MonotonicNowNs();
+
+extern std::atomic<bool> g_metrics_enabled;
+
+}  // namespace internal
+
+/// Global kill switch (default on; ATPM_METRICS=0 disables at startup).
+/// Reading it is the entire disabled-path cost of every instrument.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter. Increment is lock-free: one relaxed load (the enable
+/// gate) plus one relaxed fetch_add on the caller's stripe.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    stripes_[internal::ThreadStripe()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  /// Merged value across all stripes (scrape-time only).
+  uint64_t Value() const;
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void Reset();
+
+  std::string name_;
+  std::string help_;
+  internal::Stripe stripes_[internal::kStripes];
+};
+
+/// Last-writer-wins gauge (a point-in-time level, not a rate).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (latencies in seconds, sizes in elements).
+/// Buckets are chosen at registration; observations are striped like
+/// counters and merged on scrape. Bucket i counts values <= bounds[i];
+/// the implicit final bucket catches everything above the last bound.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Merged per-bucket count (NOT cumulative; export cumulates).
+  uint64_t BucketCount(size_t bucket) const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string help, std::vector<double> bounds);
+  void Reset();
+
+  struct Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  // IEEE-754 bits, CAS-accumulated
+  };
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  Shard shards_[internal::kStripes];
+};
+
+/// `count` exponentially spaced upper bounds starting at `start`
+/// (start, start*factor, ...) — the standard latency-bucket ladder.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// RAII latency timer into a histogram. Reads the clock only when metrics
+/// are enabled, so the disabled path stays at one relaxed load.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram)
+      : histogram_(MetricsEnabled() ? histogram : nullptr),
+        start_ns_(histogram_ != nullptr ? internal::MonotonicNowNs() : 0) {}
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          static_cast<double>(internal::MonotonicNowNs() - start_ns_) * 1e-9);
+    }
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+/// One sample of a labeled series, produced by a collector at scrape time.
+/// Used for low-cardinality dimensions owned by another subsystem (the
+/// failpoint registry exports fires-per-site this way).
+struct LabeledSample {
+  std::string metric;       // validated metric name
+  std::string help;         // HELP line (first sample of a metric wins)
+  std::string label_key;    // e.g. "site"
+  std::string label_value;  // e.g. "alloc.pool_reserve"
+  uint64_t value = 0;
+};
+
+using Collector = std::function<void(std::vector<LabeledSample>*)>;
+
+/// Instrument registry. `Global()` is the process-wide instance every
+/// subsystem registers into; tests build private instances to exercise
+/// registration rules and export formats hermetically.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Nullptr on an invalid name or a duplicate registration (any kind).
+  Counter* TryRegisterCounter(const char* name, const char* help);
+  Gauge* TryRegisterGauge(const char* name, const char* help);
+  /// Additionally nullptr when `bounds` is empty or not strictly
+  /// increasing.
+  Histogram* TryRegisterHistogram(const char* name, const char* help,
+                                  std::vector<double> bounds);
+
+  /// Checked variants: abort on registration errors (programmer error —
+  /// names are literals, so a failure is a typo or a copy-paste dup).
+  Counter* RegisterCounter(const char* name, const char* help);
+  Gauge* RegisterGauge(const char* name, const char* help);
+  Histogram* RegisterHistogram(const char* name, const char* help,
+                               std::vector<double> bounds);
+
+  void RegisterCollector(Collector collector);
+
+  /// `atpm_`-prefixed snake_case: atpm_[a-z0-9_]+.
+  static bool ValidName(const char* name);
+
+  /// Prometheus text exposition, instruments sorted by name.
+  std::string ExportPrometheus();
+  /// Structured JSON run-report (counters/gauges/histograms/labeled).
+  std::string ExportJson();
+
+  /// Zeroes every instrument's value (registrations stay). Test support
+  /// and per-run report isolation.
+  void ResetValues();
+
+ private:
+  bool NameTaken(const std::string& name) const;  // caller holds mu_
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace obs
+}  // namespace atpm
+
+#endif  // ATPM_COMMON_METRICS_H_

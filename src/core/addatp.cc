@@ -6,6 +6,7 @@
 
 #include "common/bit_vector.h"
 #include "common/math_util.h"
+#include "common/trace.h"
 #include "core/concentration.h"
 #include "rris/coverage_batch.h"
 #include "rris/sampling_engine.h"
@@ -64,12 +65,15 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
 
   for (size_t pos = 0; pos < problem.targets.size(); ++pos) {
     const NodeId u = problem.targets[pos];
+    obs::TraceSpan decision_span("decision");
+    decision_span.AnnotateU64("node", u);
     AdaptiveStepRecord step;
     step.node = u;
     candidates.Clear(u);  // u is under examination; rear base is T \ {u}
 
     if (env->IsActivated(u)) {
       step.decision = SeedDecision::kSkippedActivated;
+      NotePolicyDecision();
       result.steps.push_back(step);
       continue;
     }
@@ -109,6 +113,8 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
 
     while (!decided) {
       const uint64_t theta = AddAtpSampleSize(zeta, delta);
+      obs::TraceSpan round_span("round");
+      round_span.AnnotateU64("theta", theta);
       if (step.rounds == 0) planner.Begin(pos, u, epoch, theta);
       // One round: served from a stored speculative answer (free, estimates
       // scale by the answering pool's size), or sampled — batched rounds
@@ -128,6 +134,10 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
         result.degradation_events.push_back(
             {DegradationReason::kAllocFailure, u, step.rounds, theta,
              last_theta});
+        NoteDegradationEvent(result.degradation_events.back());
+        decision_span.AnnotateU64(
+            "degraded_reason",
+            static_cast<uint64_t>(DegradationReason::kAllocFailure));
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -152,6 +162,10 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
         result.degradation_events.push_back(
             {DegradationReason::kRrBudget, u, step.rounds, theta,
              last_theta});
+        NoteDegradationEvent(result.degradation_events.back());
+        decision_span.AnnotateU64(
+            "degraded_reason",
+            static_cast<uint64_t>(DegradationReason::kRrBudget));
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -166,6 +180,7 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
         if (hits.theta > 0) {
           used_this_iter += RoundRrSets(hits.theta, planner.batched());
           ++step.rounds;
+          NotePolicyRound();
           step.coverage_queries += hits.queries;
           result.total_count_pools += hits.pools;
           const double scale = nd / static_cast<double>(hits.theta);
@@ -181,6 +196,10 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
                                       ? engine_gate->Exhausted()
                                       : BudgetStop::kNone),
              u, step.rounds, theta, last_theta});
+        NoteDegradationEvent(result.degradation_events.back());
+        decision_span.AnnotateU64(
+            "degraded_reason",
+            static_cast<uint64_t>(result.degradation_events.back().reason));
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -194,6 +213,7 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
         step.first_round_speculative = true;
       }
       ++step.rounds;
+      NotePolicyRound();
       step.coverage_queries += hits.queries;
       result.total_count_pools += hits.pools;
       const double scale = nd / static_cast<double>(hits.theta);
@@ -244,6 +264,7 @@ Result<AdaptiveRunResult> AddAtpPolicy::Run(const ProfitProblem& problem,
       min_decided_theta = std::min(min_decided_theta, last_theta);
       worst_additive = std::max(worst_additive, last_az);
     }
+    NotePolicyDecision();
     result.steps.push_back(step);
   }
 

@@ -6,6 +6,7 @@
 
 #include "common/bit_vector.h"
 #include "common/math_util.h"
+#include "common/trace.h"
 #include "core/concentration.h"
 #include "core/policy.h"
 #include "rris/coverage_batch.h"
@@ -70,6 +71,8 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
 
   for (size_t pos = 0; pos < problem.targets.size(); ++pos) {
     const NodeId u = problem.targets[pos];
+    obs::TraceSpan decision_span("decision");
+    decision_span.AnnotateU64("node", u);
     t_bitmap.Clear(u);  // rear base excludes the node under examination
 
     const double cost = problem.CostOf(u);
@@ -92,6 +95,8 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
 
     while (!decided) {
       const uint64_t theta = HatpSampleSize(eps, zeta, delta);
+      obs::TraceSpan round_span("round");
+      round_span.AnnotateU64("theta", theta);
       if (rounds == 0) planner.Begin(pos, u, selection_epoch, theta);
       // One round: served from a stored speculative answer, or front/rear
       // conditional coverage on one shared pool (batched) / two independent
@@ -112,6 +117,10 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
         result.degradation_events.push_back(
             {DegradationReason::kAllocFailure, u, rounds, theta,
              last_theta});
+        NoteDegradationEvent(result.degradation_events.back());
+        decision_span.AnnotateU64(
+            "degraded_reason",
+            static_cast<uint64_t>(DegradationReason::kAllocFailure));
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -135,6 +144,10 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
         budget_exhausted = rounds == 0;
         result.degradation_events.push_back(
             {DegradationReason::kRrBudget, u, rounds, theta, last_theta});
+        NoteDegradationEvent(result.degradation_events.back());
+        decision_span.AnnotateU64(
+            "degraded_reason",
+            static_cast<uint64_t>(DegradationReason::kRrBudget));
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -149,6 +162,7 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
         if (hits.theta > 0) {
           used_this_iter += RoundRrSets(hits.theta, planner.batched());
           ++rounds;
+          NotePolicyRound();
           result.total_coverage_queries += hits.queries;
           result.total_count_pools += hits.pools;
           const double scale = nd / static_cast<double>(hits.theta);
@@ -166,6 +180,10 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
                                       ? engine_gate->Exhausted()
                                       : BudgetStop::kNone),
              u, rounds, theta, last_theta});
+        NoteDegradationEvent(result.degradation_events.back());
+        decision_span.AnnotateU64(
+            "degraded_reason",
+            static_cast<uint64_t>(result.degradation_events.back().reason));
         if (budget_exhausted) {
           ++result.budget_exhausted_decisions;
         } else {
@@ -177,6 +195,7 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
         used_this_iter += RoundRrSets(theta, planner.batched());
       }
       ++rounds;
+      NotePolicyRound();
       result.total_coverage_queries += hits.queries;
       result.total_count_pools += hits.pools;
       const double scale = nd / static_cast<double>(hits.theta);
@@ -239,6 +258,7 @@ Result<HntpResult> RunHntp(const ProfitProblem& problem,
         ++selection_epoch;
       }
     }
+    NotePolicyDecision();
   }
 
   result.effective_epsilon = worst_eps;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+
 namespace atpm {
 
 const char* SamplingKernelName(SamplingKernel kernel) {
@@ -418,6 +420,15 @@ void Graph::RebuildOutWeightIndex() {
 }
 
 void Graph::EnsureOwnedStorage() {
+  if (tiled_reverse_ || out_offsets_.IsView()) {
+    // Count only real detaches (store-backed views about to be copied),
+    // not the no-op calls on already-owned graphs.
+    static obs::Counter* const detaches =
+        obs::MetricsRegistry::Global().RegisterCounter(
+            "atpm_graph_detach_total",
+            "Store-backed graphs copied into owned storage");
+    detaches->Increment();
+  }
   if (tiled_reverse_) {
     // Materialize the tile-grouped reverse CSR back into flat arrays.
     const uint64_t m = in_offsets_[n_];

@@ -17,9 +17,43 @@
 
 #include "common/failpoint.h"
 #include "common/io_retry.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace atpm {
 namespace {
+
+// Store-level instruments. Loads are rare next to sampling, so these sit on
+// the slow path anyway; registration is one-time and leaked (see metrics.h).
+struct StoreMetrics {
+  obs::Counter* loads;
+  obs::Counter* tile_binds;
+  obs::Histogram* load_seconds;
+  obs::Histogram* map_seconds;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics* const m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* sm = new StoreMetrics();
+      sm->loads = reg.RegisterCounter(
+          "atpm_graph_store_loads_total",
+          "Successful graph store loads (mmap + bind, no rebuild)");
+      sm->tile_binds = reg.RegisterCounter(
+          "atpm_graph_store_tile_binds_total",
+          "Reverse-CSR tiles bound directly from the mapping");
+      sm->load_seconds = reg.RegisterHistogram(
+          "atpm_graph_store_load_seconds",
+          "End-to-end graph store load latency",
+          obs::ExponentialBuckets(1e-6, 4.0, 14));
+      sm->map_seconds = reg.RegisterHistogram(
+          "atpm_graph_store_map_seconds",
+          "open+mmap+validate latency inside a load",
+          obs::ExponentialBuckets(1e-6, 4.0, 14));
+      return sm;
+    }();
+    return *m;
+  }
+};
 
 // ---- Format constants ------------------------------------------------------
 
@@ -695,7 +729,13 @@ Result<GraphStoreIO::StoreView> GraphStoreIO::MapAndValidate(
 
 Result<Graph> GraphStoreIO::Load(const std::string& path,
                                  const GraphStoreLoadOptions& options) {
-  Result<StoreView> mapped = MapAndValidate(path, options.verify_payload);
+  const StoreMetrics& metrics = StoreMetrics::Get();
+  obs::TraceSpan load_span("graph_store_load");
+  obs::ScopedLatency load_latency(metrics.load_seconds);
+  Result<StoreView> mapped = [&] {
+    obs::ScopedLatency map_latency(metrics.map_seconds);
+    return MapAndValidate(path, options.verify_payload);
+  }();
   if (!mapped.ok()) return mapped.status();
   const StoreView& view = mapped.value();
   const GraphStoreHeader& header = *view.header;
@@ -821,6 +861,7 @@ Result<Graph> GraphStoreIO::Load(const std::string& path,
           reinterpret_cast<const uint64_t*>(view.file->base + e.eidx_offset);
       g.tile_edge_start_[t] = first;
     }
+    metrics.tile_binds->Increment(num_tiles);
   } else {
     ATPM_RETURN_NOT_OK(BindSection(view, kInAdj, m, &g.in_adj_));
     ATPM_RETURN_NOT_OK(BindSection(view, kInProb, m, &g.in_prob_));
@@ -830,6 +871,9 @@ Result<Graph> GraphStoreIO::Load(const std::string& path,
   g.in_jumpable_edges_ = header.in_jumpable_edges;
   g.out_jumpable_edges_ = header.out_jumpable_edges;
   g.backing_ = std::static_pointer_cast<const void>(view.file);
+  load_span.AnnotateU64("num_nodes", n64);
+  load_span.AnnotateU64("num_edges", m);
+  metrics.loads->Increment();
   return g;
 }
 

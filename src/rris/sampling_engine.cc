@@ -4,10 +4,60 @@
 #include <new>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace atpm {
 
 namespace {
+
+/// Global-registry instruments shared by both backends. Registered once on
+/// first use; every hot-path touch is a relaxed add (or a single relaxed
+/// load when metrics are disabled).
+struct EngineMetrics {
+  obs::Counter* rr_sets;
+  obs::Counter* edges;
+  obs::Counter* draws;
+  obs::Counter* count_pools;
+  obs::Counter* coverage_queries;
+  obs::Histogram* pool_fill_seconds;
+  obs::Histogram* count_batch_seconds;
+  obs::Histogram* batch_sets;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics* const metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* m = new EngineMetrics();
+      m->rr_sets = reg.RegisterCounter(
+          "atpm_rr_sets_generated_total",
+          "RR sets sampled across all engines (pool + counting paths)");
+      m->edges = reg.RegisterCounter(
+          "atpm_rr_edges_examined_total",
+          "Edges examined while sampling RR sets (the IMM/EPT cost measure)");
+      m->draws = reg.RegisterCounter(
+          "atpm_rng_draws_total",
+          "64-bit RNG draws consumed by RR-set generators");
+      m->count_pools = reg.RegisterCounter(
+          "atpm_count_pools_total",
+          "Throwaway counting pools sampled for coverage-query batches");
+      m->coverage_queries = reg.RegisterCounter(
+          "atpm_coverage_queries_total",
+          "Coverage queries answered by counting pools");
+      m->pool_fill_seconds = reg.RegisterHistogram(
+          "atpm_pool_fill_seconds", "Latency of stored-pool generation calls",
+          obs::ExponentialBuckets(1e-6, 4.0, 14));
+      m->count_batch_seconds = reg.RegisterHistogram(
+          "atpm_count_batch_seconds",
+          "Latency of coverage-counting batch calls",
+          obs::ExponentialBuckets(1e-6, 4.0, 14));
+      m->batch_sets = reg.RegisterHistogram(
+          "atpm_rr_batch_sets", "RR sets drawn per engine batch",
+          obs::ExponentialBuckets(1.0, 4.0, 14));
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 /// Translates an exception that escaped a sampling job into the Status the
 /// engine API surfaces: allocation exhaustion is a degradable condition
@@ -26,6 +76,26 @@ Status ExceptionToStatus(const char* where, std::exception_ptr error) {
 }
 
 }  // namespace
+
+void SamplingEngine::AccrueGeneration(uint64_t sets, uint64_t edges,
+                                      uint64_t draws) {
+  stats_.rr_sets_generated += sets;
+  stats_.edges_examined += edges;
+  stats_.rng_draws += draws;
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.rr_sets->Increment(sets);
+  metrics.edges->Increment(edges);
+  metrics.draws->Increment(draws);
+  if (sets > 0) metrics.batch_sets->Observe(static_cast<double>(sets));
+}
+
+void SamplingEngine::AccrueCounting(uint64_t pools, uint64_t queries) {
+  stats_.count_pools += pools;
+  stats_.coverage_queries += queries;
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.count_pools->Increment(pools);
+  metrics.coverage_queries->Increment(queries);
+}
 
 const char* SamplingBackendName(SamplingBackend backend) {
   switch (backend) {
@@ -52,6 +122,9 @@ Status SerialSamplingEngine::TryGeneratePool(const BitVector* removed,
                                              uint32_t num_alive,
                                              uint64_t count, Rng* rng) {
   ATPM_FAILPOINT("engine.serial_batch");
+  obs::TraceSpan span("pool_fill");
+  span.AnnotateU64("count", count);
+  obs::ScopedLatency latency(EngineMetrics::Get().pool_fill_seconds);
   // Batched block generation straight into the shard layout: one splice
   // into the pool CSR instead of a staging copy per set, and one shared
   // alive-list build per block. Bit-identical sets to the historical
@@ -74,11 +147,10 @@ Status SerialSamplingEngine::TryGeneratePool(const BitVector* removed,
     status = ExceptionToStatus("serial pool generation",
                                std::current_exception());
   }
-  const uint64_t generated = status.ok() ? shard_sizes_.size() : 0;
   edges_examined_ += status.ok() ? edges : 0;
-  stats_.rr_sets_generated += generated;
-  stats_.edges_examined += status.ok() ? edges : 0;
-  stats_.rng_draws += generator_.rng_draws() - draws_before;
+  AccrueGeneration(status.ok() ? shard_sizes_.size() : 0,
+                   status.ok() ? edges : 0,
+                   generator_.rng_draws() - draws_before);
   return status;
 }
 
@@ -87,26 +159,29 @@ Result<uint64_t> SerialSamplingEngine::TryCountCoverageBatchSeeded(
     uint64_t theta, uint64_t seed) {
   if (batch->empty()) return uint64_t{0};
   ATPM_FAILPOINT("engine.serial_batch");
+  obs::TraceSpan span("count_batch");
+  span.AnnotateU64("theta", theta);
+  span.AnnotateU64("queries", batch->size());
+  obs::ScopedLatency latency(EngineMetrics::Get().count_batch_seconds);
   Rng rng(seed);
   const uint64_t draws_before = generator_.rng_draws();
   uint64_t sampled = theta;
+  uint64_t edges = 0;
   try {
     // The throwaway counting pool is an allocation consumer too: its
     // scratch growth is covered by the same alloc failpoint so injected
     // bad_alloc exercises the policies' absorb-and-degrade path.
     ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_reserve");
-    stats_.edges_examined += generator_.CountCoveringBatch(
-        removed, num_alive, theta, batch->queries(), batch->hit_data(), &rng,
-        budget_, &sampled);
+    edges = generator_.CountCoveringBatch(removed, num_alive, theta,
+                                          batch->queries(), batch->hit_data(),
+                                          &rng, budget_, &sampled);
   } catch (...) {
-    stats_.rng_draws += generator_.rng_draws() - draws_before;
+    AccrueGeneration(0, 0, generator_.rng_draws() - draws_before);
     return ExceptionToStatus("serial coverage counting",
                              std::current_exception());
   }
-  stats_.rng_draws += generator_.rng_draws() - draws_before;
-  stats_.rr_sets_generated += sampled;
-  stats_.count_pools += 1;
-  stats_.coverage_queries += batch->size();
+  AccrueGeneration(sampled, edges, generator_.rng_draws() - draws_before);
+  AccrueCounting(1, batch->size());
   return sampled;
 }
 
@@ -216,6 +291,9 @@ void ParallelSamplingEngine::AssignQuotas(uint64_t total) {
 Status ParallelSamplingEngine::TryGeneratePool(const BitVector* removed,
                                                uint32_t num_alive,
                                                uint64_t count, Rng* rng) {
+  obs::TraceSpan span("pool_fill");
+  span.AnnotateU64("count", count);
+  obs::ScopedLatency latency(EngineMetrics::Get().pool_fill_seconds);
   // One draw from the caller's stream per query, independent of the worker
   // count; the fan-out is derived from it via SplitSeed.
   const uint64_t base_seed = rng->Next();
@@ -239,9 +317,9 @@ Status ParallelSamplingEngine::TryGeneratePool(const BitVector* removed,
                                  std::current_exception());
     }
     edges_examined_ += status.ok() ? edges : 0;
-    stats_.rr_sets_generated += status.ok() ? shard_sizes_.size() : 0;
-    stats_.edges_examined += status.ok() ? edges : 0;
-    stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
+    AccrueGeneration(status.ok() ? shard_sizes_.size() : 0,
+                     status.ok() ? edges : 0,
+                     inline_generator_.rng_draws() - draws_before);
     return status;
   }
 
@@ -268,15 +346,17 @@ Status ParallelSamplingEngine::TryGeneratePool(const BitVector* removed,
   Status merge_status = Status::OK();
   uint64_t edges = 0;
   uint64_t generated = 0;
+  uint64_t draws = 0;
   for (Worker& worker : workers_) {
-    stats_.rng_draws += worker.draws_result;
+    draws += worker.draws_result;
     if (!merge_status.ok()) continue;
     try {
       ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_append");
       pool_.AppendShard(worker.shard_nodes, worker.shard_sizes);
     } catch (...) {
       // Shards merged before the failure stay in the pool (they are whole
-      // RR sets); the stats below count exactly those.
+      // RR sets); the stats below count exactly those. Draws accrue for
+      // every worker regardless — they were consumed either way.
       merge_status = ExceptionToStatus("pool shard merge",
                                        std::current_exception());
       continue;
@@ -285,8 +365,7 @@ Status ParallelSamplingEngine::TryGeneratePool(const BitVector* removed,
     generated += worker.shard_sizes.size();
   }
   edges_examined_ += edges;
-  stats_.rr_sets_generated += generated;
-  stats_.edges_examined += edges;
+  AccrueGeneration(generated, edges, draws);
   return merge_status;
 }
 
@@ -295,28 +374,34 @@ Result<uint64_t> ParallelSamplingEngine::TryCountCoverageBatchSeeded(
     uint64_t theta, uint64_t seed) {
   const size_t num_queries = batch->size();
   if (num_queries == 0) return uint64_t{0};
-  stats_.count_pools += 1;
-  stats_.coverage_queries += num_queries;
+  obs::TraceSpan span("count_batch");
+  span.AnnotateU64("theta", theta);
+  span.AnnotateU64("queries", num_queries);
+  obs::ScopedLatency latency(EngineMetrics::Get().count_batch_seconds);
+  // Counting accounting accrues up front on this backend (the historical
+  // shape — a failed fan-out still consumed the pool attempt).
+  AccrueCounting(1, num_queries);
 
   if (workers_.size() <= 1 || theta < min_parallel_batch_) {
     ATPM_FAILPOINT("engine.serial_batch");
     Rng rng(seed);
     const uint64_t draws_before = inline_generator_.rng_draws();
     uint64_t sampled = theta;
+    uint64_t edges = 0;
     try {
       // See the serial engine: counting scratch growth shares the alloc
       // failpoint so injected bad_alloc reaches the degrade path.
       ATPM_FAILPOINT_MAYBE_THROW("alloc.pool_reserve");
-      stats_.edges_examined += inline_generator_.CountCoveringBatch(
+      edges = inline_generator_.CountCoveringBatch(
           removed, num_alive, theta, batch->queries(), batch->hit_data(),
           &rng, budget_, &sampled);
     } catch (...) {
-      stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
+      AccrueGeneration(0, 0, inline_generator_.rng_draws() - draws_before);
       return ExceptionToStatus("inline coverage counting",
                                std::current_exception());
     }
-    stats_.rng_draws += inline_generator_.rng_draws() - draws_before;
-    stats_.rr_sets_generated += sampled;
+    AccrueGeneration(sampled, edges,
+                     inline_generator_.rng_draws() - draws_before);
     return sampled;
   }
 
@@ -342,15 +427,17 @@ Result<uint64_t> ParallelSamplingEngine::TryCountCoverageBatchSeeded(
   // sampled prefix, so the summed hits are exact over the summed sample
   // count — the honest θ the caller scales by.
   uint64_t sampled = 0;
+  uint64_t edges = 0;
+  uint64_t draws = 0;
   batch->ZeroHits();
   uint64_t* hits = batch->hit_data();
   for (const Worker& worker : workers_) {
     for (size_t q = 0; q < num_queries; ++q) hits[q] += worker.hit_shard[q];
-    stats_.edges_examined += worker.edges_result;
-    stats_.rng_draws += worker.draws_result;
+    edges += worker.edges_result;
+    draws += worker.draws_result;
     sampled += worker.sampled_result;
   }
-  stats_.rr_sets_generated += sampled;
+  AccrueGeneration(sampled, edges, draws);
   return sampled;
 }
 

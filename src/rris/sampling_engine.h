@@ -277,6 +277,14 @@ class SamplingEngine {
   virtual std::string_view name() const = 0;
 
  protected:
+  /// Harvest helpers shared by both backends (the per-path counter
+  /// bookkeeping used to be copy-pasted four times): fold a finished
+  /// generation/counting batch into the per-engine SamplingStats — kept
+  /// exact, `stats()` stays a thin read — and mirror the same deltas into
+  /// the global atpm_obs registry (atpm_rr_sets_generated_total & co).
+  void AccrueGeneration(uint64_t sets, uint64_t edges, uint64_t draws);
+  void AccrueCounting(uint64_t pools, uint64_t queries);
+
   SamplingStats stats_;
   BudgetGate* budget_ = nullptr;
 

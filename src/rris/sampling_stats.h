@@ -15,6 +15,11 @@ namespace atpm {
 /// Realization::Sample) accept an optional SamplingStats sink and
 /// accumulate the same rng_draws / edges_examined measures, so
 /// DrawsPerEdge() covers both traversal directions of the jump substrate.
+///
+/// This struct stays the exact per-engine accounting source; the process
+/// metric registry (common/metrics.h: atpm_rr_sets_generated_total and
+/// friends) mirrors the same accruals across all engines and can be
+/// disabled without perturbing these counts.
 struct SamplingStats {
   /// RR sets sampled by GeneratePool + every counting query.
   uint64_t rr_sets_generated = 0;

@@ -57,6 +57,8 @@ def main():
         ("mmap-safety", 4),           # const_cast, bare MutableVec, 2x outside
         ("format-stability", 3),      # 2x unpinned header + 1 missing trivial
         ("failpoint-discipline", 4),  # 2x unregistered, non-literal, throw
+        ("metrics-discipline", 5),    # non-literal, bad prefix, dup reg,
+                                      # non-literal span, steady_clock
     )
     for rule, minimum in expectations:
         check("rule %s fires (>=%d)" % (rule, minimum),
@@ -74,12 +76,15 @@ def main():
             "graph_store.cc:13", "graph_store.cc:21",
             "bad_failpoints.cc:9", "bad_failpoints.cc:10",
             "bad_failpoints.cc:11", "bad_failpoints.cc:13",
+            "bad_metrics.cc:13", "bad_metrics.cc:14", "bad_metrics.cc:16",
+            "bad_metrics.cc:20", "bad_metrics.cc:26",
     ):
         check("flags %s" % needle, needle in out)
     # Sites that must NOT be flagged (allow-path / lookup-only / pinned).
     for forbidden in ("bad_mmap.cc:40", "FixtureSection", "ParseScratch",
                       "Operand", "ElapsedTime", "bad_failpoints.cc:8",
-                      "engine.serial_batch"):
+                      "engine.serial_batch", "bad_metrics.cc:21",
+                      "atpm_fixture_probes_total"):
         check("does not flag %s" % forbidden, forbidden not in out,
               "output:\n%s" % out)
 

@@ -42,6 +42,17 @@ that no general-purpose tool checks:
                        faults cross those layers as Status objects, and
                        an escaping exception tears down worker threads.
 
+  metrics-discipline   Observability names are part of the export
+                       surface: metric registrations and TraceSpan names
+                       must be string literals, metric names must be
+                       `atpm_`-prefixed snake_case, and a checked
+                       Register* name may appear only once under src/
+                       (a second registration aborts at runtime).
+                       Instrumented layers (src/core/, src/rris/) must
+                       not read std::chrono::steady_clock directly —
+                       timing flows through the obs:: helpers so the
+                       disabled path stays one relaxed atomic load.
+
 Engines: with the libclang Python bindings installed the AST engine
 resolves types and range-for statements precisely; without them (or on
 any libclang failure) a conservative regex engine runs instead. The two
@@ -65,6 +76,7 @@ RULE_IDS = (
     "mmap-safety",
     "format-stability",
     "failpoint-discipline",
+    "metrics-discipline",
 )
 
 # Directories linted when no explicit paths are given, relative to --root.
@@ -393,6 +405,75 @@ def regex_failpoint_discipline(rel, raw, stripped, findings, root):
                 "ATPM_FAILPOINT_MAYBE_THROW inside a try block)"))
 
 
+# metrics-discipline. Same literal-extraction trick as the failpoint rule:
+# call sites are located in the stripped text, the name literal is read
+# back out of the raw text at the identical offset.
+
+METRICS_EXEMPT_FILES = (
+    "src/common/metrics.h", "src/common/metrics.cc",
+    "src/common/trace.h", "src/common/trace.cc",
+)
+METRICS_REGISTER_RE = re.compile(
+    r"\b(Try)?Register(Counter|Gauge|Histogram)\s*\(")
+METRIC_NAME_RE = re.compile(r'\s*"([^"\\]*)"')
+METRIC_NAME_OK_RE = re.compile(r"atpm_[a-z0-9_]+\Z")
+TRACE_SPAN_RE = re.compile(r"\bTraceSpan\s+\w+\s*\(")
+STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\b")
+# Clock reads stay inside the common/ helpers (ScopedLatency, TraceSpan,
+# Timer); the instrumented decision/sampling layers never name the clock.
+METRICS_CLOCK_SCOPE_DIRS = ("src/core/", "src/rris/")
+
+# (root, metric name) -> set of (rel, line) checked-registration sites.
+# Files are walked in sorted order, so the "first" site is deterministic.
+_metric_registration_sites = {}
+
+
+def regex_metrics_discipline(rel, raw, stripped, findings, root):
+    if rel in METRICS_EXEMPT_FILES:
+        return
+    for m in METRICS_REGISTER_RE.finditer(stripped):
+        line = line_of(stripped, m.start())
+        name_m = METRIC_NAME_RE.match(raw, m.end())
+        if name_m is None:
+            findings.append(Finding(
+                rel, line, "metrics-discipline",
+                "metric name must be a string literal so the export "
+                "surface stays statically greppable"))
+            continue
+        name = name_m.group(1)
+        if not METRIC_NAME_OK_RE.fullmatch(name):
+            findings.append(Finding(
+                rel, line, "metrics-discipline",
+                "metric name '%s' must be atpm_-prefixed snake_case "
+                "(atpm_[a-z0-9_]+)" % name))
+            continue
+        if m.group(1) is None and rel.startswith("src/"):
+            sites = _metric_registration_sites.setdefault((root, name),
+                                                          set())
+            if sites and (rel, line) not in sites:
+                prior = sorted(sites)[0]
+                findings.append(Finding(
+                    rel, line, "metrics-discipline",
+                    "metric '%s' is already registered at %s:%d; a second "
+                    "checked registration aborts at runtime (use a shared "
+                    "static accessor)" % (name, prior[0], prior[1])))
+            sites.add((rel, line))
+    for m in TRACE_SPAN_RE.finditer(stripped):
+        line = line_of(stripped, m.start())
+        if METRIC_NAME_RE.match(raw, m.end()) is None:
+            findings.append(Finding(
+                rel, line, "metrics-discipline",
+                "TraceSpan name must be a string literal (events store "
+                "the pointer, not a copy)"))
+    if any(rel.startswith(d) for d in METRICS_CLOCK_SCOPE_DIRS):
+        for m in STEADY_CLOCK_RE.finditer(stripped):
+            findings.append(Finding(
+                rel, line_of(stripped, m.start()), "metrics-discipline",
+                "direct steady_clock read in an instrumented layer; time "
+                "through obs::ScopedLatency / TraceSpan so the disabled "
+                "path stays one relaxed load"))
+
+
 REGEX_RULES = (
     regex_rng_discipline,
     regex_determinism_hygiene,
@@ -406,8 +487,9 @@ def lint_file_regex(rel, raw_text, root):
     stripped = strip_comments_and_strings(raw_text)
     for rule in REGEX_RULES:
         rule(rel, stripped, findings)
-    # Runs outside REGEX_RULES: needs the raw text for name literals.
+    # Run outside REGEX_RULES: these need the raw text for name literals.
     regex_failpoint_discipline(rel, raw_text, stripped, findings, root)
+    regex_metrics_discipline(rel, raw_text, stripped, findings, root)
     return findings
 
 
@@ -595,6 +677,8 @@ def main(argv):
                 regex_format_stability(rel, stripped, file_findings)
                 regex_failpoint_discipline(rel, raw, stripped,
                                            file_findings, root)
+                regex_metrics_discipline(rel, raw, stripped,
+                                         file_findings, root)
             except Exception:
                 file_findings = None  # fall back to regex for this file
         if file_findings is None:

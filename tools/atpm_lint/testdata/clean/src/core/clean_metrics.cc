@@ -1,0 +1,18 @@
+// Well-formed observability usage: literal atpm_-prefixed snake_case
+// metric names registered once through a static accessor, literal span
+// names, and no direct clock reads in the instrumented layer.
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace atpm {
+
+void CleanInstrumentation() {
+  static obs::Counter* const probes =
+      obs::MetricsRegistry::Global().RegisterCounter(
+          "atpm_fixture_probes_total", "well-formed registration");
+  obs::TraceSpan span("fixture_phase");
+  span.AnnotateU64("step", 1);
+  probes->Increment();
+}
+
+}  // namespace atpm

@@ -1,0 +1,29 @@
+// Deliberate metrics-discipline violations, one per check the rule makes.
+#include <chrono>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace atpm {
+
+static const char* kDynamicName = "atpm_dynamic_total";
+
+void BadRegistrations() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.RegisterCounter(kDynamicName, "non-literal metric name");
+  reg.RegisterCounter("rr_sets_total", "missing the atpm_ prefix");
+  reg.RegisterCounter("atpm_dup_total", "first registration is fine");
+  reg.RegisterCounter("atpm_dup_total", "second registration aborts");
+}
+
+void BadSpan(const char* phase) {
+  obs::TraceSpan span(phase);
+  span.AnnotateU64("step", 1);
+}
+
+uint64_t BadClock() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace atpm
